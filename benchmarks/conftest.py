@@ -1,0 +1,43 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures (or a section-level
+table) at a reduced-but-faithful scale, times the run with
+pytest-benchmark, and prints the regenerated series so the numbers can be
+compared against the paper (see EXPERIMENTS.md).
+
+Scale notes
+-----------
+* The paper's PlanetLab deployment has n = 50 nodes; the Fig. 1/3/4/10/11
+  benchmarks use the same n = 50.
+* The churn experiments (Fig. 2) and the sampling experiments (Figs. 5-8,
+  paper n = 295) are run at reduced n so the whole suite stays in the
+  minutes range; the experiment drivers accept the paper-scale parameters
+  directly if you want the full run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its result.
+
+    The experiments are deterministic end-to-end simulations, not
+    micro-kernels, so a single timed round is both sufficient and much
+    cheaper than pytest-benchmark's default calibration.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_result(result) -> None:
+    """Print a regenerated figure as a plain table below the benchmark."""
+    print()
+    print(f"=== {result.figure}: {result.description} ===")
+    print(result.table())
+
+
+@pytest.fixture
+def report():
+    """Fixture exposing :func:`print_result` to benchmark tests."""
+    return print_result

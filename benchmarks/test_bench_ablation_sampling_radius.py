@@ -1,0 +1,71 @@
+"""Ablation A2: effect of the BRtp neighbourhood radius and oversampling.
+
+The topology-biased sampler ranks candidates by the size and proximity of
+their radius-r neighbourhood, after oversampling m' = oversample * m
+random candidates.  The paper fixes r = 2; this ablation sweeps r in
+{1, 2, 3} and the oversampling factor in {1, 3} and reports the newcomer's
+cost (normalised by BR without sampling) for each setting.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.best_response import WiringEvaluator
+from repro.core.cost import DelayMetric
+from repro.core.sampling import sampled_best_response, topology_biased_sample
+from repro.experiments.sampling_exp import incremental_overlay
+from repro.netsim.planetlab import synthetic_planetlab_trace
+
+
+def _radius_study(n=100, k=3, m=10, trials=4, seed=2008):
+    rng = np.random.default_rng(seed)
+    space = synthetic_planetlab_trace(n, seed=rng)
+    metric = DelayMetric(space.matrix)
+    newcomer = n - 1
+    existing = [v for v in range(n) if v != newcomer]
+    base = incremental_overlay(metric, k, "best-response", nodes=existing, rng=rng)
+    residual = base.to_graph(active=existing)
+    evaluator = WiringEvaluator(
+        newcomer, metric, residual, candidates=existing, destinations=existing
+    )
+    reference = sampled_best_response(newcomer, metric, residual, k, existing, rng=rng)
+    reference_cost = evaluator.evaluate(reference.neighbors)
+
+    results = {}
+    for radius in (1, 2, 3):
+        for oversample in (1, 3):
+            costs = []
+            for _ in range(trials):
+                sample = topology_biased_sample(
+                    newcomer,
+                    metric,
+                    residual,
+                    m,
+                    oversample=oversample,
+                    radius=radius,
+                    candidates=existing,
+                    rng=rng,
+                )
+                join = sampled_best_response(
+                    newcomer, metric, residual, k, sample, rng=rng
+                )
+                costs.append(evaluator.evaluate(join.neighbors))
+            results[(radius, oversample)] = float(np.mean(costs)) / reference_cost
+    return results
+
+
+def test_sampling_radius_ablation(benchmark):
+    results = run_once(benchmark, _radius_study)
+    print()
+    print("=== A2: BRtp radius / oversampling ablation ===")
+    print("radius\toversample\tnewcomer cost / BR-no-sampling")
+    for (radius, oversample), ratio in sorted(results.items()):
+        print(f"{radius}\t{oversample}\t{ratio:.3f}")
+
+    # All configurations stay within a modest factor of unsampled BR.
+    assert all(ratio < 2.0 for ratio in results.values())
+    # Oversampling (m' = 3m) never hurts materially relative to m' = m at
+    # the paper's radius r = 2.
+    assert results[(2, 3)] <= results[(2, 1)] * 1.15
+    # The paper's choice r = 2 is no worse than r = 1 with oversampling.
+    assert results[(2, 3)] <= results[(1, 3)] * 1.15

@@ -1,0 +1,33 @@
+"""Benchmark E15 / Fig. 10: available-bandwidth gain of multipath transfer.
+
+Paper shape: both curves grow with k; the "peers allow multipath
+redirections" (max-flow) ceiling lies above the "source establishes
+parallel connections" curve; gains are meaningful (well above 1) once k
+exceeds the typical multihoming degree.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10_multipath_gain
+
+
+def test_fig10_multipath_gain(benchmark, report):
+    result = run_once(
+        benchmark,
+        fig10_multipath_gain,
+        n=50,
+        k_values=(2, 3, 4, 5, 6, 7, 8),
+        seed=2008,
+        br_rounds=2,
+        pairs_per_k=80,
+    )
+    report(result)
+
+    parallel = result.series["source establ. parallel connections"].y
+    ceiling = result.series["peers allow multipath redirections"].y
+    # The redirection ceiling dominates the parallel-connection gain.
+    assert all(c >= p * 0.95 for c, p in zip(ceiling, parallel))
+    # Both grow (weakly) with k and exceed the single-path baseline.
+    assert parallel[-1] >= parallel[0] * 0.95
+    assert ceiling[-1] > ceiling[0]
+    assert ceiling[-1] > 1.5
+    assert parallel[-1] > 1.0

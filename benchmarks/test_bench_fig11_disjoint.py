@@ -1,0 +1,35 @@
+"""Benchmark E16 / Fig. 11: number of disjoint paths vs k.
+
+Paper shape: the number of disjoint overlay paths between a source and a
+target grows roughly linearly with the number of parallel connections k
+(from ~1.5 at k = 2 towards ~5-6 at k = 8).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig11_disjoint_paths
+
+K_VALUES = (2, 3, 4, 5, 6, 7, 8)
+
+
+def test_fig11_disjoint_paths(benchmark, report):
+    result = run_once(
+        benchmark,
+        fig11_disjoint_paths,
+        n=50,
+        k_values=K_VALUES,
+        seed=2008,
+        br_rounds=2,
+        pairs_per_k=80,
+    )
+    report(result)
+
+    series = result.series["disjoint paths"].y
+    # Monotone (weakly) increasing in k and roughly linear: the k=8 count is
+    # several times the k=2 count.
+    assert all(b >= a - 0.2 for a, b in zip(series, series[1:]))
+    assert series[-1] >= 2.0 * series[0]
+    # Roughly linear growth: correlation with k is very high.
+    corr = np.corrcoef(K_VALUES, series)[0, 1]
+    assert corr > 0.9

@@ -1,0 +1,30 @@
+"""Benchmark E4 / Fig. 1 bottom-right: available bandwidth (larger is better).
+
+Paper shape: the ratio (policy bandwidth / BR bandwidth) sits well below 1
+for all heuristics — BR delivers a two-fold to four-fold improvement over
+the other policies across the k range.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig1_bandwidth
+
+K_VALUES = (2, 3, 4, 5, 6, 7, 8)
+
+
+def test_fig1_bandwidth(benchmark, report):
+    result = run_once(
+        benchmark,
+        fig1_bandwidth,
+        n=50,
+        k_values=K_VALUES,
+        seed=2008,
+        br_rounds=3,
+    )
+    report(result)
+
+    assert all(abs(v - 1.0) < 1e-9 for v in result.series["best-response"].y)
+    # The other policies achieve at most ~the BR bandwidth, typically much less.
+    for label in ("k-random", "k-regular", "k-closest"):
+        series = result.series[label].y
+        assert all(v <= 1.05 for v in series), label
+        assert sum(series) / len(series) < 1.0, label

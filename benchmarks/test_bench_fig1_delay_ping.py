@@ -1,0 +1,40 @@
+"""Benchmark E1 / Fig. 1 top-left: delay (via ping), cost vs k, with full mesh.
+
+Paper shape to reproduce: BR normalised to 1; k-Random / k-Regular /
+k-Closest between ~1.5x and ~4x of BR at k = 2, converging towards BR as k
+grows; the full-mesh bound at or below 1 (about 0.7 at k = 2, nearly 1 by
+k = 4-5); k-Regular worst overall.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig1_delay_ping
+
+K_VALUES = (2, 3, 4, 5, 6, 7, 8)
+
+
+def test_fig1_delay_ping(benchmark, report):
+    result = run_once(
+        benchmark,
+        fig1_delay_ping,
+        n=50,
+        k_values=K_VALUES,
+        seed=2008,
+        br_rounds=3,
+        include_full_mesh=True,
+    )
+    report(result)
+
+    br = result.series["best-response"].y
+    assert all(abs(v - 1.0) < 1e-9 for v in br)
+    # Every heuristic is at least as costly as BR at every k.
+    for label in ("k-random", "k-regular", "k-closest"):
+        assert all(v >= 0.99 for v in result.series[label].y), label
+    # The BR advantage is most pronounced at the smallest k.
+    heuristic_at = lambda idx: sum(
+        result.series[l].y[idx] for l in ("k-random", "k-regular", "k-closest")
+    ) / 3.0
+    assert heuristic_at(0) > 1.15
+    # Full mesh lower-bounds BR and BR approaches it for moderate k.
+    mesh = result.series["full-mesh"].y
+    assert all(v <= 1.02 for v in mesh)
+    assert mesh[-1] >= 0.75

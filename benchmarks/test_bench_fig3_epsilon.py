@@ -1,0 +1,38 @@
+"""Benchmark E8 / Fig. 3 center & right: BR vs BR(eps = 10%).
+
+Paper shape: BR(0.1) re-wires roughly an order of magnitude less than
+exact BR while its routing cost relative to the full mesh stays within a
+few percent of BR's (both in the 1.0-2.0x band over k = 2..8).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig3_epsilon_comparison
+
+
+def test_fig3_epsilon_comparison(benchmark, report):
+    result = run_once(
+        benchmark,
+        fig3_epsilon_comparison,
+        n=50,
+        k_values=(2, 4, 6, 8),
+        epsilon=0.1,
+        epochs=8,
+        seed=2008,
+    )
+    report(result)
+
+    br_rewires = np.array(result.series["BR re-wirings"].y)
+    eps_rewires = np.array(result.series["BR(0.1) re-wirings"].y)
+    # The threshold variant re-wires (weakly) less at every k and
+    # substantially less in aggregate.
+    assert np.all(eps_rewires <= br_rewires + 1e-9)
+    assert eps_rewires.sum() <= br_rewires.sum() * 0.8 + 1.0
+
+    br_cost = np.array(result.series["BR cost/full mesh"].y)
+    eps_cost = np.array(result.series["BR(0.1) cost/full mesh"].y)
+    # Costs stay close to the full-mesh bound and BR(0.1) gives up little.
+    assert np.all(br_cost >= 0.95)
+    assert np.all(br_cost < 2.5)
+    assert np.all(eps_cost <= br_cost * 1.25 + 0.05)

@@ -1,0 +1,31 @@
+"""Benchmark E7 / Fig. 3 left: total re-wirings per epoch over time.
+
+Paper shape: the re-wiring rate drops quickly after start-up as EGOIST
+reaches steady state, and larger k sustains more re-wiring than smaller k.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig3_rewirings_over_time
+
+
+def test_fig3_rewirings_over_time(benchmark, report):
+    result = run_once(
+        benchmark,
+        fig3_rewirings_over_time,
+        n=50,
+        k_values=(2, 5, 8),
+        epochs=12,
+        seed=2008,
+    )
+    report(result)
+
+    for k in (2, 5, 8):
+        series = result.series[f"k={k}"].y
+        # Start-up epoch wires everyone; later epochs re-wire far fewer.
+        assert series[0] == 50
+        assert np.mean(series[-4:]) < series[0]
+    # Larger k keeps re-wiring more than small k in steady state.
+    steady = lambda k: np.mean(result.series[f"k={k}"].y[-4:])
+    assert steady(8) >= steady(2)

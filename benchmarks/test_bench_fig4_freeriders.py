@@ -1,0 +1,50 @@
+"""Benchmarks E9-E10 / Fig. 4: robustness to free riders.
+
+Paper shape: with one free rider announcing 2x-inflated link costs (left
+panel) and with up to a third of the population cheating at k = 2 (right
+panel), both the cheaters' and the honest nodes' costs stay within a few
+percent of the no-cheating baseline (the y-axis band of Fig. 4 is
+0.9-1.2).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig4_many_free_riders, fig4_one_free_rider
+
+
+def test_fig4_one_free_rider(benchmark, report):
+    result = run_once(
+        benchmark,
+        fig4_one_free_rider,
+        n=50,
+        k_values=(2, 3, 4, 5, 6, 7, 8),
+        inflation=2.0,
+        seed=2008,
+        br_rounds=2,
+    )
+    report(result)
+
+    for label in ("free rider", "non free riders"):
+        series = result.series[label].y
+        # Impact bounded: ratios stay in a narrow band around 1.
+        assert all(0.75 <= v <= 1.35 for v in series), label
+    # Honest nodes are essentially unaffected on average.
+    honest = result.series["non free riders"].y
+    assert abs(sum(honest) / len(honest) - 1.0) < 0.15
+
+
+def test_fig4_many_free_riders(benchmark, report):
+    result = run_once(
+        benchmark,
+        fig4_many_free_riders,
+        n=50,
+        free_rider_counts=(0, 4, 8, 12, 16),
+        k=2,
+        inflation=2.0,
+        seed=2008,
+        br_rounds=2,
+    )
+    report(result)
+
+    for label in ("free riders", "non free riders"):
+        series = result.series[label].y
+        assert all(0.7 <= v <= 1.45 for v in series), label

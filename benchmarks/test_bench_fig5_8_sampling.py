@@ -1,0 +1,59 @@
+"""Benchmarks E11-E14 / Figs. 5-8: newcomer cost vs sample size.
+
+The paper grows a 295-node overlay incrementally under a base strategy
+(BR, k-Random, k-Regular, k-Closest), then has a newcomer join using each
+strategy restricted to a sample of m = 6..20 nodes, reporting the
+newcomer's cost normalised by BR-without-sampling.
+
+Paper shape: BR-with-sampling beats the three sampled heuristics; the
+cost ratio stays close to 1 even for small m/n; topology-biased sampling
+(BRtp) improves on unbiased sampling, most visibly on the non-BR base
+graphs.
+
+Scale note: the base overlay here uses n = 120 (instead of 295) so the
+four figures regenerate in minutes; pass ``n=295`` to
+:func:`fig5_to_8_sampling` for the paper-scale run.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig5_to_8_sampling
+
+N = 120
+SAMPLES = (6, 10, 14, 20)
+FIGURES = {
+    "best-response": "fig5",
+    "k-random": "fig6",
+    "k-regular": "fig7",
+    "k-closest": "fig8",
+}
+
+
+@pytest.mark.parametrize("base_policy", list(FIGURES))
+def test_sampling_figures(benchmark, report, base_policy):
+    result = run_once(
+        benchmark,
+        fig5_to_8_sampling,
+        base_policy,
+        n=N,
+        k=3,
+        radius=2,
+        sample_sizes=SAMPLES,
+        trials=3,
+        seed=2008,
+    )
+    report(result)
+    assert result.figure == FIGURES[base_policy]
+
+    mean = lambda label: float(np.mean(result.series[label].y))
+    # BR restricted to a sample still tracks BR-without-sampling closely.
+    assert mean("BR") < 1.6
+    assert mean("BRtp") < 1.6
+    # ... and beats the heuristics that pick within the same samples.
+    worst_heuristic = max(mean(l) for l in ("k-random", "k-regular"))
+    assert min(mean("BR"), mean("BRtp")) <= worst_heuristic + 1e-9
+    # All ratios are sane (>= ~1 because the unsampled BR is the reference).
+    for label, series in result.series.items():
+        assert all(v > 0.8 for v in series.y), label

@@ -1,0 +1,49 @@
+"""Benchmark E17 / Section 4.3: measurement and protocol overheads.
+
+Reproduces the paper's overhead arithmetic for the n = 50 deployment and
+cross-checks the link-state figure against the traffic actually accounted
+by a short engine run:
+
+* ping measurement: (n - k - 1) * 320 / T bps per node,
+* coordinate (pyxida) measurement: (320 + 32 n) / T bps per node,
+* link-state protocol: (192 + 32 k) / T_announce bps per node,
+* EGOIST monitors n*k links versus n*(n-1) for a full mesh.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import overhead_table
+
+K_VALUES = (2, 3, 4, 5, 6, 7, 8)
+
+
+def test_overhead_table(benchmark, report):
+    result = run_once(
+        benchmark,
+        overhead_table,
+        n=50,
+        k_values=K_VALUES,
+        epoch_length_s=60.0,
+        announce_interval_s=20.0,
+        validate_with_engine=True,
+        engine_epochs=2,
+        seed=2008,
+    )
+    report(result)
+
+    ping = result.series["ping measurement (bps)"].y
+    coord = result.series["coordinate measurement (bps)"].y
+    linkstate = result.series["link-state protocol (bps)"].y
+    # All overheads are tiny (well under a kilobit per second per node).
+    assert max(ping) < 300.0
+    assert max(coord) < 50.0
+    assert max(linkstate) < 30.0
+    # Coordinates are cheaper than ping for this n, as the paper notes.
+    assert all(c < p for c, p in zip(coord, ping))
+    # Monitoring nk links beats the full mesh by a factor (n-1)/k.
+    gains = result.series["scalability gain"].y
+    assert gains[0] > gains[-1]
+    assert abs(gains[K_VALUES.index(5)] - 49 / 5) < 1e-6
+    # The simulated link-state traffic is the same order of magnitude as
+    # the analytic per-epoch figure.
+    simulated = result.series["link-state measured (bps, simulated)"].y
+    assert all(s < 50.0 for s in simulated)

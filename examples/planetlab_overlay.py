@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""A live EGOIST deployment in simulation: epochs, re-wiring, and overheads.
+
+This example mirrors the paper's PlanetLab prototype more closely than the
+quickstart: it runs the epoch-driven engine with ping-based delay
+measurements that drift over time, shows how the re-wiring rate settles
+after start-up (Fig. 3), compares BR with the BR(eps) threshold variant,
+and prints the Section 4.3 overhead accounting for the deployment.
+
+Run with::
+
+    python examples/planetlab_overlay.py [n] [k] [epochs]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.core.engine import EgoistEngine
+from repro.core.overhead import overhead_report
+from repro.core.policies import BestResponsePolicy
+from repro.core.providers import DelayMetricProvider
+from repro.netsim.planetlab import synthetic_planetlab
+
+
+def run_engine(space, k: int, epochs: int, epsilon: float, seed: int):
+    provider = DelayMetricProvider(
+        space, estimator="ping", drift_relative_std=0.02, seed=seed
+    )
+    engine = EgoistEngine(
+        provider,
+        BestResponsePolicy(),
+        k,
+        epsilon=epsilon,
+        epoch_length=60.0,
+        announce_interval=20.0,
+        seed=seed,
+    )
+    return engine.run(epochs)
+
+
+def main(n: int = 30, k: int = 4, epochs: int = 12, seed: int = 2008) -> None:
+    space, _nodes = synthetic_planetlab(n, seed=seed)
+
+    print(f"Simulating an EGOIST deployment: n = {n}, k = {k}, T = 60 s, {epochs} epochs\n")
+
+    history_br = run_engine(space, k, epochs, epsilon=0.0, seed=seed)
+    history_eps = run_engine(space, k, epochs, epsilon=0.10, seed=seed)
+
+    print(f"{'epoch':>5} {'BR re-wirings':>15} {'BR(0.1) re-wirings':>20} {'BR mean cost (ms)':>19}")
+    for record_br, record_eps in zip(history_br.records, history_eps.records):
+        print(
+            f"{record_br.epoch:>5} {record_br.rewirings:>15} "
+            f"{record_eps.rewirings:>20} {record_br.mean_cost:>19.1f}"
+        )
+
+    print(
+        f"\nSteady-state mean cost:     BR = {history_br.steady_state_mean_cost():.1f} ms, "
+        f"BR(0.1) = {history_eps.steady_state_mean_cost():.1f} ms"
+    )
+    rewires_br = np.mean(history_br.rewirings_per_epoch()[1:])
+    rewires_eps = np.mean(history_eps.rewirings_per_epoch()[1:])
+    print(
+        f"Mean re-wirings per epoch:  BR = {rewires_br:.1f}, BR(0.1) = {rewires_eps:.1f} "
+        "(the threshold variant trades a little cost for far fewer re-wirings)\n"
+    )
+
+    report = overhead_report(n, k)
+    print("Per-node maintenance overhead (Section 4.3):")
+    print(f"  active ping measurements : {report.ping_bps:8.1f} bps")
+    print(f"  coordinate alternative   : {report.coordinate_bps:8.1f} bps")
+    print(f"  link-state protocol      : {report.linkstate_bps:8.1f} bps")
+    print(
+        f"  monitored links          : {report.monitored_links} "
+        f"(full mesh would monitor {report.fullmesh_monitored_links}; "
+        f"{report.scalability_gain:.1f}x saving)"
+    )
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:4]]
+    main(*args)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: build a small EGOIST overlay and compare wiring policies.
+
+This is the 60-second tour of the library:
+
+1. generate a synthetic PlanetLab-like delay space,
+2. build one overlay per neighbour-selection policy (k-Random, k-Regular,
+   k-Closest, Best-Response, and the full-mesh bound),
+3. report each policy's mean routing cost and its ratio to Best-Response —
+   the comparison behind Fig. 1 of the paper.
+
+Run with::
+
+    python examples/quickstart.py [n] [k]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.core.cost import DelayMetric
+from repro.core.policies import STANDARD_POLICIES, build_overlay
+from repro.netsim.planetlab import synthetic_planetlab
+
+
+def main(n: int = 30, k: int = 4, seed: int = 2008) -> None:
+    print(f"Building a {n}-node EGOIST overlay with k = {k} neighbours per node\n")
+
+    # 1. The substrate: a synthetic PlanetLab-like delay space.
+    space, nodes = synthetic_planetlab(n, seed=seed)
+    regions = {}
+    for node in nodes:
+        regions[node.region.value] = regions.get(node.region.value, 0) + 1
+    print("Synthetic deployment:", ", ".join(f"{r}: {c}" for r, c in sorted(regions.items())))
+    print(f"Mean pairwise one-way delay: {space.mean_delay():.1f} ms\n")
+
+    # 2. One overlay per policy, all wired from the same measured delays.
+    metric = DelayMetric(space.matrix)
+    costs = {}
+    for name, policy in STANDARD_POLICIES.items():
+        budget = n - 1 if name == "full-mesh" else k
+        wiring = build_overlay(policy, metric, budget, rng=seed, br_rounds=3)
+        graph = wiring.to_graph()
+        per_node = metric.all_node_costs(graph)
+        costs[name] = float(np.mean(list(per_node.values())))
+
+    # 3. Report, normalised by Best-Response as in the paper's figures.
+    br = costs["best-response"]
+    print(f"{'policy':<15} {'mean cost (ms)':>15} {'cost / BR':>12}")
+    for name, value in sorted(costs.items(), key=lambda kv: kv[1]):
+        print(f"{name:<15} {value:>15.1f} {value / br:>12.2f}")
+
+    print(
+        "\nBest-Response beats every empirical heuristic and approaches the "
+        "full-mesh bound while monitoring only n*k links."
+    )
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args)

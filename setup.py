@@ -1,0 +1,11 @@
+"""Setuptools shim for environments without PEP 660 editable-install support.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e . --no-use-pep517`` (the legacy editable path) works
+on machines whose setuptools/wheel combination cannot build editable
+wheels — such as offline boxes without the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

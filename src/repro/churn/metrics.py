@@ -1,0 +1,118 @@
+"""Churn-rate and Efficiency metrics (Section 4.4 of the paper).
+
+Under churn the overlay may be disconnected, so average distance is
+undefined; the paper therefore evaluates the *Efficiency* of a node:
+
+    eff_ij = 1 / d_ij  if i and j are connected, 0 otherwise
+    eff_i  = (1 / (n-1)) * sum_{j != i} eff_ij
+
+and the churn rate of a membership process:
+
+    Churn = (1/T) * sum_events |U_{i-1} symdiff U_i| / max(|U_{i-1}|, |U_i|)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.routing.graph import OverlayGraph
+from repro.routing.shortest_path import all_pairs_shortest_costs
+from repro.util.validation import ValidationError, check_positive
+
+
+def efficiency_matrix(
+    graph: OverlayGraph, *, active: Optional[Iterable[int]] = None
+) -> np.ndarray:
+    """Pairwise efficiency matrix over the (optionally restricted) overlay.
+
+    ``result[i, j] = 1 / d_ij`` when a directed path from ``i`` to ``j``
+    exists, 0 otherwise.  Rows and columns of inactive nodes are zero.
+    """
+    n = graph.n
+    active_set = set(active) if active is not None else set(range(n))
+    working = graph.restricted(active_set) if active is not None else graph
+    costs = all_pairs_shortest_costs(working)
+    eff = np.zeros((n, n))
+    for i in range(n):
+        if i not in active_set:
+            continue
+        for j in range(n):
+            if i == j or j not in active_set:
+                continue
+            d = costs[i, j]
+            if np.isfinite(d) and d > 0:
+                eff[i, j] = 1.0 / d
+            elif d == 0:
+                # Zero-cost path (identical endpoints on the metric): treat
+                # as maximally efficient rather than dividing by zero.
+                eff[i, j] = 1.0
+    return eff
+
+
+def node_efficiency(
+    graph: OverlayGraph, node: int, *, active: Optional[Iterable[int]] = None
+) -> float:
+    """Efficiency of one node: mean of 1/d to all other *relevant* nodes.
+
+    The normalisation is by ``n - 1`` over the full node population (as in
+    the paper): destinations that are OFF or unreachable contribute zero,
+    so heavy churn directly depresses efficiency.
+    """
+    eff = efficiency_matrix(graph, active=active)
+    n = graph.n
+    if n < 2:
+        return 0.0
+    return float(eff[node].sum() / (n - 1))
+
+
+def overlay_efficiency(
+    graph: OverlayGraph, *, active: Optional[Iterable[int]] = None
+) -> float:
+    """Mean node efficiency over the active nodes."""
+    active_list = sorted(set(active)) if active is not None else list(range(graph.n))
+    if not active_list:
+        return 0.0
+    eff = efficiency_matrix(graph, active=active_list)
+    n = graph.n
+    if n < 2:
+        return 0.0
+    per_node = eff[active_list].sum(axis=1) / (n - 1)
+    return float(per_node.mean())
+
+
+def churn_rate(memberships: Sequence[Set[int]], horizon: float) -> float:
+    """The paper's churn-rate metric from a sequence of membership sets.
+
+    Parameters
+    ----------
+    memberships:
+        The sequence ``U_0, U_1, ...`` of node sets, one entry per
+        membership-change event (plus the initial set).
+    horizon:
+        Total observation time ``T`` in seconds.
+    """
+    horizon = check_positive(horizon, "horizon")
+    if len(memberships) < 2:
+        return 0.0
+    total = 0.0
+    for prev, curr in zip(memberships[:-1], memberships[1:]):
+        denom = max(len(prev), len(curr))
+        if denom == 0:
+            continue
+        total += len(prev.symmetric_difference(curr)) / denom
+    return total / horizon
+
+
+def expected_healing_time(epoch_length: float, n: int) -> float:
+    """Expected BR self-healing time ``O(T/n)`` noted in Section 4.4.
+
+    A disconnected BR overlay heals as soon as any active node re-wires;
+    with unsynchronised nodes re-wiring once per epoch ``T``, some node
+    re-wires every ``T / n`` seconds on average.
+    """
+    check_positive(epoch_length, "epoch_length")
+    if n < 1:
+        raise ValidationError("n must be >= 1")
+    return epoch_length / n

@@ -1,0 +1,216 @@
+"""Command-line interface: regenerate any of the paper's figures.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run fig1-delay-ping --n 50 --k 2,3,4,5,6,7,8
+    python -m repro.cli run fig2-churn-rate --n 24 --seed 7 --output fig2.json
+
+``run`` executes the corresponding experiment driver, prints the
+regenerated series as a tab-separated table (the same rows the paper's
+figure plots), and optionally writes the full result as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.experiments import (
+    fig1_bandwidth,
+    fig1_delay_ping,
+    fig1_delay_pyxida,
+    fig1_node_load,
+    fig2_churn_rate_sweep,
+    fig2_efficiency_vs_k,
+    fig3_epsilon_comparison,
+    fig3_rewirings_over_time,
+    fig4_many_free_riders,
+    fig4_one_free_rider,
+    fig5_to_8_sampling,
+    fig10_multipath_gain,
+    fig11_disjoint_paths,
+    overhead_table,
+)
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.preferences_exp import preference_skew_ablation
+
+
+def _parse_int_list(text: str) -> tuple:
+    return tuple(int(part) for part in text.split(",") if part.strip())
+
+
+def _parse_float_list(text: str) -> tuple:
+    return tuple(float(part) for part in text.split(",") if part.strip())
+
+
+#: Registry of experiment names to (driver, description, accepted options).
+EXPERIMENTS: Dict[str, Dict[str, object]] = {
+    "fig1-delay-ping": {
+        "driver": lambda args: fig1_delay_ping(
+            n=args.n, k_values=args.k, seed=args.seed, br_rounds=args.br_rounds
+        ),
+        "help": "Fig. 1 top-left: delay via ping, cost/BR vs k (with full mesh)",
+    },
+    "fig1-delay-pyxida": {
+        "driver": lambda args: fig1_delay_pyxida(
+            n=args.n, k_values=args.k, seed=args.seed, br_rounds=args.br_rounds
+        ),
+        "help": "Fig. 1 top-right: delay via virtual coordinates",
+    },
+    "fig1-node-load": {
+        "driver": lambda args: fig1_node_load(
+            n=args.n, k_values=args.k, seed=args.seed, br_rounds=args.br_rounds
+        ),
+        "help": "Fig. 1 bottom-left: node CPU load",
+    },
+    "fig1-bandwidth": {
+        "driver": lambda args: fig1_bandwidth(
+            n=args.n, k_values=args.k, seed=args.seed, br_rounds=args.br_rounds
+        ),
+        "help": "Fig. 1 bottom-right: available bandwidth",
+    },
+    "fig2-efficiency-vs-k": {
+        "driver": lambda args: fig2_efficiency_vs_k(
+            n=args.n, k_values=args.k, seed=args.seed, epochs=args.epochs
+        ),
+        "help": "Fig. 2 left: efficiency under trace-driven churn vs k",
+    },
+    "fig2-churn-rate": {
+        "driver": lambda args: fig2_churn_rate_sweep(
+            n=args.n, churn_rates=args.churn_rates, k=args.k[0], seed=args.seed, epochs=args.epochs
+        ),
+        "help": "Fig. 2 right: efficiency vs churn rate at fixed k",
+    },
+    "fig3-rewirings": {
+        "driver": lambda args: fig3_rewirings_over_time(
+            n=args.n, k_values=args.k, epochs=args.epochs, seed=args.seed
+        ),
+        "help": "Fig. 3 left: re-wirings per epoch over time",
+    },
+    "fig3-epsilon": {
+        "driver": lambda args: fig3_epsilon_comparison(
+            n=args.n, k_values=args.k, epochs=args.epochs, seed=args.seed
+        ),
+        "help": "Fig. 3 center/right: BR vs BR(eps=0.1)",
+    },
+    "fig4-one-freerider": {
+        "driver": lambda args: fig4_one_free_rider(
+            n=args.n, k_values=args.k, seed=args.seed, br_rounds=args.br_rounds
+        ),
+        "help": "Fig. 4 left: one free rider",
+    },
+    "fig4-many-freeriders": {
+        "driver": lambda args: fig4_many_free_riders(
+            n=args.n, k=args.k[0], seed=args.seed, br_rounds=args.br_rounds
+        ),
+        "help": "Fig. 4 right: many free riders at k=2",
+    },
+    "fig5-sampling-br": {
+        "driver": lambda args: fig5_to_8_sampling(
+            "best-response", n=args.n, k=args.k[0], seed=args.seed, trials=args.trials
+        ),
+        "help": "Fig. 5: newcomer cost vs sample size on a BR graph",
+    },
+    "fig6-sampling-random": {
+        "driver": lambda args: fig5_to_8_sampling(
+            "k-random", n=args.n, k=args.k[0], seed=args.seed, trials=args.trials
+        ),
+        "help": "Fig. 6: sampling on a k-Random graph",
+    },
+    "fig7-sampling-regular": {
+        "driver": lambda args: fig5_to_8_sampling(
+            "k-regular", n=args.n, k=args.k[0], seed=args.seed, trials=args.trials
+        ),
+        "help": "Fig. 7: sampling on a k-Regular graph",
+    },
+    "fig8-sampling-closest": {
+        "driver": lambda args: fig5_to_8_sampling(
+            "k-closest", n=args.n, k=args.k[0], seed=args.seed, trials=args.trials
+        ),
+        "help": "Fig. 8: sampling on a k-Closest graph",
+    },
+    "fig10-multipath": {
+        "driver": lambda args: fig10_multipath_gain(
+            n=args.n, k_values=args.k, seed=args.seed, br_rounds=args.br_rounds
+        ),
+        "help": "Fig. 10: multipath available-bandwidth gain vs k",
+    },
+    "fig11-disjoint": {
+        "driver": lambda args: fig11_disjoint_paths(
+            n=args.n, k_values=args.k, seed=args.seed, br_rounds=args.br_rounds
+        ),
+        "help": "Fig. 11: disjoint overlay paths vs k",
+    },
+    "overheads": {
+        "driver": lambda args: overhead_table(n=args.n, k_values=args.k),
+        "help": "Section 4.3: measurement and link-state overheads",
+    },
+    "ablation-preferences": {
+        "driver": lambda args: preference_skew_ablation(
+            n=args.n, k=args.k[0], seed=args.seed, br_rounds=args.br_rounds
+        ),
+        "help": "Ablation: BR's advantage under skewed routing preferences",
+    },
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures from 'EGOIST: Overlay Routing using Selfish Neighbor Selection'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the available experiments")
+
+    run = sub.add_parser("run", help="run one experiment and print its series")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment to run")
+    run.add_argument("--n", type=int, default=50, help="number of overlay nodes")
+    run.add_argument(
+        "--k",
+        type=_parse_int_list,
+        default=(2, 3, 4, 5, 6, 7, 8),
+        help="comma-separated neighbour budgets (single value for fixed-k experiments)",
+    )
+    run.add_argument("--seed", type=int, default=2008, help="random seed")
+    run.add_argument("--epochs", type=int, default=10, help="engine epochs (time-driven experiments)")
+    run.add_argument("--trials", type=int, default=3, help="trials per point (sampling experiments)")
+    run.add_argument("--br-rounds", type=int, default=3, help="best-response dynamics rounds")
+    run.add_argument(
+        "--churn-rates",
+        type=_parse_float_list,
+        default=(1e-4, 1e-3, 1e-2, 1e-1),
+        help="comma-separated churn rates (fig2-churn-rate)",
+    )
+    run.add_argument("--output", type=str, default=None, help="write the result as JSON to this path")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name in sorted(EXPERIMENTS):
+            print(f"{name:<{width}}  {EXPERIMENTS[name]['help']}")
+        return 0
+
+    driver = EXPERIMENTS[args.experiment]["driver"]
+    result: ExperimentResult = driver(args)
+    print(f"# {result.figure}: {result.description}")
+    print(result.table())
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(result.as_dict(), handle, indent=2)
+        print(f"# full result written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

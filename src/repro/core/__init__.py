@@ -1,0 +1,135 @@
+"""The core EGOIST library: selfish neighbour selection for overlay routing.
+
+This subpackage implements the paper's primary contribution:
+
+* wirings and cost functions of the SNS game (:mod:`repro.core.wiring`,
+  :mod:`repro.core.cost`),
+* Best-Response neighbour selection, exact and local-search, with the
+  BR(ε) re-wiring threshold (:mod:`repro.core.best_response`),
+* the comparison policies k-Random, k-Closest, k-Regular and the full-mesh
+  bound (:mod:`repro.core.policies`),
+* HybridBR and its donated-cycle connectivity backbone
+  (:mod:`repro.core.hybrid`, :mod:`repro.core.backbone`),
+* scalability via random and topology-biased sampling
+  (:mod:`repro.core.sampling`),
+* free riders and audits (:mod:`repro.core.cheating`),
+* the epoch-driven overlay engine, per-node behaviour, bootstrap service,
+  metric providers, and overhead accounting
+  (:mod:`repro.core.engine`, :mod:`repro.core.node`,
+  :mod:`repro.core.bootstrap`, :mod:`repro.core.providers`,
+  :mod:`repro.core.overhead`).
+"""
+
+from repro.core.wiring import GlobalWiring, Wiring
+from repro.core.cost import (
+    BandwidthMetric,
+    DelayMetric,
+    Metric,
+    NodeLoadMetric,
+    normalize_preferences,
+    uniform_preferences,
+    zipf_preferences,
+)
+from repro.core.best_response import (
+    BestResponseResult,
+    WiringEvaluator,
+    best_response,
+    best_response_exact,
+    best_response_local_search,
+    should_rewire,
+)
+from repro.core.policies import (
+    BestResponsePolicy,
+    FullMeshPolicy,
+    KClosestPolicy,
+    KRandomPolicy,
+    KRegularPolicy,
+    NeighborSelectionPolicy,
+    STANDARD_POLICIES,
+    build_overlay,
+    enforce_connectivity_cycle,
+)
+from repro.core.backbone import backbone_links, backbone_offsets, is_backbone_connected
+from repro.core.hybrid import HybridBRPolicy, build_hybrid_overlay
+from repro.core.sampling import (
+    SampledJoinResult,
+    bias_rank,
+    neighborhood,
+    random_sample,
+    sampled_best_response,
+    topology_biased_sample,
+)
+from repro.core.cheating import AuditFinding, CheatingModel, audit_announcements
+from repro.core.bootstrap import BootstrapServer
+from repro.core.node import EgoistNode, RewireDecision, RewireMode
+from repro.core.providers import (
+    BandwidthMetricProvider,
+    DelayMetricProvider,
+    LoadMetricProvider,
+    MetricProvider,
+)
+from repro.core.engine import EgoistEngine, EngineHistory, EpochRecord
+from repro.core.overhead import (
+    OverheadReport,
+    coordinate_measurement_rate_bps,
+    linkstate_rate_bps,
+    overhead_report,
+    ping_measurement_rate_bps,
+)
+
+__all__ = [
+    "GlobalWiring",
+    "Wiring",
+    "BandwidthMetric",
+    "DelayMetric",
+    "Metric",
+    "NodeLoadMetric",
+    "normalize_preferences",
+    "uniform_preferences",
+    "zipf_preferences",
+    "BestResponseResult",
+    "WiringEvaluator",
+    "best_response",
+    "best_response_exact",
+    "best_response_local_search",
+    "should_rewire",
+    "BestResponsePolicy",
+    "FullMeshPolicy",
+    "KClosestPolicy",
+    "KRandomPolicy",
+    "KRegularPolicy",
+    "NeighborSelectionPolicy",
+    "STANDARD_POLICIES",
+    "build_overlay",
+    "enforce_connectivity_cycle",
+    "backbone_links",
+    "backbone_offsets",
+    "is_backbone_connected",
+    "HybridBRPolicy",
+    "build_hybrid_overlay",
+    "SampledJoinResult",
+    "bias_rank",
+    "neighborhood",
+    "random_sample",
+    "sampled_best_response",
+    "topology_biased_sample",
+    "AuditFinding",
+    "CheatingModel",
+    "audit_announcements",
+    "BootstrapServer",
+    "EgoistNode",
+    "RewireDecision",
+    "RewireMode",
+    "BandwidthMetricProvider",
+    "DelayMetricProvider",
+    "LoadMetricProvider",
+    "MetricProvider",
+    "EgoistEngine",
+    "EngineHistory",
+    "EpochRecord",
+    "OverheadReport",
+    "coordinate_measurement_rate_bps",
+    "linkstate_rate_bps",
+    "overhead_report",
+    "ping_measurement_rate_bps",
+]

@@ -1,0 +1,359 @@
+"""Best-Response (BR) neighbour selection.
+
+Given the residual wiring ``S_{-i}`` (everyone else's links), node ``v_i``'s
+best response is the wiring ``s_i`` of at most ``k`` links minimising its
+cost ``C_i(S_{-i} + s_i)`` — or maximising its aggregate bottleneck
+bandwidth under the bandwidth metric.  Computing an exact BR is NP-hard
+(asymmetric k-median for delay; Appendix A.1 for bandwidth), so EGOIST uses
+fast local-search approximations; both the exact enumeration (for small
+instances, tests, and ablations) and the local search are implemented here.
+
+The evaluation exploits the structure noted in the paper: once the
+destination-indexed routing values of the *residual* graph are known, the
+value a wiring ``s`` delivers for destination ``j`` is
+
+* delay/load (minimise):  ``min_{w in s} (d_iw + D_resid[w, j])``
+* bandwidth (maximise):   ``max_{w in s} min(bw_iw, B_resid[w, j])``
+
+so each candidate wiring is evaluated in ``O(|s| * n)`` without re-running
+Dijkstra.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.cost import Metric, uniform_preferences
+from repro.core.wiring import Wiring
+from repro.routing.graph import OverlayGraph
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import ValidationError, check_index
+
+
+@dataclass
+class WiringEvaluator:
+    """Fast evaluator of candidate wirings for one node.
+
+    Parameters
+    ----------
+    node:
+        The node choosing its neighbours.
+    metric:
+        The cost metric in use.
+    residual_graph:
+        The overlay graph *without* ``node``'s outgoing links.
+    candidates:
+        Nodes that may be chosen as neighbours (defaults to everyone else).
+    preferences:
+        Preference matrix; defaults to uniform.
+    destinations:
+        Destinations included in the objective (defaults to all other
+        nodes); under churn only active destinations are passed.
+    required:
+        Neighbours that must be part of every evaluated wiring (the donated
+        backbone links of HybridBR).
+    """
+
+    node: int
+    metric: Metric
+    residual_graph: OverlayGraph
+    candidates: Optional[Sequence[int]] = None
+    preferences: Optional[np.ndarray] = None
+    destinations: Optional[Sequence[int]] = None
+    required: FrozenSet[int] = frozenset()
+
+    def __post_init__(self):
+        n = self.metric.size
+        check_index(self.node, n, "node")
+        if self.candidates is None:
+            self.candidates = [j for j in range(n) if j != self.node]
+        self.candidates = [int(c) for c in self.candidates if c != self.node]
+        if self.preferences is None:
+            self.preferences = uniform_preferences(n)
+        if self.destinations is None:
+            self.destinations = [j for j in range(n) if j != self.node]
+        self.destinations = [int(d) for d in self.destinations if d != self.node]
+        self.required = frozenset(int(r) for r in self.required)
+        for r in self.required:
+            if r == self.node:
+                raise ValidationError("a node cannot be required to wire to itself")
+        # Pre-compute, for every potential first hop w and destination j,
+        # the value of routing to j via w ("via matrix").  Candidate
+        # wirings are then evaluated with cheap row reductions.
+        self._relevant_hops = sorted(set(self.candidates) | self.required)
+        self._hop_index = {w: idx for idx, w in enumerate(self._relevant_hops)}
+        self._direct = {
+            w: self.metric.link_weight(self.node, w) for w in self._relevant_hops
+        }
+        if self._relevant_hops:
+            if self.metric.maximize:
+                from repro.routing.widest_path import widest_path_bandwidths_from
+
+                resid = np.vstack(
+                    [
+                        widest_path_bandwidths_from(self.residual_graph, w)
+                        for w in self._relevant_hops
+                    ]
+                )
+                direct = np.array([self._direct[w] for w in self._relevant_hops])
+                # via[w, j] = min(direct bw to w, residual bw from w to j);
+                # the +inf diagonal of resid leaves via[w, w] = direct bw.
+                self._via = np.minimum(direct[:, None], resid)
+            else:
+                from repro.routing.shortest_path import shortest_path_costs_multi
+
+                resid = shortest_path_costs_multi(
+                    self.residual_graph, list(self._relevant_hops)
+                )
+                direct = np.array([self._direct[w] for w in self._relevant_hops])
+                # via[w, j] = direct cost to w + residual cost from w to j;
+                # resid[w, w] = 0 so the direct link itself is covered.
+                self._via = direct[:, None] + resid
+        else:
+            self._via = np.zeros((0, self.metric.size))
+        self._pref_row = self.preferences[self.node]
+        self._dest_array = np.array(self.destinations, dtype=int)
+        self._dest_prefs = self._pref_row[self._dest_array] if len(self._dest_array) else np.zeros(0)
+        self._resid_values: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    # Objective evaluation
+    # ------------------------------------------------------------------ #
+    def value_for_destination(self, neighbors: Iterable[int], j: int) -> float:
+        """Routing value from ``node`` to ``j`` given first hops ``neighbors``.
+
+        Delay/load: ``min_w (d_iw + D_resid[w, j])``; when ``w == j`` the
+        residual term is zero (the direct link reaches the destination).
+        Bandwidth: ``max_w min(bw_iw, B_resid[w, j])``; when ``w == j`` the
+        value is just the direct link's bandwidth.
+        """
+        rows = [self._hop_index[w] for w in neighbors if w in self._hop_index]
+        if not rows:
+            return self.metric.unreachable_value
+        column = self._via[rows, j]
+        if self.metric.maximize:
+            best = float(np.max(column))
+            if best <= 0 or not np.isfinite(best):
+                return self.metric.unreachable_value
+            return best
+        best = float(np.min(column))
+        if not np.isfinite(best):
+            return self.metric.unreachable_value
+        return best
+
+    def evaluate(self, neighbors: Iterable[int]) -> float:
+        """Objective value of the wiring ``neighbors`` (plus required links)."""
+        chosen = set(int(v) for v in neighbors) | self.required
+        if not chosen:
+            # A node with no links reaches nobody.
+            return float(np.sum(self._dest_prefs) * self.metric.unreachable_value)
+        rows = []
+        for w in chosen:
+            idx = self._hop_index.get(w)
+            if idx is None:
+                raise ValidationError(f"{w} is not an allowed neighbor")
+            rows.append(idx)
+        if len(self._dest_array) == 0:
+            return 0.0
+        values = self._via[np.ix_(rows, self._dest_array)]
+        if self.metric.maximize:
+            best = values.max(axis=0)
+            best = np.where(np.isfinite(best) & (best > 0), best, self.metric.unreachable_value)
+        else:
+            best = values.min(axis=0)
+            best = np.where(np.isfinite(best), best, self.metric.unreachable_value)
+        return float(np.dot(self._dest_prefs, best))
+
+    def better(self, a: float, b: float) -> bool:
+        """Delegate to the metric's objective direction."""
+        return self.metric.better(a, b)
+
+
+@dataclass(frozen=True)
+class BestResponseResult:
+    """Outcome of a best-response computation."""
+
+    node: int
+    neighbors: FrozenSet[int]
+    cost: float
+    evaluations: int
+    method: str
+
+    def as_wiring(self, donated: Iterable[int] = ()) -> Wiring:
+        """Convert to a :class:`Wiring` (marking ``donated`` links)."""
+        return Wiring.of(self.node, self.neighbors, donated)
+
+
+def best_response_exact(
+    evaluator: WiringEvaluator, k: int
+) -> BestResponseResult:
+    """Exact best response by exhaustive enumeration of all k-subsets.
+
+    Exponential in ``k`` — only use for small instances (tests, ablation
+    A1).  ``k`` counts only the selfish links; any ``required`` links of
+    the evaluator come on top.
+    """
+    candidates = [c for c in evaluator.candidates if c not in evaluator.required]
+    k = min(k, len(candidates))
+    if k < 0:
+        raise ValidationError("k must be non-negative")
+    best_set: Optional[Tuple[int, ...]] = None
+    best_cost: Optional[float] = None
+    evaluations = 0
+    for combo in itertools.combinations(candidates, k):
+        cost = evaluator.evaluate(combo)
+        evaluations += 1
+        if best_cost is None or evaluator.better(cost, best_cost):
+            best_cost = cost
+            best_set = combo
+    if best_set is None:
+        best_set = ()
+        best_cost = evaluator.evaluate(())
+        evaluations += 1
+    return BestResponseResult(
+        node=evaluator.node,
+        neighbors=frozenset(best_set) | evaluator.required,
+        cost=float(best_cost),
+        evaluations=evaluations,
+        method="exact",
+    )
+
+
+def _greedy_seed(evaluator: WiringEvaluator, k: int) -> List[int]:
+    """Greedy marginal-gain seeding for the local search."""
+    candidates = [c for c in evaluator.candidates if c not in evaluator.required]
+    chosen: List[int] = []
+    while len(chosen) < min(k, len(candidates)):
+        best_candidate = None
+        best_cost = None
+        for c in candidates:
+            if c in chosen:
+                continue
+            cost = evaluator.evaluate(chosen + [c])
+            if best_cost is None or evaluator.better(cost, best_cost):
+                best_cost = cost
+                best_candidate = c
+        if best_candidate is None:
+            break
+        chosen.append(best_candidate)
+    return chosen
+
+
+def best_response_local_search(
+    evaluator: WiringEvaluator,
+    k: int,
+    *,
+    rng: SeedLike = None,
+    max_iterations: int = 100,
+    seed_wiring: Optional[Iterable[int]] = None,
+    greedy_seed: bool = True,
+) -> BestResponseResult:
+    """Approximate best response via single-swap local search.
+
+    Starting from a greedy (or supplied) wiring, repeatedly try replacing
+    one chosen neighbour with one unchosen candidate, accepting the best
+    improving swap, until no swap improves the objective or
+    ``max_iterations`` passes are exhausted.  This is the "fast approximate
+    version based on local search" the paper deploys (verified there to be
+    within ~5% of optimal).
+    """
+    rng = as_generator(rng)
+    candidates = [c for c in evaluator.candidates if c not in evaluator.required]
+    k = min(k, len(candidates))
+    evaluations = 0
+
+    if seed_wiring is not None:
+        current = [c for c in seed_wiring if c in set(candidates)][:k]
+        # Top up with random candidates if the seed is short.
+        missing = k - len(current)
+        if missing > 0:
+            pool = [c for c in candidates if c not in current]
+            extra = rng.choice(len(pool), size=missing, replace=False) if pool else []
+            current += [pool[i] for i in np.atleast_1d(extra)]
+    elif greedy_seed:
+        current = _greedy_seed(evaluator, k)
+        evaluations += k * max(1, len(candidates))
+    else:
+        idx = rng.choice(len(candidates), size=k, replace=False) if candidates else []
+        current = [candidates[i] for i in np.atleast_1d(idx)]
+
+    current_cost = evaluator.evaluate(current)
+    evaluations += 1
+
+    for _ in range(int(max_iterations)):
+        best_swap = None
+        best_cost = current_cost
+        chosen_set = set(current)
+        for out_node in current:
+            for in_node in candidates:
+                if in_node in chosen_set:
+                    continue
+                trial = [in_node if c == out_node else c for c in current]
+                cost = evaluator.evaluate(trial)
+                evaluations += 1
+                if evaluator.better(cost, best_cost):
+                    best_cost = cost
+                    best_swap = (out_node, in_node)
+        if best_swap is None:
+            break
+        out_node, in_node = best_swap
+        current = [in_node if c == out_node else c for c in current]
+        current_cost = best_cost
+
+    return BestResponseResult(
+        node=evaluator.node,
+        neighbors=frozenset(current) | evaluator.required,
+        cost=float(current_cost),
+        evaluations=evaluations,
+        method="local-search",
+    )
+
+
+def best_response(
+    evaluator: WiringEvaluator,
+    k: int,
+    *,
+    exact_threshold: int = 12,
+    rng: SeedLike = None,
+    max_iterations: int = 100,
+) -> BestResponseResult:
+    """Compute a best response, choosing exact vs local search automatically.
+
+    Exhaustive enumeration is used when the number of k-subsets of the
+    candidate pool is small (at most ``C(exact_threshold, k)``-ish work);
+    otherwise the local-search approximation is used.
+    """
+    candidates = [c for c in evaluator.candidates if c not in evaluator.required]
+    n_candidates = len(candidates)
+    k_eff = min(k, n_candidates)
+    # Rough subset count guard, avoiding overflow for large inputs.
+    subsets = 1.0
+    for i in range(k_eff):
+        subsets *= (n_candidates - i) / (i + 1)
+        if subsets > 5000:
+            break
+    if n_candidates <= exact_threshold and subsets <= 5000:
+        return best_response_exact(evaluator, k)
+    return best_response_local_search(
+        evaluator, k, rng=rng, max_iterations=max_iterations
+    )
+
+
+def should_rewire(
+    metric: Metric, current_cost: float, candidate_cost: float, epsilon: float = 0.0
+) -> bool:
+    """BR(ε) re-wiring rule: re-wire only for a relative improvement > ε.
+
+    With ``epsilon = 0`` this reduces to plain BR (any strict improvement
+    triggers a re-wire); the paper's Fig. 3 uses ε = 10% to trade a small
+    amount of routing cost for far fewer re-wirings.
+    """
+    if epsilon < 0:
+        raise ValidationError("epsilon must be non-negative")
+    if not metric.better(candidate_cost, current_cost):
+        return False
+    return metric.improvement(candidate_cost, current_cost) > epsilon

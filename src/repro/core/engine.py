@@ -1,0 +1,307 @@
+"""The EGOIST overlay engine: epoch-driven simulation of a deployment.
+
+The engine ties everything together the way the PlanetLab prototype did:
+
+* a :class:`~repro.core.providers.MetricProvider` supplies measured and
+  ground-truth link costs and advances substrate dynamics each epoch;
+* every node runs a neighbour-selection policy (BR, BR(ε), HybridBR, or
+  one of the empirical heuristics) and re-wires once per wiring epoch
+  ``T`` (nodes are unsynchronised: within an epoch they re-wire in random
+  order, one every ``T/n`` on average);
+* an optional churn schedule turns nodes ON and OFF;
+* an optional cheating model distorts what free riders announce;
+* the link-state protocol floods announcements and its traffic is
+  accounted;
+* per-epoch history records re-wiring counts, node costs (on the true
+  metric), and efficiency — the quantities behind Figures 1-4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.churn.metrics import overlay_efficiency
+from repro.churn.models import ChurnSchedule
+from repro.core.bootstrap import BootstrapServer
+from repro.core.cheating import CheatingModel
+from repro.core.cost import Metric, uniform_preferences
+from repro.core.node import EgoistNode, RewireMode
+from repro.core.policies import NeighborSelectionPolicy
+from repro.core.providers import MetricProvider
+from repro.core.wiring import GlobalWiring, Wiring
+from repro.routing.linkstate import LinkStateProtocol
+from repro.util.rng import SeedLike, as_generator, spawn_generators
+from repro.util.simclock import SimClock
+from repro.util.validation import ValidationError
+
+
+@dataclass
+class EpochRecord:
+    """Summary of one wiring epoch."""
+
+    epoch: int
+    time: float
+    active_nodes: int
+    rewirings: int
+    mean_cost: float
+    mean_efficiency: float
+    social_cost: float
+    linkstate_bits: int
+
+
+@dataclass
+class EngineHistory:
+    """Per-epoch records plus final state of a simulation run."""
+
+    records: List[EpochRecord] = field(default_factory=list)
+
+    def rewirings_per_epoch(self) -> List[int]:
+        """Total re-wirings in each epoch (Fig. 3 left)."""
+        return [r.rewirings for r in self.records]
+
+    def mean_costs(self) -> List[float]:
+        """Mean node cost per epoch."""
+        return [r.mean_cost for r in self.records]
+
+    def mean_efficiencies(self) -> List[float]:
+        """Mean node efficiency per epoch (churn experiments)."""
+        return [r.mean_efficiency for r in self.records]
+
+    def steady_state_mean_cost(self, warmup_fraction: float = 0.5) -> float:
+        """Mean cost over the post-warm-up epochs."""
+        if not self.records:
+            return float("nan")
+        start = int(len(self.records) * warmup_fraction)
+        tail = self.records[start:] or self.records
+        return float(np.mean([r.mean_cost for r in tail]))
+
+    def steady_state_efficiency(self, warmup_fraction: float = 0.5) -> float:
+        """Mean efficiency over the post-warm-up epochs."""
+        if not self.records:
+            return float("nan")
+        start = int(len(self.records) * warmup_fraction)
+        tail = self.records[start:] or self.records
+        return float(np.mean([r.mean_efficiency for r in tail]))
+
+    def total_rewirings(self) -> int:
+        """Total re-wirings over the whole run."""
+        return int(sum(r.rewirings for r in self.records))
+
+
+class EgoistEngine:
+    """Epoch-driven simulation of an EGOIST deployment.
+
+    Parameters
+    ----------
+    provider:
+        Metric provider (delay, load, or bandwidth).
+    policy:
+        Neighbour-selection policy shared by all nodes.
+    k:
+        Per-node neighbour budget.
+    epoch_length:
+        Wiring epoch ``T`` in seconds (60 in the paper).
+    announce_interval:
+        Link-state announcement period ``T_announce`` (20 s in the paper).
+    churn:
+        Optional churn schedule; without it, all nodes stay ON.
+    cheating:
+        Optional cheating model distorting announced costs.
+    epsilon:
+        BR(ε) threshold applied by every node.
+    rewire_mode:
+        Immediate or delayed reaction to dropped links.
+    preferences:
+        Preference matrix (uniform by default).
+    compute_efficiency:
+        Whether to compute the efficiency metric each epoch (slightly
+        expensive; mainly needed for churn experiments).
+    seed:
+        Master seed.
+    """
+
+    def __init__(
+        self,
+        provider: MetricProvider,
+        policy: NeighborSelectionPolicy,
+        k: int,
+        *,
+        epoch_length: float = 60.0,
+        announce_interval: float = 20.0,
+        churn: Optional[ChurnSchedule] = None,
+        cheating: Optional[CheatingModel] = None,
+        epsilon: float = 0.0,
+        rewire_mode: RewireMode = RewireMode.DELAYED,
+        preferences: Optional[np.ndarray] = None,
+        compute_efficiency: bool = False,
+        seed: SeedLike = None,
+    ):
+        self.provider = provider
+        self.policy = policy
+        self.k = int(k)
+        self.n = provider.size
+        if churn is not None and churn.n != self.n:
+            raise ValidationError("churn schedule size does not match provider")
+        self.churn = churn
+        self.cheating = cheating
+        self.preferences = (
+            preferences if preferences is not None else uniform_preferences(self.n)
+        )
+        self.compute_efficiency = bool(compute_efficiency)
+        self.clock = SimClock(epoch_length=epoch_length)
+        self.protocol = LinkStateProtocol(self.n, announce_interval_s=announce_interval)
+        self.bootstrap = BootstrapServer(seed=seed)
+        self._rng = as_generator(seed)
+        node_rngs = spawn_generators(self._rng, self.n)
+        self.nodes: List[EgoistNode] = [
+            EgoistNode(
+                i,
+                policy,
+                k,
+                epsilon=epsilon,
+                rewire_mode=rewire_mode,
+                seed=node_rngs[i],
+            )
+            for i in range(self.n)
+        ]
+        self.wiring = GlobalWiring(self.n)
+        self.history = EngineHistory()
+        self._previous_active: Set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _announced_metric(self) -> Metric:
+        metric = self.provider.announced_metric()
+        if self.cheating is not None:
+            metric = CheatingModel(
+                metric, self.cheating.free_riders, self.cheating.inflation_factor
+            ).announced_metric()
+        return metric
+
+    def _active_nodes(self) -> Set[int]:
+        if self.churn is None:
+            return set(range(self.n))
+        return self.churn.active_at(self.clock.now)
+
+    def _handle_membership_change(self, active: Set[int]) -> None:
+        departed = self._previous_active - active
+        joined = active - self._previous_active
+        for node_id in departed:
+            self.nodes[node_id].go_offline()
+            self.wiring.remove_wiring(node_id)
+            self.bootstrap.deregister(node_id)
+            self.protocol.purge(node_id)
+        for node_id in joined:
+            self.nodes[node_id].go_online()
+            self.bootstrap.register(node_id)
+        if departed:
+            # Survivors holding links to departed nodes notice the drops.
+            for node_id in active:
+                node = self.nodes[node_id]
+                if node.drop_neighbors(departed) and node.wiring is not None:
+                    weights = self.wiring.weights_of(node_id)
+                    for gone in departed:
+                        weights.pop(gone, None)
+                    self.wiring.set_wiring(node.wiring, weights)
+        self._previous_active = set(active)
+
+    def _install_wiring(self, node_id: int, metric: Metric) -> None:
+        node = self.nodes[node_id]
+        if node.wiring is None:
+            return
+        weights = {
+            v: metric.link_weight(node_id, v) for v in node.wiring.neighbors
+        }
+        self.wiring.set_wiring(node.wiring, weights)
+
+    # ------------------------------------------------------------------ #
+    # Simulation
+    # ------------------------------------------------------------------ #
+    def run_epoch(self) -> EpochRecord:
+        """Simulate one wiring epoch and return its summary record."""
+        epoch = self.clock.epoch
+        active = self._active_nodes()
+        self._handle_membership_change(active)
+        announced = self._announced_metric()
+        truth = self.provider.true_metric()
+
+        active_list = sorted(active)
+        rewirings = 0
+        order = list(active_list)
+        self._rng.shuffle(order)
+        bits_before = self.protocol.stats.announcement_bits
+        for node_id in order:
+            node = self.nodes[node_id]
+            residual = self.wiring.residual(node_id).to_graph(active=active_list)
+            decision = node.consider_rewiring(
+                announced,
+                residual,
+                active_list,
+                preferences=self.preferences,
+            )
+            if node.wiring is not None:
+                self._install_wiring(node_id, announced)
+                self.protocol.broadcast(
+                    node_id,
+                    self.wiring.weights_of(node_id),
+                    active=active_list,
+                    timestamp=self.clock.now,
+                )
+            if decision.rewired:
+                rewirings += 1
+
+        graph = self.wiring.to_graph(active=active_list)
+        costs = truth.all_node_costs(
+            graph,
+            self.preferences,
+            nodes=active_list,
+            destinations=active_list,
+        )
+        mean_cost = float(np.mean(list(costs.values()))) if costs else float("nan")
+        social = float(np.sum(list(costs.values()))) if costs else float("nan")
+        efficiency = (
+            overlay_efficiency(graph, active=active_list)
+            if self.compute_efficiency
+            else float("nan")
+        )
+        record = EpochRecord(
+            epoch=epoch,
+            time=self.clock.now,
+            active_nodes=len(active_list),
+            rewirings=rewirings,
+            mean_cost=mean_cost,
+            mean_efficiency=efficiency,
+            social_cost=social,
+            linkstate_bits=self.protocol.stats.announcement_bits - bits_before,
+        )
+        self.history.records.append(record)
+        self.clock.advance(self.clock.epoch_length)
+        self.provider.advance(1)
+        return record
+
+    def run(self, epochs: int) -> EngineHistory:
+        """Simulate ``epochs`` wiring epochs and return the history."""
+        for _ in range(int(epochs)):
+            self.run_epoch()
+        return self.history
+
+    # ------------------------------------------------------------------ #
+    # Evaluation helpers
+    # ------------------------------------------------------------------ #
+    def current_graph(self, *, active_only: bool = True):
+        """The overlay graph induced by the current wiring."""
+        active = sorted(self._active_nodes()) if active_only else None
+        return self.wiring.to_graph(active=active)
+
+    def node_costs(self, *, use_true_metric: bool = True) -> Dict[int, float]:
+        """Per-node costs of the current overlay."""
+        metric = self.provider.true_metric() if use_true_metric else self._announced_metric()
+        active = sorted(self._active_nodes())
+        graph = self.wiring.to_graph(active=active)
+        return metric.all_node_costs(
+            graph, self.preferences, nodes=active, destinations=active
+        )

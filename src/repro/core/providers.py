@@ -1,0 +1,196 @@
+"""Metric providers: bridge between the substrate models and the metrics.
+
+A provider owns a substrate model (delay space, load model, bandwidth
+model), exposes the *announced* metric a node would compute its wiring from
+(built from ping probes, coordinate queries, chirp probes, or local load
+measurements) and the *true* metric used to evaluate the resulting overlay,
+and advances the substrate's dynamics between wiring epochs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.core.cost import BandwidthMetric, DelayMetric, Metric, NodeLoadMetric
+from repro.netsim.bandwidth import BandwidthModel
+from repro.netsim.coordinates import VivaldiCoordinateSystem
+from repro.netsim.delayspace import DelaySpace
+from repro.netsim.load import NodeLoadModel
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import ValidationError
+
+
+class MetricProvider(abc.ABC):
+    """Supplies announced and true metrics, epoch after epoch."""
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Number of overlay nodes."""
+
+    @abc.abstractmethod
+    def announced_metric(self) -> Metric:
+        """The metric as nodes would measure/announce it right now."""
+
+    @abc.abstractmethod
+    def true_metric(self) -> Metric:
+        """The ground-truth metric for performance evaluation."""
+
+    def advance(self, epochs: int = 1) -> None:
+        """Advance substrate dynamics by ``epochs`` wiring epochs."""
+
+
+class DelayMetricProvider(MetricProvider):
+    """Delay metric from a :class:`DelaySpace`, measured by ping or pyxida.
+
+    Parameters
+    ----------
+    delay_space:
+        Ground-truth one-way delays.
+    estimator:
+        ``"ping"`` (RTT/2 averaged over a few noisy samples), ``"pyxida"``
+        (Vivaldi coordinate estimates), or ``"true"`` (oracle, useful for
+        tests and upper bounds).
+    drift_relative_std:
+        Relative standard deviation of the multiplicative drift applied to
+        the ground-truth delays at every epoch (Internet path dynamics).
+    ping_samples:
+        Samples averaged per ping estimate.
+    coordinate_rounds:
+        Vivaldi training rounds performed initially (pyxida estimator).
+    seed:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        delay_space: DelaySpace,
+        *,
+        estimator: str = "ping",
+        drift_relative_std: float = 0.0,
+        ping_samples: int = 3,
+        coordinate_rounds: int = 40,
+        seed: SeedLike = None,
+    ):
+        if estimator not in ("ping", "pyxida", "true"):
+            raise ValidationError(f"unknown estimator {estimator!r}")
+        self._space = delay_space
+        self.estimator = estimator
+        self.drift_relative_std = float(drift_relative_std)
+        self.ping_samples = int(ping_samples)
+        self._rng = as_generator(seed)
+        self._coords: Optional[VivaldiCoordinateSystem] = None
+        if estimator == "pyxida":
+            self._coords = VivaldiCoordinateSystem(delay_space.size, seed=self._rng)
+            self._coords.train(
+                delay_space, rounds=coordinate_rounds, rng=self._rng
+            )
+
+    @property
+    def size(self) -> int:
+        return self._space.size
+
+    @property
+    def delay_space(self) -> DelaySpace:
+        """The current ground-truth delay space."""
+        return self._space
+
+    def true_metric(self) -> DelayMetric:
+        return DelayMetric(self._space.matrix)
+
+    def announced_metric(self) -> DelayMetric:
+        if self.estimator == "true":
+            return self.true_metric()
+        if self.estimator == "pyxida":
+            estimates = self._coords.estimate_matrix()
+            return DelayMetric(np.maximum(estimates, 0.0))
+        # ping: RTT/2 averaged over a few jittered samples, vectorised.
+        n = self._space.size
+        truth = self._space.matrix
+        estimates = np.zeros((n, n))
+        for _ in range(self.ping_samples):
+            jitter_fwd = self._rng.normal(0.0, self._space.jitter_std, size=(n, n))
+            jitter_rev = self._rng.normal(0.0, self._space.jitter_std, size=(n, n))
+            rtt = np.maximum(0.0, truth + jitter_fwd) + np.maximum(0.0, truth.T + jitter_rev)
+            estimates += rtt / 2.0
+        estimates /= self.ping_samples
+        np.fill_diagonal(estimates, 0.0)
+        return DelayMetric(estimates)
+
+    def advance(self, epochs: int = 1) -> None:
+        for _ in range(int(epochs)):
+            if self.drift_relative_std > 0:
+                self._space = self._space.perturbed(
+                    self.drift_relative_std, rng=self._rng
+                )
+            if self._coords is not None:
+                # Coordinates keep gossiping a little every epoch.
+                self._coords.train(
+                    self._space, rounds=1, samples_per_round=4, rng=self._rng
+                )
+
+
+class LoadMetricProvider(MetricProvider):
+    """Node-load metric from a :class:`NodeLoadModel`."""
+
+    def __init__(self, load_model: NodeLoadModel):
+        self._model = load_model
+
+    @property
+    def size(self) -> int:
+        return self._model.n
+
+    @property
+    def load_model(self) -> NodeLoadModel:
+        """The underlying load process."""
+        return self._model
+
+    def announced_metric(self) -> NodeLoadMetric:
+        return NodeLoadMetric(self._model.measured_loads())
+
+    def true_metric(self) -> NodeLoadMetric:
+        return NodeLoadMetric(self._model.true_loads())
+
+    def advance(self, epochs: int = 1) -> None:
+        self._model.advance(epochs)
+
+
+class BandwidthMetricProvider(MetricProvider):
+    """Available-bandwidth metric from a :class:`BandwidthModel`."""
+
+    def __init__(
+        self,
+        bandwidth_model: BandwidthModel,
+        *,
+        probe_relative_error: float = 0.1,
+        seed: SeedLike = None,
+    ):
+        self._model = bandwidth_model
+        self.probe_relative_error = float(probe_relative_error)
+        self._rng = as_generator(seed)
+
+    @property
+    def size(self) -> int:
+        return self._model.n
+
+    @property
+    def bandwidth_model(self) -> BandwidthModel:
+        """The underlying bandwidth process."""
+        return self._model
+
+    def true_metric(self) -> BandwidthMetric:
+        return BandwidthMetric(self._model.matrix())
+
+    def announced_metric(self) -> BandwidthMetric:
+        truth = self._model.matrix()
+        n = self._model.n
+        noise = 1.0 + self._rng.normal(0.0, self.probe_relative_error, size=(n, n))
+        estimates = np.maximum(0.1, truth * np.abs(noise))
+        np.fill_diagonal(estimates, np.inf)
+        return BandwidthMetric(estimates)
+
+    def advance(self, epochs: int = 1) -> None:
+        self._model.advance(epochs)

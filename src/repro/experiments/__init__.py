@@ -1,0 +1,41 @@
+"""Figure-level experiment drivers.
+
+Every figure of the paper's evaluation has a driver here that generates
+the workload, runs the relevant policies, and returns the series the
+figure plots.  The benchmark harness (``benchmarks/``) and the examples
+(``examples/``) are thin wrappers around these drivers, so the numbers in
+EXPERIMENTS.md can be regenerated from a single place.
+"""
+
+from repro.experiments.harness import ExperimentResult, Series
+from repro.experiments.baseline import (
+    fig1_bandwidth,
+    fig1_delay_ping,
+    fig1_delay_pyxida,
+    fig1_node_load,
+)
+from repro.experiments.churn_exp import fig2_churn_rate_sweep, fig2_efficiency_vs_k
+from repro.experiments.rewiring import fig3_epsilon_comparison, fig3_rewirings_over_time
+from repro.experiments.cheating_exp import fig4_many_free_riders, fig4_one_free_rider
+from repro.experiments.sampling_exp import fig5_to_8_sampling
+from repro.experiments.apps_exp import fig10_multipath_gain, fig11_disjoint_paths
+from repro.experiments.overhead_exp import overhead_table
+
+__all__ = [
+    "ExperimentResult",
+    "Series",
+    "fig1_bandwidth",
+    "fig1_delay_ping",
+    "fig1_delay_pyxida",
+    "fig1_node_load",
+    "fig2_churn_rate_sweep",
+    "fig2_efficiency_vs_k",
+    "fig3_epsilon_comparison",
+    "fig3_rewirings_over_time",
+    "fig4_many_free_riders",
+    "fig4_one_free_rider",
+    "fig5_to_8_sampling",
+    "fig10_multipath_gain",
+    "fig11_disjoint_paths",
+    "overhead_table",
+]

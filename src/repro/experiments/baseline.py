@@ -1,0 +1,198 @@
+"""Figure 1: baseline policy comparison on a 50-node overlay.
+
+Four panels, all plotting the mean individual cost of each neighbour
+selection policy normalised by BR's cost, as a function of the neighbour
+budget ``k``:
+
+* top-left: delay measured via ping (plus the full-mesh lower bound),
+* top-right: delay estimated via the virtual coordinate system (pyxida),
+* bottom-left: node (CPU) load,
+* bottom-right: available bandwidth (there, the ratio of aggregate
+  bandwidth to BR's — larger is better, so the ratios sit below 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.cost import Metric
+from repro.core.policies import (
+    BestResponsePolicy,
+    FullMeshPolicy,
+    KClosestPolicy,
+    KRandomPolicy,
+    KRegularPolicy,
+    NeighborSelectionPolicy,
+    build_overlay,
+)
+from repro.core.providers import (
+    BandwidthMetricProvider,
+    DelayMetricProvider,
+    LoadMetricProvider,
+    MetricProvider,
+)
+from repro.experiments.harness import ExperimentResult, normalize_against
+from repro.netsim.bandwidth import BandwidthModel
+from repro.netsim.load import NodeLoadModel
+from repro.netsim.planetlab import synthetic_planetlab
+from repro.util.rng import SeedLike, as_generator
+
+#: The policies compared in Fig. 1 (full mesh is added where the paper does).
+COMPARISON_POLICIES: Dict[str, NeighborSelectionPolicy] = {
+    "k-random": KRandomPolicy(),
+    "k-regular": KRegularPolicy(),
+    "k-closest": KClosestPolicy(),
+    "best-response": BestResponsePolicy(),
+}
+
+DEFAULT_K_VALUES = (2, 3, 4, 5, 6, 7, 8)
+
+
+def _mean_cost_for_policy(
+    policy: NeighborSelectionPolicy,
+    announced: Metric,
+    truth: Metric,
+    k: int,
+    *,
+    rng,
+    br_rounds: int,
+) -> float:
+    """Mean per-node cost (on the true metric) of the overlay built by ``policy``.
+
+    Wirings are chosen from the *announced* metric (what nodes measured)
+    and evaluated on the *true* metric, as in a real deployment.
+    """
+    wiring = build_overlay(policy, announced, k, rng=rng, br_rounds=br_rounds)
+    graph = wiring.to_graph()
+    costs = truth.all_node_costs(graph)
+    return float(np.mean(list(costs.values())))
+
+
+def policy_comparison(
+    provider: MetricProvider,
+    k_values: Sequence[int],
+    *,
+    include_full_mesh: bool = False,
+    seed: SeedLike = None,
+    br_rounds: int = 4,
+    policies: Optional[Dict[str, NeighborSelectionPolicy]] = None,
+) -> ExperimentResult:
+    """Generic Fig.-1-style comparison over one metric provider."""
+    rng = as_generator(seed)
+    policies = dict(policies) if policies is not None else dict(COMPARISON_POLICIES)
+    if include_full_mesh:
+        policies["full-mesh"] = FullMeshPolicy()
+    result = ExperimentResult(
+        figure="fig1",
+        description="Individual cost of neighbor selection policies normalized by BR",
+        x_label="k",
+        y_label="individual cost / BR cost",
+        metadata={"n": provider.size, "maximize": provider.true_metric().maximize},
+    )
+    for k in k_values:
+        announced = provider.announced_metric()
+        truth = provider.true_metric()
+        raw: Dict[str, float] = {}
+        for name, policy in policies.items():
+            raw[name] = _mean_cost_for_policy(
+                policy, announced, truth, k, rng=rng, br_rounds=br_rounds
+            )
+        normalized = normalize_against(raw, "best-response")
+        for name, value in normalized.items():
+            result.add_point(name, k, value)
+        for name, value in raw.items():
+            result.add_point(f"{name} (raw)", k, value)
+        provider.advance(1)
+    return result
+
+
+def fig1_delay_ping(
+    n: int = 50,
+    k_values: Sequence[int] = DEFAULT_K_VALUES,
+    *,
+    seed: SeedLike = 0,
+    br_rounds: int = 4,
+    include_full_mesh: bool = True,
+) -> ExperimentResult:
+    """Fig. 1 top-left: delay via ping, including the full-mesh bound."""
+    rng = as_generator(seed)
+    space, _nodes = synthetic_planetlab(n, seed=rng)
+    provider = DelayMetricProvider(space, estimator="ping", seed=rng)
+    result = policy_comparison(
+        provider,
+        k_values,
+        include_full_mesh=include_full_mesh,
+        seed=rng,
+        br_rounds=br_rounds,
+    )
+    result.figure = "fig1-delay-ping"
+    result.description = "Delay (via ping): individual cost / BR cost vs k"
+    return result
+
+
+def fig1_delay_pyxida(
+    n: int = 50,
+    k_values: Sequence[int] = DEFAULT_K_VALUES,
+    *,
+    seed: SeedLike = 0,
+    br_rounds: int = 4,
+    coordinate_rounds: int = 30,
+) -> ExperimentResult:
+    """Fig. 1 top-right: delay estimated by the virtual coordinate system."""
+    rng = as_generator(seed)
+    space, _nodes = synthetic_planetlab(n, seed=rng)
+    provider = DelayMetricProvider(
+        space, estimator="pyxida", coordinate_rounds=coordinate_rounds, seed=rng
+    )
+    result = policy_comparison(
+        provider, k_values, include_full_mesh=False, seed=rng, br_rounds=br_rounds
+    )
+    result.figure = "fig1-delay-pyxida"
+    result.description = "Delay (via pyxida coordinates): individual cost / BR cost vs k"
+    return result
+
+
+def fig1_node_load(
+    n: int = 50,
+    k_values: Sequence[int] = DEFAULT_K_VALUES,
+    *,
+    seed: SeedLike = 0,
+    br_rounds: int = 4,
+) -> ExperimentResult:
+    """Fig. 1 bottom-left: node (CPU) load as the cost metric."""
+    rng = as_generator(seed)
+    load_model = NodeLoadModel(n, seed=rng)
+    load_model.advance(5)
+    provider = LoadMetricProvider(load_model)
+    result = policy_comparison(
+        provider, k_values, include_full_mesh=False, seed=rng, br_rounds=br_rounds
+    )
+    result.figure = "fig1-node-load"
+    result.description = "Node load: individual cost / BR cost vs k"
+    return result
+
+
+def fig1_bandwidth(
+    n: int = 50,
+    k_values: Sequence[int] = DEFAULT_K_VALUES,
+    *,
+    seed: SeedLike = 0,
+    br_rounds: int = 4,
+) -> ExperimentResult:
+    """Fig. 1 bottom-right: available bandwidth (larger is better).
+
+    The y-axis is the policy's aggregate available bandwidth divided by
+    BR's, so values sit in (0, 1] with BR at 1.
+    """
+    rng = as_generator(seed)
+    bw_model = BandwidthModel(n, seed=rng)
+    provider = BandwidthMetricProvider(bw_model, seed=rng)
+    result = policy_comparison(
+        provider, k_values, include_full_mesh=False, seed=rng, br_rounds=br_rounds
+    )
+    result.figure = "fig1-bandwidth"
+    result.description = "Available bandwidth: total policy bandwidth / BR bandwidth vs k"
+    result.y_label = "total avail. bw / BR avail. bw"
+    return result

@@ -1,0 +1,138 @@
+"""Figure 4: robustness to free riders.
+
+Free riders announce link costs twice as high as the real ones, hoping to
+discourage other nodes from selecting them as upstream neighbours.  The
+paper shows that both the free riders' and the honest nodes' costs stay
+very close to the no-free-rider baseline — EGOIST is robust to this abuse
+even without audits.
+
+Left panel: one free rider, cost ratio vs k.  Right panel: many free
+riders (up to one third of the population) at k = 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cheating import CheatingModel
+from repro.core.cost import DelayMetric
+from repro.core.policies import BestResponsePolicy, build_overlay
+from repro.experiments.harness import ExperimentResult, mean_finite
+from repro.netsim.planetlab import synthetic_planetlab
+from repro.util.rng import SeedLike, as_generator
+
+DEFAULT_K_VALUES = (2, 3, 4, 5, 6, 7, 8)
+DEFAULT_FREE_RIDER_COUNTS = (0, 2, 4, 6, 8, 10, 12, 14, 16)
+
+
+def _costs_with_free_riders(
+    truth: DelayMetric,
+    free_riders: Iterable[int],
+    k: int,
+    *,
+    inflation: float,
+    rng,
+    br_rounds: int,
+) -> Dict[int, float]:
+    """Per-node true costs of the BR overlay built from cheated announcements."""
+    riders = set(free_riders)
+    if riders:
+        announced = CheatingModel(truth, riders, inflation).announced_metric()
+    else:
+        announced = truth
+    wiring = build_overlay(
+        BestResponsePolicy(), announced, k, rng=rng, br_rounds=br_rounds
+    )
+    return truth.all_node_costs(wiring.to_graph())
+
+
+def fig4_one_free_rider(
+    n: int = 50,
+    k_values: Sequence[int] = DEFAULT_K_VALUES,
+    *,
+    inflation: float = 2.0,
+    seed: SeedLike = 0,
+    br_rounds: int = 3,
+    free_rider: int = 0,
+) -> ExperimentResult:
+    """Fig. 4 left: one free rider inflating its outgoing costs by 2x."""
+    rng = as_generator(seed)
+    space, _nodes = synthetic_planetlab(n, seed=rng)
+    truth = DelayMetric(space.matrix)
+    result = ExperimentResult(
+        figure="fig4-left",
+        description="Individual cost with one free rider / cost without, vs k",
+        x_label="k",
+        y_label="individual cost / cost without free rider",
+        metadata={"n": n, "inflation": inflation, "free_rider": free_rider},
+    )
+    for k in k_values:
+        baseline = _costs_with_free_riders(
+            truth, (), k, inflation=inflation, rng=rng, br_rounds=br_rounds
+        )
+        cheated = _costs_with_free_riders(
+            truth, (free_rider,), k, inflation=inflation, rng=rng, br_rounds=br_rounds
+        )
+        baseline_rider = baseline[free_rider]
+        baseline_others = mean_finite(
+            [v for node, v in baseline.items() if node != free_rider]
+        )
+        rider_ratio = cheated[free_rider] / baseline_rider if baseline_rider else 1.0
+        others_ratio = (
+            mean_finite([v for node, v in cheated.items() if node != free_rider])
+            / baseline_others
+            if baseline_others
+            else 1.0
+        )
+        result.add_point("free rider", k, rider_ratio)
+        result.add_point("non free riders", k, others_ratio)
+    return result
+
+
+def fig4_many_free_riders(
+    n: int = 50,
+    free_rider_counts: Sequence[int] = DEFAULT_FREE_RIDER_COUNTS,
+    *,
+    k: int = 2,
+    inflation: float = 2.0,
+    seed: SeedLike = 0,
+    br_rounds: int = 3,
+) -> ExperimentResult:
+    """Fig. 4 right: a growing population of free riders at k = 2."""
+    rng = as_generator(seed)
+    space, _nodes = synthetic_planetlab(n, seed=rng)
+    truth = DelayMetric(space.matrix)
+    baseline = _costs_with_free_riders(
+        truth, (), k, inflation=inflation, rng=rng, br_rounds=br_rounds
+    )
+    baseline_mean = mean_finite(list(baseline.values()))
+    result = ExperimentResult(
+        figure="fig4-right",
+        description="Individual cost with many free riders / cost without, k=2",
+        x_label="population of free riders",
+        y_label="individual cost / cost without free riders",
+        metadata={"n": n, "k": k, "inflation": inflation},
+    )
+    for count in free_rider_counts:
+        riders = set(range(int(count)))
+        cheated = _costs_with_free_riders(
+            truth, riders, k, inflation=inflation, rng=rng, br_rounds=br_rounds
+        )
+        if riders:
+            rider_baseline = mean_finite([baseline[r] for r in riders])
+            rider_mean = mean_finite([cheated[r] for r in riders])
+            rider_ratio = rider_mean / rider_baseline if rider_baseline else 1.0
+        else:
+            rider_ratio = 1.0
+        honest = [node for node in cheated if node not in riders]
+        honest_baseline = mean_finite([baseline[h] for h in honest])
+        honest_ratio = (
+            mean_finite([cheated[h] for h in honest]) / honest_baseline
+            if honest_baseline
+            else 1.0
+        )
+        result.add_point("free riders", count, rider_ratio)
+        result.add_point("non free riders", count, honest_ratio)
+    return result

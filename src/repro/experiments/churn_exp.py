@@ -1,0 +1,145 @@
+"""Figure 2: performance under churn.
+
+Left panel: node efficiency (normalised by BR's) as a function of k under
+trace-driven churn.  Right panel: efficiency as a function of the churn
+rate for k = 5, where at sufficiently high churn HybridBR overtakes plain
+BR (the crossover the paper highlights).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.churn.models import ChurnSchedule, parametrized_churn, trace_driven_churn
+from repro.core.engine import EgoistEngine
+from repro.core.hybrid import HybridBRPolicy
+from repro.core.policies import (
+    BestResponsePolicy,
+    KClosestPolicy,
+    KRandomPolicy,
+    KRegularPolicy,
+    NeighborSelectionPolicy,
+)
+from repro.core.providers import DelayMetricProvider
+from repro.experiments.harness import ExperimentResult, normalize_against
+from repro.netsim.planetlab import synthetic_planetlab
+from repro.util.rng import SeedLike, as_generator
+
+DEFAULT_K_VALUES = (3, 4, 5, 6, 7, 8)
+DEFAULT_CHURN_RATES = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1)
+
+
+def _churn_policies(k2: int = 2) -> Dict[str, NeighborSelectionPolicy]:
+    return {
+        "k-random": KRandomPolicy(),
+        "k-regular": KRegularPolicy(),
+        "k-closest": KClosestPolicy(),
+        "best-response": BestResponsePolicy(),
+        "hybrid-br": HybridBRPolicy(k2=k2),
+    }
+
+
+def _steady_state_efficiency(
+    policy: NeighborSelectionPolicy,
+    provider_factory,
+    churn: ChurnSchedule,
+    k: int,
+    *,
+    epochs: int,
+    seed: SeedLike,
+) -> float:
+    """Run the engine under churn and return the steady-state efficiency."""
+    engine = EgoistEngine(
+        provider_factory(),
+        policy,
+        k,
+        churn=churn,
+        compute_efficiency=True,
+        seed=seed,
+    )
+    history = engine.run(epochs)
+    return history.steady_state_efficiency(warmup_fraction=0.3)
+
+
+def fig2_efficiency_vs_k(
+    n: int = 50,
+    k_values: Sequence[int] = DEFAULT_K_VALUES,
+    *,
+    seed: SeedLike = 0,
+    epochs: int = 12,
+    horizon: float = 12 * 60.0,
+    mean_on: float = 1500.0,
+    mean_off: float = 300.0,
+    k2: int = 2,
+) -> ExperimentResult:
+    """Fig. 2 left: efficiency / BR efficiency vs k under trace-driven churn."""
+    rng = as_generator(seed)
+    space, _nodes = synthetic_planetlab(n, seed=rng)
+    churn = trace_driven_churn(
+        n, horizon, mean_on=mean_on, mean_off=mean_off, seed=rng
+    )
+    result = ExperimentResult(
+        figure="fig2-left",
+        description="Node efficiency under trace-driven churn, normalized by BR",
+        x_label="k",
+        y_label="node efficiency / BR efficiency",
+        metadata={"n": n, "churn_rate": churn.churn_rate()},
+    )
+
+    def provider_factory():
+        return DelayMetricProvider(space, estimator="true", seed=rng)
+
+    for k in k_values:
+        raw: Dict[str, float] = {}
+        for name, policy in _churn_policies(k2).items():
+            raw[name] = _steady_state_efficiency(
+                policy, provider_factory, churn, k, epochs=epochs, seed=rng
+            )
+        normalized = normalize_against(raw, "best-response")
+        for name, value in normalized.items():
+            result.add_point(name, k, value)
+        for name, value in raw.items():
+            result.add_point(f"{name} (raw)", k, value)
+    return result
+
+
+def fig2_churn_rate_sweep(
+    n: int = 50,
+    churn_rates: Sequence[float] = DEFAULT_CHURN_RATES,
+    *,
+    k: int = 5,
+    seed: SeedLike = 0,
+    epochs: int = 12,
+    horizon: float = 12 * 60.0,
+    k2: int = 2,
+) -> ExperimentResult:
+    """Fig. 2 right: efficiency vs churn rate at k = 5 (HybridBR crossover)."""
+    rng = as_generator(seed)
+    space, _nodes = synthetic_planetlab(n, seed=rng)
+    result = ExperimentResult(
+        figure="fig2-right",
+        description="Node efficiency vs churn rate (k=5), normalized by BR",
+        x_label="churn rate",
+        y_label="node efficiency / BR efficiency",
+        metadata={"n": n, "k": k},
+    )
+
+    def provider_factory():
+        return DelayMetricProvider(space, estimator="true", seed=rng)
+
+    for rate in churn_rates:
+        churn = parametrized_churn(n, horizon, rate, seed=rng)
+        raw: Dict[str, float] = {}
+        for name, policy in _churn_policies(k2).items():
+            raw[name] = _steady_state_efficiency(
+                policy, provider_factory, churn, k, epochs=epochs, seed=rng
+            )
+        normalized = normalize_against(raw, "best-response")
+        for name, value in normalized.items():
+            result.add_point(name, rate, value)
+        for name, value in raw.items():
+            result.add_point(f"{name} (raw)", rate, value)
+        result.metadata[f"realised_churn@{rate:g}"] = churn.churn_rate()
+    return result

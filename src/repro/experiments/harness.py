@@ -1,0 +1,98 @@
+"""Shared experiment-result containers and helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Series:
+    """One plotted series: an x-axis sweep and the values along it."""
+
+    label: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one point."""
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        """Plain-dictionary form for serialisation."""
+        return {"label": self.label, "x": list(self.x), "y": list(self.y)}
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one figure driver: labelled series plus metadata."""
+
+    figure: str
+    description: str
+    x_label: str
+    y_label: str
+    series: Dict[str, Series] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def series_for(self, label: str) -> Series:
+        """Get (or create) the series with the given label."""
+        if label not in self.series:
+            self.series[label] = Series(label=label)
+        return self.series[label]
+
+    def add_point(self, label: str, x: float, y: float) -> None:
+        """Append one point to the labelled series."""
+        self.series_for(label).add(x, y)
+
+    def table(self) -> str:
+        """A plain-text table of all series (one row per x value)."""
+        labels = sorted(self.series)
+        xs = sorted({x for s in self.series.values() for x in s.x})
+        header = [self.x_label] + labels
+        lines = ["\t".join(header)]
+        for x in xs:
+            row = [f"{x:g}"]
+            for label in labels:
+                series = self.series[label]
+                try:
+                    idx = series.x.index(x)
+                    row.append(f"{series.y[idx]:.4g}")
+                except ValueError:
+                    row.append("-")
+            lines.append("\t".join(row))
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dictionary form for serialisation."""
+        return {
+            "figure": self.figure,
+            "description": self.description,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "series": {k: s.as_dict() for k, s in self.series.items()},
+            "metadata": dict(self.metadata),
+        }
+
+
+def normalize_against(
+    values: Dict[str, float], reference_label: str
+) -> Dict[str, float]:
+    """Normalise every value by the reference label's value.
+
+    Used for the paper's "individual cost / BR cost" style axes.  The
+    reference entry itself normalises to 1.0.
+    """
+    reference = values[reference_label]
+    if reference == 0:
+        return {k: float("inf") if v > 0 else 1.0 for k, v in values.items()}
+    return {k: v / reference for k, v in values.items()}
+
+
+def mean_finite(values: Sequence[float]) -> float:
+    """Mean of the finite entries of ``values`` (NaN if none)."""
+    arr = np.asarray(list(values), dtype=float)
+    arr = arr[np.isfinite(arr)]
+    return float(arr.mean()) if arr.size else float("nan")

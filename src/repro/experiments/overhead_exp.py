@@ -1,0 +1,84 @@
+"""Section 4.3 overhead accounting as an experiment table.
+
+Produces, for a range of k, the per-node measurement and protocol loads
+predicted by the paper's formulas, together with the scalability gain of
+monitoring ``n k`` rather than ``n (n - 1)`` links — and, optionally,
+cross-checks the link-state figure against the traffic actually accounted
+by a short engine run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.engine import EgoistEngine
+from repro.core.overhead import overhead_report
+from repro.core.policies import BestResponsePolicy
+from repro.core.providers import DelayMetricProvider
+from repro.experiments.harness import ExperimentResult
+from repro.netsim.planetlab import synthetic_planetlab
+from repro.util.rng import SeedLike, as_generator
+
+DEFAULT_K_VALUES = (2, 3, 4, 5, 6, 7, 8)
+
+
+def overhead_table(
+    n: int = 50,
+    k_values: Sequence[int] = DEFAULT_K_VALUES,
+    *,
+    epoch_length_s: float = 60.0,
+    announce_interval_s: float = 20.0,
+    validate_with_engine: bool = False,
+    engine_epochs: int = 3,
+    seed: SeedLike = 0,
+) -> ExperimentResult:
+    """Per-node overhead (bps) and scalability gain for each k."""
+    result = ExperimentResult(
+        figure="section-4.3",
+        description="Per-node measurement and link-state overheads (bps)",
+        x_label="k",
+        y_label="bits per second per node",
+        metadata={
+            "n": n,
+            "epoch_length_s": epoch_length_s,
+            "announce_interval_s": announce_interval_s,
+        },
+    )
+    for k in k_values:
+        report = overhead_report(
+            n,
+            k,
+            epoch_length_s=epoch_length_s,
+            announce_interval_s=announce_interval_s,
+        )
+        result.add_point("ping measurement (bps)", k, report.ping_bps)
+        result.add_point("coordinate measurement (bps)", k, report.coordinate_bps)
+        result.add_point("link-state protocol (bps)", k, report.linkstate_bps)
+        result.add_point("monitored links (EGOIST)", k, report.monitored_links)
+        result.add_point("monitored links (full mesh)", k, report.fullmesh_monitored_links)
+        result.add_point("scalability gain", k, report.scalability_gain)
+
+    if validate_with_engine:
+        rng = as_generator(seed)
+        space, _nodes = synthetic_planetlab(n, seed=rng)
+        for k in k_values:
+            provider = DelayMetricProvider(space, estimator="true", seed=rng)
+            engine = EgoistEngine(
+                provider,
+                BestResponsePolicy(),
+                k,
+                epoch_length=epoch_length_s,
+                announce_interval=announce_interval_s,
+                seed=rng,
+            )
+            history = engine.run(engine_epochs)
+            # Announcements are flooded once per epoch in the simulation;
+            # scale to the announce interval for an apples-to-apples rate.
+            bits_per_epoch = float(
+                np.mean([record.linkstate_bits for record in history.records])
+            )
+            per_node_bps = bits_per_epoch / n / epoch_length_s
+            result.add_point("link-state measured (bps, simulated)", k, per_node_bps)
+    return result

@@ -1,0 +1,107 @@
+"""Figure 3: re-wiring dynamics and the BR(ε) trade-off.
+
+Left panel: total re-wirings per epoch over time (the rate drops quickly
+as EGOIST reaches steady state; larger k re-wires more).  Center/right
+panels: normalised cost (BR cost / full-mesh cost) against the re-wiring
+rate for exact BR and for BR(ε = 10%).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.cost import DelayMetric
+from repro.core.engine import EgoistEngine
+from repro.core.policies import BestResponsePolicy, FullMeshPolicy, build_overlay
+from repro.core.providers import DelayMetricProvider
+from repro.experiments.harness import ExperimentResult
+from repro.netsim.planetlab import synthetic_planetlab
+from repro.util.rng import SeedLike, as_generator
+
+DEFAULT_K_VALUES = (2, 3, 4, 5, 8)
+
+
+def fig3_rewirings_over_time(
+    n: int = 50,
+    k_values: Sequence[int] = DEFAULT_K_VALUES,
+    *,
+    epochs: int = 20,
+    drift_relative_std: float = 0.02,
+    seed: SeedLike = 0,
+) -> ExperimentResult:
+    """Fig. 3 left: total re-wirings per epoch over time, per k."""
+    rng = as_generator(seed)
+    space, _nodes = synthetic_planetlab(n, seed=rng)
+    result = ExperimentResult(
+        figure="fig3-left",
+        description="Total re-wirings per epoch over time (delay via ping)",
+        x_label="epoch",
+        y_label="re-wirings per epoch",
+        metadata={"n": n, "drift_relative_std": drift_relative_std},
+    )
+    for k in k_values:
+        provider = DelayMetricProvider(
+            space,
+            estimator="ping",
+            drift_relative_std=drift_relative_std,
+            seed=rng,
+        )
+        engine = EgoistEngine(provider, BestResponsePolicy(), k, seed=rng)
+        history = engine.run(epochs)
+        for epoch, count in enumerate(history.rewirings_per_epoch()):
+            result.add_point(f"k={k}", epoch, count)
+    return result
+
+
+def fig3_epsilon_comparison(
+    n: int = 50,
+    k_values: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
+    *,
+    epsilon: float = 0.1,
+    epochs: int = 10,
+    drift_relative_std: float = 0.02,
+    seed: SeedLike = 0,
+) -> ExperimentResult:
+    """Fig. 3 center/right: cost vs full mesh and re-wiring rate, BR vs BR(ε).
+
+    Series produced (per k):
+
+    * ``BR cost / full mesh`` and ``BR re-wirings``
+    * ``BR(eps) cost / full mesh`` and ``BR(eps) re-wirings``
+    """
+    rng = as_generator(seed)
+    space, _nodes = synthetic_planetlab(n, seed=rng)
+    truth = DelayMetric(space.matrix)
+    # Full-mesh reference cost (k = n - 1).
+    full_mesh = build_overlay(FullMeshPolicy(), truth, n - 1, rng=rng)
+    full_costs = truth.all_node_costs(full_mesh.to_graph())
+    full_mean = float(np.mean(list(full_costs.values())))
+
+    result = ExperimentResult(
+        figure="fig3-center-right",
+        description="Cost normalized by full mesh and re-wirings per epoch: BR vs BR(eps)",
+        x_label="k",
+        y_label="normalized cost / re-wirings per epoch",
+        metadata={"n": n, "epsilon": epsilon, "full_mesh_mean_cost": full_mean},
+    )
+    for k in k_values:
+        for label, eps in (("BR", 0.0), (f"BR({epsilon:g})", epsilon)):
+            provider = DelayMetricProvider(
+                space,
+                estimator="ping",
+                drift_relative_std=drift_relative_std,
+                seed=rng,
+            )
+            engine = EgoistEngine(
+                provider, BestResponsePolicy(), k, epsilon=eps, seed=rng
+            )
+            history = engine.run(epochs)
+            steady_cost = history.steady_state_mean_cost(warmup_fraction=0.4)
+            # Ignore the first epoch (initial wiring counts as n re-wirings).
+            rewires = history.rewirings_per_epoch()[1:]
+            mean_rewires = float(np.mean(rewires)) if rewires else 0.0
+            result.add_point(f"{label} cost/full mesh", k, steady_cost / full_mean)
+            result.add_point(f"{label} re-wirings", k, mean_rewires)
+    return result

@@ -1,0 +1,235 @@
+"""Figures 5-8: scalability via sampling.
+
+An ``n = 295``-node overlay is constructed incrementally under one of the
+base wiring strategies (BR for Fig. 5, k-Random for Fig. 6, k-Regular for
+Fig. 7, k-Closest for Fig. 8).  A newcomer then joins using each of the
+candidate strategies *restricted to a sample* of the residual graph —
+k-Random / k-Regular / k-Closest with random sampling, BR with random
+sampling, and BR with topology-based biased sampling (BRtp) — and its
+resulting cost is normalised by the cost it would have achieved running BR
+with no sampling at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.best_response import WiringEvaluator, best_response
+from repro.core.cost import DelayMetric, Metric
+from repro.core.policies import (
+    BestResponsePolicy,
+    KClosestPolicy,
+    KRandomPolicy,
+    KRegularPolicy,
+    NeighborSelectionPolicy,
+)
+from repro.core.sampling import (
+    random_sample,
+    sampled_best_response,
+    topology_biased_sample,
+)
+from repro.core.wiring import GlobalWiring, Wiring
+from repro.experiments.harness import ExperimentResult
+from repro.netsim.planetlab import synthetic_planetlab_trace
+from repro.routing.graph import OverlayGraph
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import ValidationError
+
+DEFAULT_SAMPLE_SIZES = (6, 8, 10, 12, 14, 16, 18, 20)
+
+
+def incremental_overlay(
+    metric: Metric,
+    k: int,
+    policy_name: str,
+    *,
+    nodes: Optional[Sequence[int]] = None,
+    rng: SeedLike = None,
+    ensure_connected: bool = True,
+) -> GlobalWiring:
+    """Grow an overlay incrementally: each arrival wires by ``policy_name``.
+
+    This mirrors the paper's simulation setup, in which the base network is
+    "constructed incrementally using the BR strategy (without sampling)" —
+    or one of the heuristics, for Figs. 6-8.
+    """
+    rng = as_generator(rng)
+    n = metric.size
+    node_list = list(nodes) if nodes is not None else list(range(n))
+    policies: Dict[str, NeighborSelectionPolicy] = {
+        "best-response": BestResponsePolicy(),
+        "k-random": KRandomPolicy(),
+        "k-regular": KRegularPolicy(),
+        "k-closest": KClosestPolicy(),
+    }
+    if policy_name not in policies:
+        raise ValidationError(f"unknown base policy {policy_name!r}")
+    policy = policies[policy_name]
+    wiring = GlobalWiring(n)
+    joined: list = []
+    for node in node_list:
+        joined.append(node)
+        if len(joined) == 1:
+            continue
+        residual = wiring.to_graph(active=joined)
+        budget = min(k, len(joined) - 1)
+        chosen = policy.select(
+            node,
+            budget,
+            metric,
+            residual,
+            candidates=[c for c in joined if c != node],
+            rng=rng,
+            destinations=[d for d in joined if d != node],
+        )
+        weights = {v: metric.link_weight(node, v) for v in chosen}
+        wiring.set_wiring(Wiring.of(node, chosen), weights)
+    if ensure_connected:
+        # Late arrivals have no in-links (nobody re-wires after joining in
+        # this incremental construction), which would leave parts of the
+        # overlay unreachable and swamp every newcomer's cost with the
+        # disconnection penalty.  A live system heals this through
+        # re-wiring; we enforce the same ring the empirical policies use.
+        from repro.core.policies import enforce_connectivity_cycle
+
+        enforce_connectivity_cycle(wiring, metric, nodes=node_list)
+    return wiring
+
+
+def _newcomer_cost(
+    metric: Metric,
+    residual_graph: OverlayGraph,
+    newcomer: int,
+    neighbors: Sequence[int],
+    existing: Sequence[int],
+) -> float:
+    """True cost of the newcomer once wired to ``neighbors``."""
+    evaluator = WiringEvaluator(
+        node=newcomer,
+        metric=metric,
+        residual_graph=residual_graph,
+        candidates=[c for c in existing if c != newcomer],
+        destinations=[d for d in existing if d != newcomer],
+    )
+    return evaluator.evaluate(neighbors)
+
+
+def fig5_to_8_sampling(
+    base_policy: str = "best-response",
+    *,
+    n: int = 295,
+    k: int = 3,
+    radius: int = 2,
+    sample_sizes: Sequence[int] = DEFAULT_SAMPLE_SIZES,
+    trials: int = 5,
+    seed: SeedLike = 0,
+    oversample: int = 3,
+) -> ExperimentResult:
+    """Newcomer cost vs sample size on a ``base_policy`` graph (Figs. 5-8).
+
+    Parameters
+    ----------
+    base_policy:
+        ``"best-response"`` (Fig. 5), ``"k-random"`` (Fig. 6),
+        ``"k-regular"`` (Fig. 7), or ``"k-closest"`` (Fig. 8).
+    n, k, radius:
+        Overlay size, degree, and BRtp neighbourhood radius (paper: 295, 3, 2).
+    sample_sizes:
+        The x-axis sweep of sample sizes ``m``.
+    trials:
+        Newcomers averaged per sample size.
+    """
+    rng = as_generator(seed)
+    space = synthetic_planetlab_trace(n, seed=rng)
+    metric = DelayMetric(space.matrix)
+    newcomer = n - 1
+    existing = [v for v in range(n) if v != newcomer]
+    base = incremental_overlay(
+        metric, k, base_policy, nodes=existing, rng=rng
+    )
+    residual = base.to_graph(active=existing)
+
+    # Reference: the newcomer's cost under BR with *no* sampling.
+    reference = sampled_best_response(
+        newcomer, metric, residual, k, existing, rng=rng
+    )
+    reference_cost = _newcomer_cost(
+        metric, residual, newcomer, sorted(reference.neighbors), existing
+    )
+
+    figure_by_policy = {
+        "best-response": "fig5",
+        "k-random": "fig6",
+        "k-regular": "fig7",
+        "k-closest": "fig8",
+    }
+    result = ExperimentResult(
+        figure=figure_by_policy.get(base_policy, "fig5"),
+        description=(
+            f"Newcomer cost / BR-no-sampling cost vs sample size on a {base_policy} graph"
+        ),
+        x_label="size of the sample",
+        y_label="newcomer's cost / BR-no-sampling cost",
+        metadata={
+            "n": n,
+            "k": k,
+            "radius": radius,
+            "base_policy": base_policy,
+            "reference_cost": reference_cost,
+        },
+    )
+
+    heuristics: Dict[str, NeighborSelectionPolicy] = {
+        "k-random": KRandomPolicy(),
+        "k-regular": KRegularPolicy(),
+        "k-closest": KClosestPolicy(),
+    }
+
+    for m in sample_sizes:
+        sums: Dict[str, float] = {label: 0.0 for label in list(heuristics) + ["BR", "BRtp"]}
+        for _trial in range(int(trials)):
+            sample = random_sample(existing, m, rng=rng)
+            # Heuristics restricted to the random sample.
+            for label, policy in heuristics.items():
+                chosen = policy.select(
+                    newcomer,
+                    k,
+                    metric,
+                    residual,
+                    candidates=sample,
+                    rng=rng,
+                    destinations=sample,
+                )
+                sums[label] += _newcomer_cost(
+                    metric, residual, newcomer, sorted(chosen), existing
+                )
+            # BR with random sampling.
+            br_random = sampled_best_response(
+                newcomer, metric, residual, k, sample, rng=rng
+            )
+            sums["BR"] += _newcomer_cost(
+                metric, residual, newcomer, sorted(br_random.neighbors), existing
+            )
+            # BR with topology-based biased sampling.
+            biased = topology_biased_sample(
+                newcomer,
+                metric,
+                residual,
+                m,
+                oversample=oversample,
+                radius=radius,
+                candidates=existing,
+                rng=rng,
+            )
+            br_biased = sampled_best_response(
+                newcomer, metric, residual, k, biased, rng=rng
+            )
+            sums["BRtp"] += _newcomer_cost(
+                metric, residual, newcomer, sorted(br_biased.neighbors), existing
+            )
+        for label, total in sums.items():
+            mean_cost = total / trials
+            result.add_point(label, m, mean_cost / reference_cost)
+    return result

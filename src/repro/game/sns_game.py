@@ -1,0 +1,186 @@
+"""The Selfish Neighbor Selection game: dynamics and equilibria.
+
+Definitions follow Section 2.1 of the paper: a game instance is a node
+set, a link-weight (distance) function, per-node neighbour budgets ``k``,
+and preference weights.  Strategies are wirings; a global wiring is a
+(pure) Nash equilibrium when no node can lower its cost by unilaterally
+re-wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.best_response import WiringEvaluator, best_response
+from repro.core.cost import Metric, uniform_preferences
+from repro.core.policies import KRandomPolicy
+from repro.core.wiring import GlobalWiring, Wiring
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import ValidationError
+
+
+class SNSGame:
+    """An instance of the SNS game.
+
+    Parameters
+    ----------
+    metric:
+        The link-weight function and objective (delay, load, bandwidth).
+    k:
+        Per-node neighbour budget (uniform, as in the paper).
+    preferences:
+        Preference matrix; defaults to uniform.
+    """
+
+    def __init__(
+        self,
+        metric: Metric,
+        k: int,
+        *,
+        preferences: Optional[np.ndarray] = None,
+    ):
+        if k < 1:
+            raise ValidationError("k must be >= 1")
+        if k > metric.size - 1:
+            raise ValidationError("k cannot exceed n - 1")
+        self.metric = metric
+        self.k = int(k)
+        self.n = metric.size
+        self.preferences = (
+            preferences if preferences is not None else uniform_preferences(self.n)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Per-player quantities
+    # ------------------------------------------------------------------ #
+    def player_cost(self, wiring: GlobalWiring, node: int) -> float:
+        """Cost of ``node`` under the global wiring."""
+        graph = wiring.to_graph()
+        return self.metric.node_cost(node, graph, self.preferences)
+
+    def player_best_response(
+        self,
+        wiring: GlobalWiring,
+        node: int,
+        *,
+        rng: SeedLike = None,
+    ):
+        """Best response of ``node`` to everyone else's wiring."""
+        residual = wiring.residual(node).to_graph()
+        evaluator = WiringEvaluator(
+            node=node,
+            metric=self.metric,
+            residual_graph=residual,
+            preferences=self.preferences,
+        )
+        return evaluator, best_response(evaluator, self.k, rng=rng)
+
+    def random_wiring(self, rng: SeedLike = None) -> GlobalWiring:
+        """A uniformly random feasible global wiring (initial condition)."""
+        rng = as_generator(rng)
+        wiring = GlobalWiring(self.n)
+        policy = KRandomPolicy()
+        for node in range(self.n):
+            chosen = policy.select(
+                node, self.k, self.metric, wiring.to_graph(), rng=rng
+            )
+            weights = {v: self.metric.link_weight(node, v) for v in chosen}
+            wiring.set_wiring(Wiring.of(node, chosen), weights)
+        return wiring
+
+
+def is_nash_equilibrium(
+    game: SNSGame,
+    wiring: GlobalWiring,
+    *,
+    tolerance: float = 1e-9,
+    rng: SeedLike = None,
+) -> bool:
+    """True if no player can improve its cost by more than ``tolerance``.
+
+    The check uses the same best-response machinery as the system itself
+    (exact for small instances, local search otherwise), so for large
+    instances it certifies an *approximate* equilibrium.
+    """
+    for node in range(game.n):
+        evaluator, result = game.player_best_response(wiring, node, rng=rng)
+        current = wiring.wiring_of(node)
+        current_cost = evaluator.evaluate(
+            current.neighbors if current is not None else ()
+        )
+        if game.metric.maximize:
+            if result.cost > current_cost * (1.0 + tolerance) + tolerance:
+                return False
+        else:
+            if result.cost < current_cost * (1.0 - tolerance) - tolerance:
+                return False
+    return True
+
+
+@dataclass
+class BestResponseDynamicsResult:
+    """Outcome of running best-response dynamics."""
+
+    wiring: GlobalWiring
+    rounds: int
+    converged: bool
+    rewirings_per_round: List[int] = field(default_factory=list)
+    social_costs: List[float] = field(default_factory=list)
+
+    @property
+    def total_rewirings(self) -> int:
+        """Total unilateral re-wirings performed during the dynamics."""
+        return int(sum(self.rewirings_per_round))
+
+
+def best_response_dynamics(
+    game: SNSGame,
+    *,
+    initial: Optional[GlobalWiring] = None,
+    max_rounds: int = 20,
+    rng: SeedLike = None,
+) -> BestResponseDynamicsResult:
+    """Run round-robin best-response dynamics until convergence.
+
+    Each round every player (in random order) adopts its best response to
+    the current wiring of the others.  The dynamics stop when a full round
+    passes with no re-wiring — a pure Nash equilibrium of the (approximate)
+    best-response correspondence — or after ``max_rounds``.
+    """
+    rng = as_generator(rng)
+    wiring = initial.copy() if initial is not None else game.random_wiring(rng)
+    rewirings_per_round: List[int] = []
+    social_costs: List[float] = []
+    converged = False
+    order = list(range(game.n))
+    rounds_done = 0
+    for _round in range(int(max_rounds)):
+        rounds_done += 1
+        rng.shuffle(order)
+        changed = 0
+        for node in order:
+            evaluator, result = game.player_best_response(wiring, node, rng=rng)
+            current = wiring.wiring_of(node)
+            current_set = set(current.neighbors) if current is not None else set()
+            current_cost = evaluator.evaluate(current_set)
+            if game.metric.better(result.cost, current_cost) and set(result.neighbors) != current_set:
+                weights = {
+                    v: game.metric.link_weight(node, v) for v in result.neighbors
+                }
+                wiring.set_wiring(result.as_wiring(), weights)
+                changed += 1
+        rewirings_per_round.append(changed)
+        social_costs.append(game.metric.social_cost(wiring.to_graph(), game.preferences))
+        if changed == 0:
+            converged = True
+            break
+    return BestResponseDynamicsResult(
+        wiring=wiring,
+        rounds=rounds_done,
+        converged=converged,
+        rewirings_per_round=rewirings_per_round,
+        social_costs=social_costs,
+    )

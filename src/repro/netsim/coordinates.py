@@ -1,0 +1,201 @@
+"""Vivaldi-style virtual network coordinate system.
+
+EGOIST's passive delay-estimation mode queries the pyxida coordinate
+service, which maintains Vivaldi network coordinates: every node holds a
+low-dimensional Euclidean coordinate (plus a non-Euclidean "height"
+modelling access-link delay) that is iteratively adjusted, spring-style,
+whenever the node observes an RTT sample to a peer.  The predicted delay
+between two nodes is then the distance between their coordinates.
+
+This module implements the Vivaldi update rule and a convenience driver
+that trains a coordinate system against a ground-truth
+:class:`~repro.netsim.delayspace.DelaySpace`, reproducing the paper's
+trade-off: coordinate-based estimates are cheaper (one query returns the
+distance to everyone) but noisier than direct ping measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.netsim.delayspace import DelaySpace
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import ValidationError, check_positive
+
+
+@dataclass
+class VivaldiCoordinate:
+    """A Euclidean coordinate with height and local error estimate."""
+
+    position: np.ndarray
+    height: float = 0.0
+    error: float = 1.0
+
+    def distance_to(self, other: "VivaldiCoordinate") -> float:
+        """Predicted one-way delay (ms) to ``other``."""
+        euclid = float(np.linalg.norm(self.position - other.position))
+        return euclid + self.height + other.height
+
+    def copy(self) -> "VivaldiCoordinate":
+        """Deep copy (positions are mutated in place during updates)."""
+        return VivaldiCoordinate(
+            position=self.position.copy(), height=self.height, error=self.error
+        )
+
+
+class VivaldiCoordinateSystem:
+    """A set of Vivaldi coordinates, one per overlay node.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    dimensions:
+        Dimensionality of the Euclidean part (pyxida uses 4-D + height).
+    ce, cc:
+        Vivaldi tuning constants: ``ce`` scales the adaptive timestep from
+        the error estimates, ``cc`` scales how fast local error adapts.
+    seed:
+        Seed or generator (controls initial random placement and the
+        direction chosen when two coordinates coincide).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        dimensions: int = 4,
+        ce: float = 0.25,
+        cc: float = 0.25,
+        seed: SeedLike = None,
+    ):
+        if n < 2:
+            raise ValidationError(f"n must be >= 2, got {n}")
+        if dimensions < 1:
+            raise ValidationError("dimensions must be >= 1")
+        self.n = int(n)
+        self.dimensions = int(dimensions)
+        self.ce = check_positive(ce, "ce")
+        self.cc = check_positive(cc, "cc")
+        self._rng = as_generator(seed)
+        self.coordinates: List[VivaldiCoordinate] = [
+            VivaldiCoordinate(
+                position=self._rng.normal(0.0, 1.0, size=dimensions),
+                height=float(self._rng.uniform(0.1, 1.0)),
+                error=1.0,
+            )
+            for _ in range(n)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Vivaldi update rule
+    # ------------------------------------------------------------------ #
+    def observe(self, i: int, j: int, rtt_ms: float) -> None:
+        """Update node ``i``'s coordinate from an RTT sample to ``j``.
+
+        ``rtt_ms`` is the measured round-trip time; Vivaldi embeds one-way
+        delays, so the sample is halved internally.
+        """
+        if rtt_ms < 0:
+            raise ValidationError("rtt_ms must be non-negative")
+        sample = rtt_ms / 2.0
+        local = self.coordinates[i]
+        remote = self.coordinates[j]
+        predicted = local.distance_to(remote)
+        # Relative error of this sample.
+        if sample > 0:
+            rel_error = abs(predicted - sample) / sample
+        else:
+            rel_error = abs(predicted - sample)
+        # Weight of the sample based on both nodes' confidence.
+        total_error = local.error + remote.error
+        weight = local.error / total_error if total_error > 0 else 0.5
+        # Update local error estimate (EWMA weighted by sample weight).
+        local.error = rel_error * self.cc * weight + local.error * (
+            1.0 - self.cc * weight
+        )
+        local.error = float(min(max(local.error, 0.01), 5.0))
+        # Adaptive timestep and force application.
+        delta = self.ce * weight
+        direction = local.position - remote.position
+        norm = float(np.linalg.norm(direction))
+        if norm < 1e-9:
+            direction = self._rng.normal(0.0, 1.0, size=self.dimensions)
+            norm = float(np.linalg.norm(direction))
+        unit = direction / norm
+        force = sample - predicted
+        # Positive force (sample larger than prediction) pushes nodes apart.
+        local.position = local.position + delta * force * unit
+        # Height absorbs a fraction of the residual error, floored at zero.
+        local.height = float(max(0.0, local.height + delta * force * 0.1))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def estimate(self, i: int, j: int) -> float:
+        """Predicted one-way delay (ms) from node ``i`` to node ``j``."""
+        if i == j:
+            return 0.0
+        return self.coordinates[i].distance_to(self.coordinates[j])
+
+    def estimate_matrix(self) -> np.ndarray:
+        """Full ``n x n`` matrix of predicted one-way delays (ms)."""
+        mat = np.zeros((self.n, self.n))
+        for i in range(self.n):
+            for j in range(self.n):
+                if i != j:
+                    mat[i, j] = self.estimate(i, j)
+        return mat
+
+    def median_error(self, truth: DelaySpace) -> float:
+        """Median relative estimation error against a ground-truth space."""
+        errors = []
+        for i in range(self.n):
+            for j in range(self.n):
+                if i == j:
+                    continue
+                actual = truth.delay(i, j)
+                if actual <= 0:
+                    continue
+                errors.append(abs(self.estimate(i, j) - actual) / actual)
+        if not errors:
+            return 0.0
+        return float(np.median(errors))
+
+    # ------------------------------------------------------------------ #
+    # Training driver
+    # ------------------------------------------------------------------ #
+    def train(
+        self,
+        truth: DelaySpace,
+        *,
+        rounds: int = 50,
+        samples_per_round: int = 8,
+        rng: SeedLike = None,
+    ) -> float:
+        """Train the embedding against a ground-truth delay space.
+
+        Each round, every node observes RTT samples to
+        ``samples_per_round`` random peers (as pyxida nodes gossip with a
+        few neighbours per period).  Returns the final median relative
+        error.
+        """
+        if truth.size != self.n:
+            raise ValidationError(
+                f"delay space has {truth.size} nodes, coordinate system has {self.n}"
+            )
+        rng = as_generator(rng if rng is not None else self._rng)
+        for _ in range(int(rounds)):
+            for i in range(self.n):
+                peers = rng.choice(
+                    [j for j in range(self.n) if j != i],
+                    size=min(samples_per_round, self.n - 1),
+                    replace=False,
+                )
+                for j in peers:
+                    rtt = truth.sample_rtt(i, int(j), rng)
+                    self.observe(i, int(j), rtt)
+        return self.median_error(truth)

@@ -1,0 +1,175 @@
+"""Active measurement: ping and pathChirp-like probing.
+
+EGOIST estimates link costs either actively (ping for delay, pathChirp for
+available bandwidth) or passively (pyxida coordinates; see
+:mod:`repro.netsim.coordinates`).  The probers here simulate the active
+tools: they sample the ground-truth substrate models, add realistic
+measurement noise, average over multiple samples, and account for the bytes
+they inject so the overhead analysis of Section 4.3 can be reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.netsim.bandwidth import BandwidthModel
+from repro.netsim.delayspace import DelaySpace
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import ValidationError, check_positive
+
+#: Size of one ICMP ECHO request or reply used by the paper's overhead
+#: analysis (Section 4.3): 320 bits.
+ICMP_MESSAGE_BITS = 320
+
+#: Size of a pyxida-style HTTP query: 320 bits header plus 32 bits per node
+#: whose coordinate distance is returned.
+COORDINATE_QUERY_BASE_BITS = 320
+COORDINATE_QUERY_PER_NODE_BITS = 32
+
+
+@dataclass
+class ProbeAccounting:
+    """Running totals of measurement traffic injected by a prober."""
+
+    messages: int = 0
+    bits: int = 0
+
+    def add(self, messages: int, bits: int) -> None:
+        """Record ``messages`` probe messages totalling ``bits`` bits."""
+        self.messages += int(messages)
+        self.bits += int(bits)
+
+    def reset(self) -> None:
+        """Zero the counters (e.g. at an epoch boundary)."""
+        self.messages = 0
+        self.bits = 0
+
+
+class PingProber:
+    """Estimate one-way link delays with simulated ping.
+
+    One-way delay is estimated as half the RTT averaged over
+    ``samples_per_probe`` ping exchanges, exactly as in the paper.
+    """
+
+    def __init__(
+        self,
+        delay_space: DelaySpace,
+        *,
+        samples_per_probe: int = 5,
+        rng: SeedLike = None,
+    ):
+        if samples_per_probe < 1:
+            raise ValidationError("samples_per_probe must be >= 1")
+        self.delay_space = delay_space
+        self.samples_per_probe = int(samples_per_probe)
+        self._rng = as_generator(rng)
+        self.accounting = ProbeAccounting()
+
+    def probe(self, src: int, dst: int) -> float:
+        """Return the estimated one-way delay (ms) from ``src`` to ``dst``."""
+        rtts = [
+            self.delay_space.sample_rtt(src, dst, self._rng)
+            for _ in range(self.samples_per_probe)
+        ]
+        # Each sample is one request + one reply.
+        self.accounting.add(
+            messages=2 * self.samples_per_probe,
+            bits=2 * self.samples_per_probe * ICMP_MESSAGE_BITS,
+        )
+        return float(np.mean(rtts) / 2.0)
+
+    def probe_all(self, src: int, exclude: Optional[set] = None) -> Dict[int, float]:
+        """Probe ``src``'s delay to every other node (minus ``exclude``).
+
+        This is the O(n) per-epoch candidate measurement a node performs
+        before computing its best response.
+        """
+        exclude = exclude or set()
+        estimates: Dict[int, float] = {}
+        for dst in range(self.delay_space.size):
+            if dst == src or dst in exclude:
+                continue
+            estimates[dst] = self.probe(src, dst)
+        return estimates
+
+
+class CoordinateProber:
+    """Estimate delays by querying a virtual coordinate system.
+
+    A single query returns the estimated distances from the querying node
+    to every other node, so the injected traffic is
+    ``320 + 32 * n`` bits per query (Section 4.3).
+    """
+
+    def __init__(self, coordinate_system) -> None:
+        self.coordinates = coordinate_system
+        self.accounting = ProbeAccounting()
+
+    def probe_all(self, src: int, exclude: Optional[set] = None) -> Dict[int, float]:
+        """Return estimated one-way delays from ``src`` to all other nodes."""
+        exclude = exclude or set()
+        n = self.coordinates.n
+        self.accounting.add(
+            messages=2,
+            bits=COORDINATE_QUERY_BASE_BITS + COORDINATE_QUERY_PER_NODE_BITS * n,
+        )
+        return {
+            dst: self.coordinates.estimate(src, dst)
+            for dst in range(n)
+            if dst != src and dst not in exclude
+        }
+
+    def probe(self, src: int, dst: int) -> float:
+        """Single-destination estimate (still charged as one full query)."""
+        return self.probe_all(src)[dst]
+
+
+class ChirpProber:
+    """Estimate directed available bandwidth with a pathChirp-like tool.
+
+    pathChirp sends exponentially-spaced packet "chirps"; its probe load is
+    small (the paper reports < 2% of the available bandwidth on the path).
+    We model the estimate as the ground truth perturbed by a configurable
+    relative error, and account probe traffic at the 2% figure.
+    """
+
+    def __init__(
+        self,
+        bandwidth_model: BandwidthModel,
+        *,
+        relative_error: float = 0.1,
+        chirp_packets: int = 17,
+        packet_bits: int = 8 * 1000,
+        rng: SeedLike = None,
+    ):
+        check_positive(chirp_packets, "chirp_packets")
+        self.bandwidth = bandwidth_model
+        self.relative_error = float(relative_error)
+        self.chirp_packets = int(chirp_packets)
+        self.packet_bits = int(packet_bits)
+        self._rng = as_generator(rng)
+        self.accounting = ProbeAccounting()
+
+    def probe(self, src: int, dst: int) -> float:
+        """Estimated available bandwidth (Mbps) from ``src`` to ``dst``."""
+        sample = self.bandwidth.sample(
+            src, dst, relative_error=self.relative_error, rng=self._rng
+        )
+        self.accounting.add(
+            messages=self.chirp_packets,
+            bits=self.chirp_packets * self.packet_bits,
+        )
+        return sample.available_mbps
+
+    def probe_all(self, src: int, exclude: Optional[set] = None) -> Dict[int, float]:
+        """Probe available bandwidth from ``src`` to every other node."""
+        exclude = exclude or set()
+        return {
+            dst: self.probe(src, dst)
+            for dst in range(self.bandwidth.n)
+            if dst != src and dst not in exclude
+        }

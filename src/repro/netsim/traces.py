@@ -1,0 +1,174 @@
+"""Trace file input/output.
+
+The paper's simulations are driven by traces: an all-pairs ping data set
+covering the PlanetLab sites (used by the sampling experiments) and the
+PlanetLab availability traces behind the churn experiments.  This module
+defines simple, documented on-disk formats for both so that experiments
+can be re-run against externally supplied data instead of the synthetic
+generators:
+
+* **Delay traces** — CSV with a header row, one row per ordered pair:
+  ``src,dst,delay_ms``.  Node identifiers may be arbitrary strings; they
+  are mapped to dense indices in first-appearance order.
+* **Churn traces** — CSV with a header row, one row per ON session:
+  ``node,start_s,end_s``.
+
+Both formats round-trip through :class:`~repro.netsim.delayspace.DelaySpace`
+and :class:`~repro.churn.models.ChurnSchedule`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from repro.churn.models import ChurnSchedule, OnOffSession
+from repro.netsim.delayspace import DelaySpace
+from repro.util.validation import ValidationError
+
+PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------- #
+# Delay traces
+# ---------------------------------------------------------------------- #
+def write_delay_trace(space: DelaySpace, path: PathLike) -> None:
+    """Write a delay space as a ``src,dst,delay_ms`` CSV trace."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["src", "dst", "delay_ms"])
+        for i in range(space.size):
+            for j in range(space.size):
+                if i == j:
+                    continue
+                writer.writerow([space.labels[i], space.labels[j], f"{space.delay(i, j):.6f}"])
+
+
+def read_delay_trace(
+    path: PathLike,
+    *,
+    fill_missing: float | None = None,
+    jitter_std: float = 0.0,
+) -> DelaySpace:
+    """Read a ``src,dst,delay_ms`` CSV trace into a :class:`DelaySpace`.
+
+    Parameters
+    ----------
+    path:
+        CSV file with a header row.
+    fill_missing:
+        Value used for ordered pairs absent from the trace.  ``None``
+        (default) raises if any off-diagonal pair is missing, mirroring the
+        all-pairs nature of the paper's data set.
+    jitter_std:
+        Measurement jitter to attach to the resulting delay space.
+    """
+    path = Path(path)
+    index: Dict[str, int] = {}
+    entries: List[Tuple[str, str, float]] = []
+    with path.open() as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or [h.strip().lower() for h in header[:3]] != ["src", "dst", "delay_ms"]:
+            raise ValidationError(
+                f"{path} does not look like a delay trace (expected header src,dst,delay_ms)"
+            )
+        for row_number, row in enumerate(reader, start=2):
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            if len(row) < 3:
+                raise ValidationError(f"{path}:{row_number}: expected 3 columns, got {len(row)}")
+            src, dst, delay = row[0].strip(), row[1].strip(), float(row[2])
+            if delay < 0:
+                raise ValidationError(f"{path}:{row_number}: negative delay {delay}")
+            for label in (src, dst):
+                if label not in index:
+                    index[label] = len(index)
+            entries.append((src, dst, delay))
+    n = len(index)
+    if n < 2:
+        raise ValidationError(f"{path} contains fewer than two distinct nodes")
+    matrix = np.full((n, n), np.nan)
+    np.fill_diagonal(matrix, 0.0)
+    for src, dst, delay in entries:
+        matrix[index[src], index[dst]] = delay
+    missing = np.isnan(matrix)
+    if missing.any():
+        if fill_missing is None:
+            pairs = int(missing.sum())
+            raise ValidationError(
+                f"{path} is missing {pairs} ordered pairs; pass fill_missing to accept"
+            )
+        matrix[missing] = float(fill_missing)
+    labels = [label for label, _idx in sorted(index.items(), key=lambda kv: kv[1])]
+    return DelaySpace(matrix, labels=labels, jitter_std=jitter_std)
+
+
+# ---------------------------------------------------------------------- #
+# Churn traces
+# ---------------------------------------------------------------------- #
+def write_churn_trace(schedule: ChurnSchedule, path: PathLike) -> None:
+    """Write a churn schedule as a ``node,start_s,end_s`` CSV trace."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["node", "start_s", "end_s"])
+        for session in schedule.sessions:
+            writer.writerow([session.node, f"{session.start:.3f}", f"{session.end:.3f}"])
+
+
+def read_churn_trace(
+    path: PathLike,
+    *,
+    n: int | None = None,
+    horizon: float | None = None,
+    timescale: float = 1.0,
+) -> ChurnSchedule:
+    """Read a ``node,start_s,end_s`` CSV trace into a :class:`ChurnSchedule`.
+
+    Parameters
+    ----------
+    path:
+        CSV file with a header row.
+    n:
+        Number of nodes; defaults to ``max(node) + 1`` seen in the trace.
+    horizon:
+        Schedule horizon; defaults to the latest session end.
+    timescale:
+        Factor applied to all times — the paper's "adjustments to the
+        timescale to control the intensity of churn" (values < 1 compress
+        time and therefore increase the churn rate).
+    """
+    if timescale <= 0:
+        raise ValidationError("timescale must be positive")
+    path = Path(path)
+    sessions: List[OnOffSession] = []
+    max_node = -1
+    max_end = 0.0
+    with path.open() as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or [h.strip().lower() for h in header[:3]] != ["node", "start_s", "end_s"]:
+            raise ValidationError(
+                f"{path} does not look like a churn trace (expected header node,start_s,end_s)"
+            )
+        for row_number, row in enumerate(reader, start=2):
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            if len(row) < 3:
+                raise ValidationError(f"{path}:{row_number}: expected 3 columns, got {len(row)}")
+            node = int(row[0])
+            start = float(row[1]) * timescale
+            end = float(row[2]) * timescale
+            sessions.append(OnOffSession(node=node, start=start, end=end))
+            max_node = max(max_node, node)
+            max_end = max(max_end, end)
+    if not sessions:
+        raise ValidationError(f"{path} contains no sessions")
+    n = n if n is not None else max_node + 1
+    horizon = horizon if horizon is not None else max_end
+    return ChurnSchedule(n, horizon, sessions)

@@ -1,0 +1,220 @@
+"""The overlay graph: a directed, weighted adjacency structure.
+
+:class:`OverlayGraph` is the common currency between the wiring policies
+(:mod:`repro.core`), the routing algorithms (:mod:`repro.routing`), and the
+link-state protocol.  It is a thin, fast structure over per-node adjacency
+dictionaries with conversion to/from :mod:`networkx` for interoperability
+and debugging.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.util.validation import ValidationError, check_index
+
+
+class OverlayGraph:
+    """A directed overlay topology with weighted edges.
+
+    Nodes are integers ``0 .. n-1``; a directed edge ``(u, v)`` carries a
+    single float weight (delay in ms, node load, or available bandwidth in
+    Mbps depending on the metric in use).
+
+    Parameters
+    ----------
+    n:
+        Number of overlay nodes.
+    """
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValidationError(f"n must be >= 1, got {n}")
+        self.n = int(n)
+        self._succ: List[Dict[int, float]] = [dict() for _ in range(self.n)]
+        self._pred: List[Set[int]] = [set() for _ in range(self.n)]
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add_edge(self, u: int, v: int, weight: float) -> None:
+        """Add (or overwrite) the directed edge ``u -> v`` with ``weight``."""
+        check_index(u, self.n, "u")
+        check_index(v, self.n, "v")
+        if u == v:
+            raise ValidationError("self-loops are not allowed in the overlay")
+        weight = float(weight)
+        if weight < 0:
+            raise ValidationError("edge weights must be non-negative")
+        self._succ[u][v] = weight
+        self._pred[v].add(u)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove the directed edge ``u -> v`` (no-op if absent)."""
+        if v in self._succ[u]:
+            del self._succ[u][v]
+            self._pred[v].discard(u)
+
+    def remove_node_edges(self, node: int) -> None:
+        """Remove every edge incident (in either direction) to ``node``.
+
+        Used when a node churns OFF: its links disappear from the overlay
+        but the node identifier remains valid.
+        """
+        check_index(node, self.n, "node")
+        for v in list(self._succ[node]):
+            self.remove_edge(node, v)
+        for u in list(self._pred[node]):
+            self.remove_edge(u, node)
+
+    def set_out_edges(self, u: int, edges: Dict[int, float]) -> None:
+        """Replace all outgoing edges of ``u`` with ``edges`` (dst -> weight)."""
+        for v in list(self._succ[u]):
+            self.remove_edge(u, v)
+        for v, w in edges.items():
+            self.add_edge(u, v, w)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if the directed edge ``u -> v`` exists."""
+        return v in self._succ[u]
+
+    def weight(self, u: int, v: int) -> float:
+        """Weight of edge ``u -> v`` (KeyError if absent)."""
+        return self._succ[u][v]
+
+    def successors(self, u: int) -> Dict[int, float]:
+        """Mapping of out-neighbours of ``u`` to edge weights (a copy)."""
+        return dict(self._succ[u])
+
+    def predecessors(self, v: int) -> Set[int]:
+        """Set of nodes with an edge into ``v`` (a copy)."""
+        return set(self._pred[v])
+
+    def out_degree(self, u: int) -> int:
+        """Number of outgoing edges of ``u``."""
+        return len(self._succ[u])
+
+    def in_degree(self, v: int) -> int:
+        """Number of incoming edges of ``v``."""
+        return len(self._pred[v])
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate over all edges as ``(u, v, weight)``."""
+        for u in range(self.n):
+            for v, w in self._succ[u].items():
+                yield (u, v, w)
+
+    def edge_count(self) -> int:
+        """Total number of directed edges."""
+        return sum(len(s) for s in self._succ)
+
+    # ------------------------------------------------------------------ #
+    # Derivation
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "OverlayGraph":
+        """Deep copy."""
+        clone = OverlayGraph(self.n)
+        for u, v, w in self.edges():
+            clone.add_edge(u, v, w)
+        return clone
+
+    def without_node_out_edges(self, node: int) -> "OverlayGraph":
+        """Copy with ``node``'s *outgoing* edges removed.
+
+        This is the residual graph ``G_{-i}`` a node reasons over when
+        computing its best response: everyone else's wiring stays, its own
+        outgoing links are up for re-selection.
+        """
+        clone = self.copy()
+        for v in list(clone._succ[node]):
+            clone.remove_edge(node, v)
+        return clone
+
+    def restricted(self, active: Iterable[int]) -> "OverlayGraph":
+        """Copy with edges only among the ``active`` node set.
+
+        Node identifiers are preserved; edges touching inactive nodes are
+        dropped.  Used under churn, where OFF nodes take their links with
+        them.
+        """
+        active_set = set(active)
+        clone = OverlayGraph(self.n)
+        for u, v, w in self.edges():
+            if u in active_set and v in active_set:
+                clone.add_edge(u, v, w)
+        return clone
+
+    def to_adjacency_matrix(self, absent: float = np.inf) -> np.ndarray:
+        """Dense weight matrix with ``absent`` for missing edges, 0 diagonal."""
+        mat = np.full((self.n, self.n), absent, dtype=float)
+        np.fill_diagonal(mat, 0.0)
+        for u, v, w in self.edges():
+            mat[u, v] = w
+        return mat
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Convert to a :class:`networkx.DiGraph` with ``weight`` attributes."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(self.n))
+        for u, v, w in self.edges():
+            graph.add_edge(u, v, weight=w)
+        return graph
+
+    @classmethod
+    def from_networkx(cls, graph: nx.DiGraph, weight: str = "weight") -> "OverlayGraph":
+        """Build from a :class:`networkx.DiGraph` with integer node labels."""
+        nodes = sorted(graph.nodes)
+        if nodes != list(range(len(nodes))):
+            raise ValidationError(
+                "from_networkx requires nodes labelled 0..n-1; relabel first"
+            )
+        overlay = cls(len(nodes))
+        for u, v, data in graph.edges(data=True):
+            overlay.add_edge(int(u), int(v), float(data.get(weight, 1.0)))
+        return overlay
+
+    @classmethod
+    def from_wirings(
+        cls, n: int, wirings: Dict[int, Dict[int, float]]
+    ) -> "OverlayGraph":
+        """Build from a mapping ``node -> {neighbor: weight}``."""
+        overlay = cls(n)
+        for u, out in wirings.items():
+            for v, w in out.items():
+                overlay.add_edge(u, v, w)
+        return overlay
+
+    # ------------------------------------------------------------------ #
+    # Connectivity helpers
+    # ------------------------------------------------------------------ #
+    def reachable_from(self, src: int) -> Set[int]:
+        """Set of nodes reachable from ``src`` by directed paths (incl. src)."""
+        seen = {src}
+        stack = [src]
+        while stack:
+            u = stack.pop()
+            for v in self._succ[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return seen
+
+    def is_strongly_connected(self, nodes: Optional[Iterable[int]] = None) -> bool:
+        """True if every node (in ``nodes``) can reach every other."""
+        node_list = list(nodes) if nodes is not None else list(range(self.n))
+        if len(node_list) <= 1:
+            return True
+        target = set(node_list)
+        for src in node_list:
+            if not target.issubset(self.reachable_from(src)):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OverlayGraph(n={self.n}, edges={self.edge_count()})"

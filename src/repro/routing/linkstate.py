@@ -1,0 +1,185 @@
+"""Overlay link-state routing protocol.
+
+Every EGOIST node floods a :class:`LinkStateAnnouncement` describing its
+established links and their costs.  Each node keeps a
+:class:`TopologyDatabase` of the freshest announcement per origin, from
+which it reconstructs the overlay graph (the residual graph ``G_{-i}`` it
+needs for best-response computation is obtained by dropping its own entry).
+
+The :class:`LinkStateProtocol` class simulates the flooding at epoch
+granularity: announcements issued by ON nodes are delivered to all other ON
+nodes that are reachable in the overlay (a newcomer that has connected to
+at least one bootstrap neighbour will therefore obtain the full residual
+graph, as described in Section 3.1), and protocol traffic is accounted for
+the Section 4.3 overhead analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.routing.graph import OverlayGraph
+from repro.routing.messages import LinkStateAnnouncement, announcement_size_bits
+from repro.util.validation import ValidationError, check_index, check_positive
+
+
+class TopologyDatabase:
+    """Per-node store of the freshest link-state announcement per origin."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValidationError(f"n must be >= 1, got {n}")
+        self.n = int(n)
+        self._announcements: Dict[int, LinkStateAnnouncement] = {}
+
+    def insert(self, announcement: LinkStateAnnouncement) -> bool:
+        """Insert ``announcement`` if it is fresher than what we hold.
+
+        Returns True if the database changed.
+        """
+        current = self._announcements.get(announcement.origin)
+        if current is not None and current.sequence >= announcement.sequence:
+            return False
+        self._announcements[announcement.origin] = announcement
+        return True
+
+    def remove_origin(self, origin: int) -> None:
+        """Forget the announcement of ``origin`` (e.g. node timed out)."""
+        self._announcements.pop(origin, None)
+
+    def known_origins(self) -> Set[int]:
+        """Origins for which we hold an announcement."""
+        return set(self._announcements)
+
+    def announcement(self, origin: int) -> Optional[LinkStateAnnouncement]:
+        """The stored announcement of ``origin`` (or None)."""
+        return self._announcements.get(origin)
+
+    def build_graph(self, exclude_origin: Optional[int] = None) -> OverlayGraph:
+        """Reconstruct the overlay graph from stored announcements.
+
+        Parameters
+        ----------
+        exclude_origin:
+            If given, that origin's announcement is skipped — yielding the
+            residual graph ``G_{-i}`` used for best-response computation.
+        """
+        graph = OverlayGraph(self.n)
+        for origin, ann in self._announcements.items():
+            if origin == exclude_origin:
+                continue
+            for neighbor, cost in ann.links:
+                if neighbor == origin:
+                    continue
+                graph.add_edge(origin, neighbor, cost)
+        return graph
+
+    def __len__(self) -> int:
+        return len(self._announcements)
+
+
+@dataclass
+class ProtocolStats:
+    """Aggregate traffic counters for the link-state protocol."""
+
+    announcements_sent: int = 0
+    announcement_bits: int = 0
+    flood_deliveries: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.announcements_sent = 0
+        self.announcement_bits = 0
+        self.flood_deliveries = 0
+
+
+class LinkStateProtocol:
+    """Epoch-granularity simulation of overlay link-state flooding.
+
+    Parameters
+    ----------
+    n:
+        Number of overlay nodes.
+    announce_interval_s:
+        ``T_announce``, the period between successive announcements by a
+        node (20 s in the paper).
+    """
+
+    def __init__(self, n: int, announce_interval_s: float = 20.0):
+        if n < 1:
+            raise ValidationError(f"n must be >= 1, got {n}")
+        self.n = int(n)
+        self.announce_interval_s = check_positive(
+            announce_interval_s, "announce_interval_s"
+        )
+        self.databases: List[TopologyDatabase] = [TopologyDatabase(n) for _ in range(n)]
+        self._sequence: List[int] = [0] * n
+        self.stats = ProtocolStats()
+
+    def next_sequence(self, origin: int) -> int:
+        """Allocate the next LSA sequence number for ``origin``."""
+        check_index(origin, self.n, "origin")
+        self._sequence[origin] += 1
+        return self._sequence[origin]
+
+    def broadcast(
+        self,
+        origin: int,
+        links: Dict[int, float],
+        *,
+        active: Optional[Iterable[int]] = None,
+        timestamp: float = 0.0,
+    ) -> LinkStateAnnouncement:
+        """Issue and flood an announcement of ``origin``'s current links.
+
+        Parameters
+        ----------
+        origin:
+            Announcing node.
+        links:
+            Mapping of neighbour -> announced cost.
+        active:
+            The set of nodes currently ON; only they receive the flood.
+            Defaults to all nodes.
+        timestamp:
+            Simulated time of the announcement.
+
+        Returns
+        -------
+        LinkStateAnnouncement
+            The announcement that was flooded.
+        """
+        check_index(origin, self.n, "origin")
+        announcement = LinkStateAnnouncement.from_dict(
+            origin, self.next_sequence(origin), links, timestamp
+        )
+        recipients = set(active) if active is not None else set(range(self.n))
+        recipients.add(origin)
+        for node in recipients:
+            if self.databases[node].insert(announcement):
+                self.stats.flood_deliveries += 1
+        self.stats.announcements_sent += 1
+        self.stats.announcement_bits += announcement.size_bits
+        return announcement
+
+    def withdraw(self, origin: int, *, active: Optional[Iterable[int]] = None) -> None:
+        """Flood an empty announcement for ``origin`` (node left / links down)."""
+        self.broadcast(origin, {}, active=active)
+
+    def purge(self, origin: int) -> None:
+        """Remove ``origin`` from every database without flooding.
+
+        Models the eventual timeout of a crashed node's state.
+        """
+        for db in self.databases:
+            db.remove_origin(origin)
+
+    def view_of(self, node: int, *, residual_for: Optional[int] = None) -> OverlayGraph:
+        """The overlay graph as seen by ``node``'s topology database."""
+        check_index(node, self.n, "node")
+        return self.databases[node].build_graph(exclude_origin=residual_for)
+
+    def traffic_rate_bps(self, k: int) -> float:
+        """Per-node protocol traffic rate for a node announcing ``k`` links."""
+        return announcement_size_bits(k) / self.announce_interval_s

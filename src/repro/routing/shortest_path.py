@@ -1,0 +1,212 @@
+"""Shortest-path routing over the overlay graph.
+
+Routing in EGOIST is standard shortest-path routing over the selfishly
+constructed overlay topology (the paper is explicit that it is *not*
+selfish source routing).  Costs are additive: link delays for the delay
+metric, or per-node loads mapped onto outgoing links for the node-load
+metric.
+
+Two implementations are provided:
+
+* a heap-based Dijkstra over the :class:`~repro.routing.graph.OverlayGraph`
+  adjacency structure (used for single-source queries and path extraction),
+* a vectorised repeated-Dijkstra all-pairs routine returning a dense cost
+  matrix (used by the cost functions in :mod:`repro.core.cost`, which need
+  distances from every node to every destination).
+
+Unreachable destinations get cost ``disconnection_cost`` — the paper's
+``M >> n`` convention — so that best responses are strongly incentivised to
+re-connect partitions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
+
+from repro.routing.graph import OverlayGraph
+from repro.util.validation import check_index
+
+#: Default cost assigned to unreachable destinations ("M >> n" in the paper).
+DEFAULT_DISCONNECTION_COST = float("inf")
+
+
+def _to_csr(graph: OverlayGraph) -> csr_matrix:
+    """Sparse adjacency matrix of ``graph`` (zero-weight edges preserved).
+
+    scipy's csgraph treats explicit zeros as absent edges unless told
+    otherwise; we nudge zero weights to a tiny epsilon so that zero-cost
+    links (possible under the node-load metric) stay routable.
+    """
+    rows: List[int] = []
+    cols: List[int] = []
+    data: List[float] = []
+    for u, v, w in graph.edges():
+        rows.append(u)
+        cols.append(v)
+        data.append(w if w > 0 else 1e-12)
+    return csr_matrix((data, (rows, cols)), shape=(graph.n, graph.n))
+
+
+def shortest_path_costs_from(
+    graph: OverlayGraph,
+    src: int,
+    *,
+    disconnection_cost: float = DEFAULT_DISCONNECTION_COST,
+) -> np.ndarray:
+    """Single-source shortest-path costs from ``src`` to every node.
+
+    Returns an array of length ``n`` with 0 at ``src`` and
+    ``disconnection_cost`` for unreachable nodes.
+    """
+    check_index(src, graph.n, "src")
+    dist = _csgraph_dijkstra(_to_csr(graph), directed=True, indices=src)
+    dist = np.asarray(dist, dtype=float)
+    if not np.isinf(disconnection_cost):
+        dist[np.isinf(dist)] = disconnection_cost
+    return dist
+
+
+def shortest_path_costs_multi(
+    graph: OverlayGraph,
+    sources: List[int],
+    *,
+    disconnection_cost: float = DEFAULT_DISCONNECTION_COST,
+) -> np.ndarray:
+    """Shortest-path costs from each of ``sources`` to every node.
+
+    Returns a ``len(sources) x n`` matrix.  This is the vectorised core
+    used by the best-response evaluator, which needs routing values from
+    every candidate first hop at once.
+    """
+    if not sources:
+        return np.zeros((0, graph.n))
+    for src in sources:
+        check_index(src, graph.n, "src")
+    dist = _csgraph_dijkstra(_to_csr(graph), directed=True, indices=sources)
+    dist = np.atleast_2d(np.asarray(dist, dtype=float))
+    if not np.isinf(disconnection_cost):
+        dist[np.isinf(dist)] = disconnection_cost
+    return dist
+
+
+def shortest_path_tree(
+    graph: OverlayGraph, src: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Single-source shortest paths with predecessor tracking.
+
+    Returns ``(dist, predecessor)`` arrays; ``predecessor[v] == -1`` for the
+    source and for unreachable nodes.
+    """
+    check_index(src, graph.n, "src")
+    dist = np.full(graph.n, np.inf)
+    pred = np.full(graph.n, -1, dtype=int)
+    dist[src] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, src)]
+    visited = np.zeros(graph.n, dtype=bool)
+    while heap:
+        d, u = heapq.heappop(heap)
+        if visited[u]:
+            continue
+        visited[u] = True
+        for v, w in graph.successors(u).items():
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                pred[v] = u
+                heapq.heappush(heap, (nd, v))
+    return dist, pred
+
+
+def shortest_path(
+    graph: OverlayGraph, src: int, dst: int
+) -> Optional[List[int]]:
+    """The shortest path from ``src`` to ``dst`` as a node list, or None."""
+    check_index(dst, graph.n, "dst")
+    dist, pred = shortest_path_tree(graph, src)
+    if np.isinf(dist[dst]):
+        return None
+    path = [dst]
+    while path[-1] != src:
+        parent = int(pred[path[-1]])
+        if parent < 0:
+            return None
+        path.append(parent)
+    path.reverse()
+    return path
+
+
+def all_pairs_shortest_costs(
+    graph: OverlayGraph,
+    *,
+    disconnection_cost: float = DEFAULT_DISCONNECTION_COST,
+    sources: Optional[List[int]] = None,
+) -> np.ndarray:
+    """All-pairs shortest-path cost matrix.
+
+    Parameters
+    ----------
+    graph:
+        Overlay graph with additive edge costs.
+    disconnection_cost:
+        Cost assigned to unreachable (source, destination) pairs.
+    sources:
+        Optional subset of sources to compute (rows for other sources are
+        filled with ``disconnection_cost`` except their diagonal).  Useful
+        when only a few nodes' costs are needed.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``n x n`` matrix ``D`` with ``D[i, j]`` the overlay routing cost
+        from ``i`` to ``j``.
+    """
+    n = graph.n
+    if sources is None:
+        sources = list(range(n))
+    if np.isinf(disconnection_cost):
+        result = np.full((n, n), np.inf)
+    else:
+        result = np.full((n, n), float(disconnection_cost))
+    np.fill_diagonal(result, 0.0)
+    if sources:
+        result[sources, :] = shortest_path_costs_multi(
+            graph, list(sources), disconnection_cost=disconnection_cost
+        )
+    return result
+
+
+def path_cost(graph: OverlayGraph, path: List[int]) -> float:
+    """Total additive cost of ``path`` (consecutive edges must exist)."""
+    total = 0.0
+    for u, v in zip(path[:-1], path[1:]):
+        total += graph.weight(u, v)
+    return total
+
+
+def average_path_stretch(
+    graph: OverlayGraph, direct_costs: np.ndarray
+) -> float:
+    """Mean ratio of overlay routing cost to the direct (one-hop) cost.
+
+    ``direct_costs[i, j]`` is the cost of a hypothetical direct overlay
+    link; the stretch measures how much the degree-constrained overlay
+    inflates routing cost relative to a full mesh.  Pairs that are
+    unreachable in the overlay are skipped.
+    """
+    overlay_costs = all_pairs_shortest_costs(graph)
+    n = graph.n
+    ratios = []
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            direct = direct_costs[i, j]
+            routed = overlay_costs[i, j]
+            if direct > 0 and np.isfinite(routed):
+                ratios.append(routed / direct)
+    return float(np.mean(ratios)) if ratios else float("inf")

@@ -1,0 +1,114 @@
+"""Maximum-bottleneck-bandwidth ("widest path") routing.
+
+For the available-bandwidth metric the paper defines the bandwidth of a
+path as the minimum available bandwidth over its edges, and the bandwidth
+between two nodes as the maximum over all connecting paths — the classic
+"Maximum Bottleneck Bandwidth" problem solved with a simple modification of
+Dijkstra's algorithm (Section 4.1).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.routing.graph import OverlayGraph
+from repro.util.validation import check_index
+
+
+def widest_path_bandwidths_from(graph: OverlayGraph, src: int) -> np.ndarray:
+    """Maximum bottleneck bandwidth from ``src`` to every node.
+
+    Edge weights are interpreted as available bandwidth (Mbps).  The source
+    itself gets ``+inf``; unreachable nodes get 0.
+    """
+    check_index(src, graph.n, "src")
+    best = np.zeros(graph.n)
+    best[src] = np.inf
+    # Max-heap via negated bottleneck values.
+    heap: List[Tuple[float, int]] = [(-np.inf, src)]
+    visited = np.zeros(graph.n, dtype=bool)
+    while heap:
+        neg_bw, u = heapq.heappop(heap)
+        if visited[u]:
+            continue
+        visited[u] = True
+        bw_u = -neg_bw
+        for v, w in graph.successors(u).items():
+            candidate = min(bw_u, w)
+            if candidate > best[v]:
+                best[v] = candidate
+                heapq.heappush(heap, (-candidate, v))
+    return best
+
+
+def widest_path_tree(
+    graph: OverlayGraph, src: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Widest paths with predecessor tracking.
+
+    Returns ``(bandwidth, predecessor)``; ``predecessor[v] == -1`` for the
+    source and unreachable nodes.
+    """
+    check_index(src, graph.n, "src")
+    best = np.zeros(graph.n)
+    pred = np.full(graph.n, -1, dtype=int)
+    best[src] = np.inf
+    heap: List[Tuple[float, int]] = [(-np.inf, src)]
+    visited = np.zeros(graph.n, dtype=bool)
+    while heap:
+        neg_bw, u = heapq.heappop(heap)
+        if visited[u]:
+            continue
+        visited[u] = True
+        bw_u = -neg_bw
+        for v, w in graph.successors(u).items():
+            candidate = min(bw_u, w)
+            if candidate > best[v]:
+                best[v] = candidate
+                pred[v] = u
+                heapq.heappush(heap, (-candidate, v))
+    return best, pred
+
+
+def widest_path(graph: OverlayGraph, src: int, dst: int) -> Optional[List[int]]:
+    """The maximum-bottleneck path from ``src`` to ``dst`` (or None)."""
+    check_index(dst, graph.n, "dst")
+    best, pred = widest_path_tree(graph, src)
+    if best[dst] <= 0:
+        return None
+    path = [dst]
+    while path[-1] != src:
+        parent = int(pred[path[-1]])
+        if parent < 0:
+            return None
+        path.append(parent)
+    path.reverse()
+    return path
+
+
+def all_pairs_widest_bandwidth(
+    graph: OverlayGraph, *, sources: Optional[List[int]] = None
+) -> np.ndarray:
+    """All-pairs maximum bottleneck bandwidth matrix.
+
+    ``result[i, j]`` is the best achievable bottleneck bandwidth from ``i``
+    to ``j`` over the overlay (0 if unreachable, +inf on the diagonal).
+    """
+    n = graph.n
+    if sources is None:
+        sources = list(range(n))
+    result = np.zeros((n, n))
+    np.fill_diagonal(result, np.inf)
+    for src in sources:
+        result[src, :] = widest_path_bandwidths_from(graph, src)
+    return result
+
+
+def path_bottleneck(graph: OverlayGraph, path: List[int]) -> float:
+    """Bottleneck (minimum edge weight) of ``path``."""
+    if len(path) < 2:
+        return float("inf")
+    return min(graph.weight(u, v) for u, v in zip(path[:-1], path[1:]))

@@ -1,0 +1,86 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cost import BandwidthMetric, DelayMetric, NodeLoadMetric
+from repro.netsim.bandwidth import BandwidthModel
+from repro.netsim.delayspace import DelaySpace
+from repro.netsim.load import NodeLoadModel
+from repro.netsim.planetlab import synthetic_planetlab
+
+
+@pytest.fixture
+def rng():
+    """A seeded generator for test determinism."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_delay_matrix():
+    """A hand-crafted 5-node asymmetric delay matrix with known structure.
+
+    Node 0 is central (cheap to everyone); node 4 is remote (expensive).
+    """
+    return np.array(
+        [
+            [0.0, 10.0, 12.0, 15.0, 40.0],
+            [11.0, 0.0, 8.0, 20.0, 45.0],
+            [13.0, 9.0, 0.0, 18.0, 50.0],
+            [16.0, 21.0, 19.0, 0.0, 30.0],
+            [42.0, 44.0, 52.0, 31.0, 0.0],
+        ]
+    )
+
+
+@pytest.fixture
+def small_delay_space(small_delay_matrix):
+    """DelaySpace over the 5-node matrix (no jitter)."""
+    return DelaySpace(small_delay_matrix, jitter_std=0.0)
+
+
+@pytest.fixture
+def small_delay_metric(small_delay_matrix):
+    """DelayMetric over the 5-node matrix."""
+    return DelayMetric(small_delay_matrix)
+
+
+@pytest.fixture
+def planetlab20():
+    """A 20-node synthetic PlanetLab delay space (deterministic)."""
+    space, nodes = synthetic_planetlab(20, seed=7)
+    return space, nodes
+
+
+@pytest.fixture
+def planetlab20_metric(planetlab20):
+    """DelayMetric over the 20-node PlanetLab space."""
+    space, _nodes = planetlab20
+    return DelayMetric(space.matrix)
+
+
+@pytest.fixture
+def load_metric_small():
+    """A 6-node NodeLoadMetric with a deliberately overloaded node 5."""
+    return NodeLoadMetric([0.5, 1.0, 0.8, 1.5, 0.3, 9.0])
+
+
+@pytest.fixture
+def bandwidth_metric_small(rng):
+    """A 6-node BandwidthMetric from a seeded bandwidth model."""
+    model = BandwidthModel(6, seed=rng)
+    return BandwidthMetric(model.matrix())
+
+
+@pytest.fixture
+def bandwidth_model8():
+    """An 8-node bandwidth model (deterministic)."""
+    return BandwidthModel(8, seed=42)
+
+
+@pytest.fixture
+def load_model8():
+    """An 8-node load model (deterministic)."""
+    return NodeLoadModel(8, seed=42)

@@ -1,0 +1,100 @@
+"""Tests for the cheating model and audits."""
+
+import numpy as np
+import pytest
+
+from repro.core.cheating import (
+    CheatingModel,
+    audit_announcements,
+    detected_cheaters,
+)
+from repro.core.cost import BandwidthMetric, DelayMetric, NodeLoadMetric
+from repro.util.validation import ValidationError
+
+
+class TestCheatingModel:
+    def test_delay_inflation_only_on_riders_rows(self, small_delay_metric):
+        model = CheatingModel(small_delay_metric, free_riders=[2], inflation_factor=2.0)
+        announced = model.announced_metric()
+        truth = small_delay_metric
+        for j in range(5):
+            if j == 2:
+                continue
+            assert announced.link_weight(2, j) == pytest.approx(
+                2.0 * truth.link_weight(2, j)
+            )
+            assert announced.link_weight(0, j if j != 0 else 1) == pytest.approx(
+                truth.link_weight(0, j if j != 0 else 1)
+            )
+
+    def test_bandwidth_deflation(self, bandwidth_metric_small):
+        model = CheatingModel(bandwidth_metric_small, [1], inflation_factor=2.0)
+        announced = model.announced_metric()
+        assert announced.link_weight(1, 0) == pytest.approx(
+            bandwidth_metric_small.link_weight(1, 0) / 2.0
+        )
+
+    def test_node_load_inflation(self):
+        truth = NodeLoadMetric([1.0, 2.0, 3.0])
+        model = CheatingModel(truth, [0], inflation_factor=3.0)
+        announced = model.announced_metric()
+        assert announced.link_weight(0, 1) == pytest.approx(3.0)
+        assert announced.link_weight(1, 0) == pytest.approx(2.0)
+
+    def test_is_free_rider(self, small_delay_metric):
+        model = CheatingModel(small_delay_metric, [3])
+        assert model.is_free_rider(3)
+        assert not model.is_free_rider(1)
+
+    def test_out_of_range_rider_rejected(self, small_delay_metric):
+        with pytest.raises(ValidationError):
+            CheatingModel(small_delay_metric, [99])
+
+    def test_nonpositive_inflation_rejected(self, small_delay_metric):
+        with pytest.raises(ValidationError):
+            CheatingModel(small_delay_metric, [1], inflation_factor=0.0)
+
+    def test_deflation_models_opposite_abuse(self, small_delay_metric):
+        model = CheatingModel(small_delay_metric, [1], inflation_factor=0.5)
+        announced = model.announced_metric()
+        assert announced.link_weight(1, 0) == pytest.approx(
+            0.5 * small_delay_metric.link_weight(1, 0)
+        )
+
+
+class TestAudits:
+    def test_flags_only_cheaters(self, planetlab20_metric):
+        truth = planetlab20_metric
+        announced = CheatingModel(truth, [4, 7], inflation_factor=2.0).announced_metric()
+        findings = audit_announcements(announced, truth, tolerance=0.5)
+        assert detected_cheaters(findings) == {4, 7}
+
+    def test_tolerance_controls_sensitivity(self, planetlab20_metric):
+        truth = planetlab20_metric
+        announced = CheatingModel(truth, [4], inflation_factor=1.3).announced_metric()
+        strict = audit_announcements(announced, truth, tolerance=0.1)
+        lax = audit_announcements(announced, truth, tolerance=0.5)
+        assert 4 in detected_cheaters(strict)
+        assert 4 not in detected_cheaters(lax)
+
+    def test_sampled_audit_still_detects_large_inflation(self, planetlab20_metric):
+        truth = planetlab20_metric
+        announced = CheatingModel(truth, [9], inflation_factor=3.0).announced_metric()
+        findings = audit_announcements(
+            announced, truth, samples_per_node=5, tolerance=0.5, rng=0
+        )
+        assert 9 in detected_cheaters(findings)
+
+    def test_honest_network_all_clear(self, planetlab20_metric):
+        findings = audit_announcements(planetlab20_metric, planetlab20_metric)
+        assert detected_cheaters(findings) == set()
+
+    def test_size_mismatch_rejected(self, planetlab20_metric, small_delay_metric):
+        with pytest.raises(ValidationError):
+            audit_announcements(planetlab20_metric, small_delay_metric)
+
+    def test_audit_subset_of_nodes(self, planetlab20_metric):
+        truth = planetlab20_metric
+        announced = CheatingModel(truth, [4], inflation_factor=2.0).announced_metric()
+        findings = audit_announcements(announced, truth, nodes=[1, 2, 3])
+        assert {f.node for f in findings} == {1, 2, 3}

@@ -1,0 +1,186 @@
+"""Tests for cost metrics and node cost functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cost import (
+    BandwidthMetric,
+    DelayMetric,
+    DISCONNECTION_COST,
+    NodeLoadMetric,
+    normalize_preferences,
+    uniform_preferences,
+    zipf_preferences,
+)
+from repro.routing.graph import OverlayGraph
+from repro.util.validation import ValidationError
+
+
+class TestPreferences:
+    def test_uniform_rows_sum_to_one(self):
+        prefs = uniform_preferences(5)
+        assert np.allclose(prefs.sum(axis=1), 1.0)
+        assert np.all(np.diag(prefs) == 0)
+
+    def test_uniform_requires_two_nodes(self):
+        with pytest.raises(ValidationError):
+            uniform_preferences(1)
+
+    def test_normalize_rows(self):
+        raw = np.array([[0.0, 2.0, 2.0], [1.0, 0.0, 3.0], [1.0, 1.0, 0.0]])
+        prefs = normalize_preferences(raw)
+        assert np.allclose(prefs.sum(axis=1), 1.0)
+        assert prefs[0, 1] == pytest.approx(0.5)
+
+    def test_normalize_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            normalize_preferences(np.array([[0.0, -1.0], [1.0, 0.0]]))
+
+    def test_normalize_rejects_zero_row(self):
+        with pytest.raises(ValidationError):
+            normalize_preferences(np.zeros((3, 3)))
+
+    def test_zipf_skewed(self):
+        prefs = zipf_preferences(10, exponent=1.2, seed=0)
+        assert np.allclose(prefs.sum(axis=1), 1.0)
+        assert prefs.max() > 2.0 / 9.0  # clearly above uniform weight
+
+
+class TestDelayMetric:
+    def test_link_weights(self, small_delay_metric, small_delay_matrix):
+        assert small_delay_metric.link_weight(0, 1) == small_delay_matrix[0, 1]
+        assert np.allclose(
+            small_delay_metric.link_weight_matrix(), small_delay_matrix
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            DelayMetric(np.array([[0.0, -1.0], [1.0, 0.0]]))
+
+    def test_node_cost_full_mesh_is_mean_delay(self, small_delay_metric, small_delay_matrix):
+        n = 5
+        graph = OverlayGraph(n)
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    graph.add_edge(i, j, small_delay_matrix[i, j])
+        cost = small_delay_metric.node_cost(0, graph)
+        # With the full mesh, shortest paths may shortcut, so the cost is at
+        # most the mean direct delay.
+        assert cost <= np.mean(small_delay_matrix[0, 1:]) + 1e-9
+
+    def test_unreachable_gets_disconnection_cost(self, small_delay_metric):
+        graph = OverlayGraph(5)
+        graph.add_edge(0, 1, 10.0)
+        cost = small_delay_metric.node_cost(0, graph)
+        # Three of four destinations unreachable.
+        assert cost >= 3 / 4 * DISCONNECTION_COST * 0.99
+
+    def test_destination_subset(self, small_delay_metric):
+        graph = OverlayGraph(5)
+        graph.add_edge(0, 1, 10.0)
+        cost = small_delay_metric.node_cost(0, graph, destinations=[1])
+        assert cost == pytest.approx(10.0 * uniform_preferences(5)[0, 1])
+
+    def test_social_cost_sums_nodes(self, small_delay_metric):
+        graph = OverlayGraph(5)
+        for i in range(5):
+            graph.add_edge(i, (i + 1) % 5, 10.0)
+        social = small_delay_metric.social_cost(graph)
+        costs = small_delay_metric.all_node_costs(graph)
+        assert social == pytest.approx(sum(costs.values()))
+
+    def test_better_and_improvement(self, small_delay_metric):
+        assert small_delay_metric.better(1.0, 2.0)
+        assert not small_delay_metric.better(2.0, 1.0)
+        assert small_delay_metric.improvement(80.0, 100.0) == pytest.approx(0.2)
+
+
+class TestNodeLoadMetric:
+    def test_outgoing_links_cost_source_load(self, load_metric_small):
+        assert load_metric_small.link_weight(5, 0) == 9.0
+        assert load_metric_small.link_weight(0, 5) == 0.5
+
+    def test_matrix_rows_constant(self, load_metric_small):
+        mat = load_metric_small.link_weight_matrix()
+        row = mat[3]
+        off_diag = [row[j] for j in range(6) if j != 3]
+        assert len(set(off_diag)) == 1
+
+    def test_path_cost_sums_node_loads(self, load_metric_small):
+        graph = OverlayGraph(6)
+        graph.add_edge(0, 1, load_metric_small.link_weight(0, 1))
+        graph.add_edge(1, 2, load_metric_small.link_weight(1, 2))
+        values = load_metric_small.route_values(graph)
+        assert values[0, 2] == pytest.approx(0.5 + 1.0)
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValidationError):
+            NodeLoadMetric([-1.0, 2.0])
+
+    def test_avoiding_loaded_node_pays_off(self, load_metric_small):
+        """Routing through the overloaded node 5 is worse than around it."""
+        graph = OverlayGraph(6)
+        graph.add_edge(0, 5, load_metric_small.link_weight(0, 5))
+        graph.add_edge(5, 1, load_metric_small.link_weight(5, 1))
+        graph.add_edge(0, 2, load_metric_small.link_weight(0, 2))
+        graph.add_edge(2, 1, load_metric_small.link_weight(2, 1))
+        values = load_metric_small.route_values(graph)
+        assert values[0, 1] == pytest.approx(0.5 + 0.8)
+
+
+class TestBandwidthMetric:
+    def test_maximize_flag(self, bandwidth_metric_small):
+        assert bandwidth_metric_small.maximize
+        assert bandwidth_metric_small.better(10.0, 5.0)
+
+    def test_node_cost_is_mean_bottleneck(self, bandwidth_metric_small):
+        n = bandwidth_metric_small.size
+        graph = OverlayGraph(n)
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    graph.add_edge(i, j, bandwidth_metric_small.link_weight(i, j))
+        cost = bandwidth_metric_small.node_cost(0, graph)
+        assert cost > 0
+
+    def test_unreachable_counts_zero(self, bandwidth_metric_small):
+        graph = OverlayGraph(bandwidth_metric_small.size)
+        graph.add_edge(0, 1, 10.0)
+        cost = bandwidth_metric_small.node_cost(0, graph)
+        expected = uniform_preferences(bandwidth_metric_small.size)[0, 1] * min(
+            10.0, bandwidth_metric_small.link_weight(0, 1)
+        )
+        assert cost == pytest.approx(
+            uniform_preferences(bandwidth_metric_small.size)[0, 1] * 10.0
+        )
+
+    def test_improvement_direction(self, bandwidth_metric_small):
+        assert bandwidth_metric_small.improvement(12.0, 10.0) == pytest.approx(0.2)
+        assert bandwidth_metric_small.improvement(8.0, 10.0) < 0
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValidationError):
+            BandwidthMetric(np.array([[0.0, -5.0], [1.0, 0.0]]))
+
+
+class TestMetricProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(3, 8))
+    def test_richer_graph_never_worse_delay(self, n):
+        """Adding links can only improve (or keep) every node's delay cost."""
+        rng = np.random.default_rng(n)
+        delays = rng.uniform(1, 100, size=(n, n))
+        np.fill_diagonal(delays, 0)
+        metric = DelayMetric(delays)
+        ring = OverlayGraph(n)
+        for i in range(n):
+            ring.add_edge(i, (i + 1) % n, delays[i, (i + 1) % n])
+        richer = ring.copy()
+        for i in range(n):
+            j = int(rng.integers(0, n))
+            if i != j and not richer.has_edge(i, j):
+                richer.add_edge(i, j, delays[i, j])
+        for node in range(n):
+            assert metric.node_cost(node, richer) <= metric.node_cost(node, ring) + 1e-9

@@ -1,0 +1,149 @@
+"""Tests for the epoch-driven overlay engine."""
+
+import numpy as np
+import pytest
+
+from repro.churn.models import trace_driven_churn
+from repro.core.cheating import CheatingModel
+from repro.core.cost import DelayMetric
+from repro.core.engine import EgoistEngine
+from repro.core.hybrid import HybridBRPolicy
+from repro.core.policies import BestResponsePolicy, KClosestPolicy, KRandomPolicy
+from repro.core.providers import DelayMetricProvider
+from repro.netsim.planetlab import synthetic_planetlab
+
+
+@pytest.fixture
+def provider12():
+    space, _nodes = synthetic_planetlab(12, seed=5)
+    return DelayMetricProvider(space, estimator="true", seed=5)
+
+
+class TestEngineBasics:
+    def test_run_produces_records(self, provider12):
+        engine = EgoistEngine(provider12, BestResponsePolicy(), 3, seed=0)
+        history = engine.run(3)
+        assert len(history.records) == 3
+        assert all(r.active_nodes == 12 for r in history.records)
+
+    def test_first_epoch_wires_everyone(self, provider12):
+        engine = EgoistEngine(provider12, BestResponsePolicy(), 3, seed=0)
+        record = engine.run_epoch()
+        assert record.rewirings == 12
+        graph = engine.current_graph()
+        assert all(graph.out_degree(i) == 3 for i in range(12))
+
+    def test_stable_substrate_reaches_quiescence(self, provider12):
+        engine = EgoistEngine(provider12, BestResponsePolicy(), 3, seed=0)
+        history = engine.run(4)
+        # With a noiseless, static substrate the dynamics settle quickly.
+        assert history.rewirings_per_epoch()[-1] <= 2
+
+    def test_mean_cost_finite_and_positive(self, provider12):
+        engine = EgoistEngine(provider12, BestResponsePolicy(), 3, seed=0)
+        history = engine.run(3)
+        assert all(np.isfinite(r.mean_cost) and r.mean_cost > 0 for r in history.records)
+
+    def test_br_cost_below_random(self, provider12):
+        space, _nodes = synthetic_planetlab(12, seed=5)
+        br = EgoistEngine(
+            DelayMetricProvider(space, estimator="true"), BestResponsePolicy(), 3, seed=1
+        ).run(3)
+        rnd = EgoistEngine(
+            DelayMetricProvider(space, estimator="true"), KRandomPolicy(), 3, seed=1
+        ).run(3)
+        assert br.steady_state_mean_cost() < rnd.steady_state_mean_cost()
+
+    def test_linkstate_bits_accounted(self, provider12):
+        engine = EgoistEngine(provider12, KClosestPolicy(), 3, seed=0)
+        record = engine.run_epoch()
+        # 12 nodes each announcing 3 links: 12 * (192 + 96) bits.
+        assert record.linkstate_bits == 12 * (192 + 32 * 3)
+
+    def test_node_costs_accessor(self, provider12):
+        engine = EgoistEngine(provider12, BestResponsePolicy(), 3, seed=0)
+        engine.run(2)
+        costs = engine.node_costs()
+        assert set(costs) == set(range(12))
+        assert all(v > 0 for v in costs.values())
+
+
+class TestEngineChurn:
+    def test_active_set_follows_schedule(self):
+        space, _nodes = synthetic_planetlab(10, seed=2)
+        churn = trace_driven_churn(
+            10, 10 * 60.0, mean_on=300.0, mean_off=300.0, seed=3,
+            initial_on_probability=0.5,
+        )
+        engine = EgoistEngine(
+            DelayMetricProvider(space, estimator="true"),
+            BestResponsePolicy(),
+            3,
+            churn=churn,
+            compute_efficiency=True,
+            seed=0,
+        )
+        history = engine.run(5)
+        for record in history.records:
+            expected = len(churn.active_at(record.time))
+            assert record.active_nodes == expected
+
+    def test_offline_nodes_hold_no_links(self):
+        space, _nodes = synthetic_planetlab(10, seed=2)
+        churn = trace_driven_churn(
+            10, 10 * 60.0, mean_on=200.0, mean_off=400.0, seed=1,
+            initial_on_probability=0.5,
+        )
+        engine = EgoistEngine(
+            DelayMetricProvider(space, estimator="true"),
+            BestResponsePolicy(),
+            3,
+            churn=churn,
+            seed=0,
+        )
+        engine.run(4)
+        active = churn.active_at(engine.clock.now - engine.clock.epoch_length)
+        graph = engine.wiring.to_graph()
+        for u, v, _w in graph.edges():
+            assert engine.nodes[u].wiring is not None
+
+    def test_efficiency_computed_under_churn(self):
+        space, _nodes = synthetic_planetlab(10, seed=2)
+        churn = trace_driven_churn(10, 600.0, seed=5)
+        engine = EgoistEngine(
+            DelayMetricProvider(space, estimator="true"),
+            HybridBRPolicy(k2=2),
+            4,
+            churn=churn,
+            compute_efficiency=True,
+            seed=0,
+        )
+        history = engine.run(3)
+        assert all(0 <= r.mean_efficiency <= 1 or np.isnan(r.mean_efficiency) for r in history.records)
+
+    def test_churn_size_mismatch_rejected(self, provider12):
+        churn = trace_driven_churn(5, 600.0, seed=0)
+        with pytest.raises(Exception):
+            EgoistEngine(provider12, BestResponsePolicy(), 3, churn=churn)
+
+
+class TestEngineCheating:
+    def test_free_rider_distorts_announcements_not_truth(self):
+        space, _nodes = synthetic_planetlab(10, seed=4)
+        provider = DelayMetricProvider(space, estimator="true")
+        cheating = CheatingModel(
+            DelayMetric(space.matrix), free_riders=[0], inflation_factor=2.0
+        )
+        engine = EgoistEngine(
+            provider, BestResponsePolicy(), 3, cheating=cheating, seed=0
+        )
+        history = engine.run(2)
+        # Costs are evaluated on the true metric, so they stay finite and sane.
+        assert all(np.isfinite(r.mean_cost) for r in history.records)
+
+    def test_history_helpers(self, provider12):
+        engine = EgoistEngine(provider12, BestResponsePolicy(), 3, seed=0)
+        history = engine.run(4)
+        assert history.total_rewirings() >= 12
+        assert len(history.mean_costs()) == 4
+        assert np.isfinite(history.steady_state_mean_cost())

@@ -1,0 +1,101 @@
+"""Tests for metric providers."""
+
+import numpy as np
+import pytest
+
+from repro.core.providers import (
+    BandwidthMetricProvider,
+    DelayMetricProvider,
+    LoadMetricProvider,
+)
+from repro.netsim.bandwidth import BandwidthModel
+from repro.netsim.delayspace import DelaySpace
+from repro.netsim.load import NodeLoadModel
+from repro.util.validation import ValidationError
+
+
+class TestDelayProvider:
+    def test_true_estimator_is_oracle(self, small_delay_space):
+        provider = DelayMetricProvider(small_delay_space, estimator="true")
+        assert np.allclose(
+            provider.announced_metric().link_weight_matrix(),
+            provider.true_metric().link_weight_matrix(),
+        )
+
+    def test_ping_estimator_close_to_truth(self, small_delay_matrix):
+        space = DelaySpace(small_delay_matrix, jitter_std=0.5)
+        provider = DelayMetricProvider(space, estimator="ping", ping_samples=10, seed=0)
+        announced = provider.announced_metric().link_weight_matrix()
+        truth = provider.true_metric().link_weight_matrix()
+        off = ~np.eye(5, dtype=bool)
+        # Ping estimates RTT/2 so directional asymmetry is averaged away,
+        # but estimates stay within a few ms of the truth.
+        assert np.max(np.abs(announced[off] - (truth[off] + truth.T[off]) / 2)) < 3.0
+
+    def test_pyxida_estimator_correlates_with_truth(self, planetlab20):
+        space, _nodes = planetlab20
+        provider = DelayMetricProvider(
+            space, estimator="pyxida", coordinate_rounds=30, seed=0
+        )
+        announced = provider.announced_metric().link_weight_matrix()
+        truth = space.matrix
+        off = ~np.eye(20, dtype=bool)
+        corr = np.corrcoef(announced[off], truth[off])[0, 1]
+        assert corr > 0.6
+
+    def test_drift_advances_truth(self, small_delay_space):
+        provider = DelayMetricProvider(
+            small_delay_space, estimator="true", drift_relative_std=0.1, seed=0
+        )
+        before = provider.true_metric().link_weight_matrix().copy()
+        provider.advance(3)
+        after = provider.true_metric().link_weight_matrix()
+        assert not np.allclose(before, after)
+
+    def test_unknown_estimator_rejected(self, small_delay_space):
+        with pytest.raises(ValidationError):
+            DelayMetricProvider(small_delay_space, estimator="sonar")
+
+    def test_size(self, small_delay_space):
+        provider = DelayMetricProvider(small_delay_space)
+        assert provider.size == 5
+
+
+class TestLoadProvider:
+    def test_announced_uses_measured(self, load_model8):
+        provider = LoadMetricProvider(load_model8)
+        assert np.allclose(
+            provider.announced_metric().loads, load_model8.measured_loads()
+        )
+        assert np.allclose(provider.true_metric().loads, load_model8.true_loads())
+
+    def test_advance_moves_loads(self, load_model8):
+        provider = LoadMetricProvider(load_model8)
+        before = provider.true_metric().loads
+        provider.advance(5)
+        assert not np.allclose(before, provider.true_metric().loads)
+
+
+class TestBandwidthProvider:
+    def test_announced_noisy_but_close(self, bandwidth_model8):
+        provider = BandwidthMetricProvider(
+            bandwidth_model8, probe_relative_error=0.05, seed=0
+        )
+        truth = provider.true_metric().link_weight_matrix()
+        announced = provider.announced_metric().link_weight_matrix()
+        off = ~np.eye(8, dtype=bool)
+        rel = np.abs(announced[off] - truth[off]) / truth[off]
+        assert np.median(rel) < 0.2
+
+    def test_announced_positive(self, bandwidth_model8):
+        provider = BandwidthMetricProvider(bandwidth_model8, seed=0)
+        announced = provider.announced_metric().link_weight_matrix()
+        off = ~np.eye(8, dtype=bool)
+        assert np.all(announced[off] > 0)
+
+    def test_advance_changes_truth(self, bandwidth_model8):
+        provider = BandwidthMetricProvider(bandwidth_model8, seed=0)
+        before = provider.true_metric().link_weight_matrix().copy()
+        provider.advance(5)
+        off = ~np.eye(8, dtype=bool)
+        assert not np.allclose(before[off], provider.true_metric().link_weight_matrix()[off])

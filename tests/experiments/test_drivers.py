@@ -1,0 +1,183 @@
+"""Integration tests for the figure-level experiment drivers.
+
+These run each driver at a reduced scale and check the *shape* of the
+result the paper reports (who wins, monotone trends, normalisation), not
+absolute values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig1_bandwidth,
+    fig1_delay_ping,
+    fig1_delay_pyxida,
+    fig1_node_load,
+    fig2_churn_rate_sweep,
+    fig2_efficiency_vs_k,
+    fig3_epsilon_comparison,
+    fig3_rewirings_over_time,
+    fig4_many_free_riders,
+    fig4_one_free_rider,
+    fig5_to_8_sampling,
+    fig10_multipath_gain,
+    fig11_disjoint_paths,
+    overhead_table,
+)
+from repro.experiments.harness import ExperimentResult, Series, normalize_against
+
+
+class TestHarness:
+    def test_series_and_result(self):
+        result = ExperimentResult("figX", "demo", "k", "cost")
+        result.add_point("a", 1, 2.0)
+        result.add_point("a", 2, 3.0)
+        result.add_point("b", 1, 4.0)
+        assert result.series["a"].y == [2.0, 3.0]
+        table = result.table()
+        assert "k" in table and "a" in table
+        as_dict = result.as_dict()
+        assert as_dict["series"]["b"]["y"] == [4.0]
+
+    def test_normalize_against(self):
+        values = {"br": 2.0, "rnd": 6.0}
+        normalized = normalize_against(values, "br")
+        assert normalized == {"br": 1.0, "rnd": 3.0}
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig1_delay_ping(n=20, k_values=(2, 4), seed=11, br_rounds=2)
+
+    def test_br_normalised_to_one(self, result):
+        assert all(v == pytest.approx(1.0) for v in result.series["best-response"].y)
+
+    def test_heuristics_worse_than_br(self, result):
+        for label in ("k-random", "k-regular", "k-closest"):
+            assert all(v >= 0.95 for v in result.series[label].y), label
+
+    def test_full_mesh_at_least_as_good(self, result):
+        assert all(v <= 1.05 for v in result.series["full-mesh"].y)
+
+    def test_advantage_shrinks_with_k(self, result):
+        """BR's edge over the heuristics is largest for small k."""
+        mean_at = lambda idx: np.mean(
+            [result.series[l].y[idx] for l in ("k-random", "k-regular", "k-closest")]
+        )
+        assert mean_at(0) >= mean_at(1) * 0.8
+
+    def test_pyxida_variant_runs(self):
+        result = fig1_delay_pyxida(
+            n=16, k_values=(3,), seed=1, br_rounds=2, coordinate_rounds=15
+        )
+        assert all(v >= 0.9 for v in result.series["k-regular"].y)
+
+    def test_node_load_variant(self):
+        result = fig1_node_load(n=16, k_values=(3,), seed=1, br_rounds=2)
+        assert result.series["best-response"].y == [pytest.approx(1.0)]
+        assert all(v >= 0.95 for v in result.series["k-closest"].y)
+
+    def test_bandwidth_variant_ratios_below_one(self):
+        result = fig1_bandwidth(n=16, k_values=(3,), seed=1, br_rounds=2)
+        for label in ("k-random", "k-regular", "k-closest"):
+            assert all(v <= 1.1 for v in result.series[label].y), label
+
+
+class TestFig2:
+    def test_efficiency_vs_k_shapes(self):
+        result = fig2_efficiency_vs_k(
+            n=14, k_values=(3, 5), seed=2, epochs=5, horizon=5 * 60.0
+        )
+        assert all(v == pytest.approx(1.0) for v in result.series["best-response"].y)
+        for label in ("k-random", "k-regular", "k-closest", "hybrid-br"):
+            assert all(0.0 <= v <= 1.5 for v in result.series[label].y), label
+
+    def test_churn_rate_sweep_runs(self):
+        result = fig2_churn_rate_sweep(
+            n=12, churn_rates=(1e-3, 5e-2), k=4, seed=3, epochs=5, horizon=5 * 60.0
+        )
+        assert "hybrid-br" in result.series
+        assert len(result.series["hybrid-br"].y) == 2
+
+
+class TestFig3:
+    def test_rewirings_decline_from_start(self):
+        result = fig3_rewirings_over_time(n=16, k_values=(3,), epochs=6, seed=4)
+        series = result.series["k=3"].y
+        assert series[0] == 16  # initial wiring epoch
+        assert min(series[1:]) < series[0]
+
+    def test_epsilon_reduces_rewirings(self):
+        result = fig3_epsilon_comparison(
+            n=14, k_values=(3,), epochs=5, seed=5, epsilon=0.1
+        )
+        br = result.series["BR re-wirings"].y[0]
+        br_eps = result.series["BR(0.1) re-wirings"].y[0]
+        assert br_eps <= br + 1e-9
+        # Cost stays within a reasonable factor of the full mesh.
+        assert result.series["BR(0.1) cost/full mesh"].y[0] < 3.0
+
+
+class TestFig4:
+    def test_one_free_rider_bounded_impact(self):
+        result = fig4_one_free_rider(n=16, k_values=(2, 4), seed=6, br_rounds=2)
+        for label in ("free rider", "non free riders"):
+            assert all(0.7 <= v <= 1.4 for v in result.series[label].y), label
+
+    def test_many_free_riders_bounded_impact(self):
+        result = fig4_many_free_riders(
+            n=16, free_rider_counts=(0, 4), k=2, seed=7, br_rounds=2
+        )
+        assert result.series["free riders"].y[0] == pytest.approx(1.0)
+        assert all(0.6 <= v <= 1.6 for v in result.series["non free riders"].y)
+
+
+class TestFig5to8:
+    def test_sampling_curves(self):
+        result = fig5_to_8_sampling(
+            "best-response", n=50, k=3, sample_sizes=(6, 14), trials=2, seed=8
+        )
+        for label in ("BR", "BRtp", "k-random", "k-regular", "k-closest"):
+            assert label in result.series
+            assert all(v >= 0.85 for v in result.series[label].y), label
+        # BR-with-sampling should beat the sampled heuristics on average.
+        br_mean = np.mean(result.series["BR"].y)
+        worst = max(
+            np.mean(result.series[l].y) for l in ("k-random", "k-regular")
+        )
+        assert br_mean <= worst + 1e-9
+
+    def test_other_base_graphs_run(self):
+        result = fig5_to_8_sampling(
+            "k-random", n=40, k=3, sample_sizes=(8,), trials=1, seed=9
+        )
+        assert result.figure == "fig6"
+
+
+class TestAppsAndOverhead:
+    def test_fig10_gain_increases_with_k(self):
+        result = fig10_multipath_gain(
+            n=16, k_values=(2, 6), seed=10, br_rounds=2, pairs_per_k=30
+        )
+        parallel = result.series["source establ. parallel connections"].y
+        ceiling = result.series["peers allow multipath redirections"].y
+        assert parallel[1] >= parallel[0] * 0.9
+        assert all(c >= p * 0.9 for c, p in zip(ceiling, parallel))
+
+    def test_fig11_disjoint_paths_increase_with_k(self):
+        result = fig11_disjoint_paths(
+            n=16, k_values=(2, 6), seed=11, br_rounds=2, pairs_per_k=30
+        )
+        series = result.series["disjoint paths"].y
+        assert series[1] > series[0]
+
+    def test_overhead_table_matches_formulas(self):
+        result = overhead_table(n=50, k_values=(5,))
+        assert result.series["ping measurement (bps)"].y[0] == pytest.approx(
+            (50 - 5 - 1) * 320 / 60.0
+        )
+        assert result.series["link-state protocol (bps)"].y[0] == pytest.approx(
+            (192 + 32 * 5) / 20.0
+        )
+        assert result.series["scalability gain"].y[0] == pytest.approx(49 / 5)

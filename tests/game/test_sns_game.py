@@ -1,0 +1,70 @@
+"""Tests for the SNS game machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import DelayMetric
+from repro.game.sns_game import SNSGame, best_response_dynamics, is_nash_equilibrium
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture
+def game8():
+    rng = np.random.default_rng(21)
+    delays = rng.uniform(5, 100, size=(8, 8))
+    delays = (delays + delays.T) / 2
+    np.fill_diagonal(delays, 0)
+    return SNSGame(DelayMetric(delays), k=2)
+
+
+class TestGameBasics:
+    def test_invalid_k(self, game8):
+        with pytest.raises(ValidationError):
+            SNSGame(game8.metric, k=0)
+        with pytest.raises(ValidationError):
+            SNSGame(game8.metric, k=8)
+
+    def test_random_wiring_feasible(self, game8):
+        wiring = game8.random_wiring(rng=0)
+        for node in range(8):
+            assert wiring.degree_of(node) == 2
+
+    def test_player_cost_positive(self, game8):
+        wiring = game8.random_wiring(rng=0)
+        assert game8.player_cost(wiring, 0) > 0
+
+    def test_player_best_response_no_worse(self, game8):
+        wiring = game8.random_wiring(rng=0)
+        evaluator, result = game8.player_best_response(wiring, 0, rng=0)
+        current_cost = evaluator.evaluate(wiring.wiring_of(0).neighbors)
+        assert result.cost <= current_cost + 1e-9
+
+
+class TestDynamics:
+    def test_dynamics_converge(self, game8):
+        result = best_response_dynamics(game8, max_rounds=15, rng=0)
+        assert result.converged
+        assert result.rewirings_per_round[-1] == 0
+
+    def test_converged_wiring_is_nash(self, game8):
+        result = best_response_dynamics(game8, max_rounds=15, rng=0)
+        assert is_nash_equilibrium(game8, result.wiring, tolerance=1e-6, rng=0)
+
+    def test_random_wiring_usually_not_nash(self, game8):
+        wiring = game8.random_wiring(rng=3)
+        assert not is_nash_equilibrium(game8, wiring, rng=0)
+
+    def test_social_cost_non_increasing_trend(self, game8):
+        result = best_response_dynamics(game8, max_rounds=15, rng=1)
+        # Selfish moves need not monotonically improve social cost, but the
+        # equilibrium should not be drastically worse than the start.
+        assert result.social_costs[-1] <= result.social_costs[0] * 1.5
+
+    def test_dynamics_degrees_preserved(self, game8):
+        result = best_response_dynamics(game8, max_rounds=10, rng=2)
+        graph = result.wiring.to_graph()
+        assert all(graph.out_degree(i) == 2 for i in range(8))
+
+    def test_total_rewirings_counted(self, game8):
+        result = best_response_dynamics(game8, max_rounds=10, rng=4)
+        assert result.total_rewirings == sum(result.rewirings_per_round)

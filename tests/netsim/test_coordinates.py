@@ -1,0 +1,69 @@
+"""Tests for the Vivaldi-style coordinate system."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.coordinates import VivaldiCoordinateSystem
+from repro.netsim.delayspace import DelaySpace
+from repro.netsim.planetlab import synthetic_planetlab
+from repro.util.validation import ValidationError
+
+
+class TestVivaldi:
+    def test_estimate_symmetric_in_structure(self):
+        system = VivaldiCoordinateSystem(4, seed=0)
+        assert system.estimate(0, 0) == 0.0
+        assert system.estimate(1, 2) > 0
+
+    def test_observe_moves_towards_sample(self):
+        system = VivaldiCoordinateSystem(2, seed=0)
+        target_rtt = 100.0
+        for _ in range(200):
+            system.observe(0, 1, target_rtt)
+            system.observe(1, 0, target_rtt)
+        assert system.estimate(0, 1) == pytest.approx(50.0, rel=0.3)
+
+    def test_training_reduces_error(self, planetlab20):
+        space, _nodes = planetlab20
+        system = VivaldiCoordinateSystem(20, seed=1)
+        initial_error = system.median_error(space)
+        final_error = system.train(space, rounds=40, rng=2)
+        assert final_error < initial_error
+
+    def test_trained_error_reasonable(self, planetlab20):
+        space, _nodes = planetlab20
+        system = VivaldiCoordinateSystem(20, seed=1)
+        error = system.train(space, rounds=60, rng=2)
+        # Coordinate systems are noisier than ping but should capture the
+        # broad structure (median relative error well under 100%).
+        assert error < 0.6
+
+    def test_estimate_matrix_shape(self):
+        system = VivaldiCoordinateSystem(5, seed=0)
+        mat = system.estimate_matrix()
+        assert mat.shape == (5, 5)
+        assert np.all(np.diag(mat) == 0)
+        assert np.all(mat >= 0)
+
+    def test_negative_rtt_rejected(self):
+        system = VivaldiCoordinateSystem(3, seed=0)
+        with pytest.raises(ValidationError):
+            system.observe(0, 1, -5.0)
+
+    def test_train_size_mismatch(self, planetlab20):
+        space, _nodes = planetlab20
+        system = VivaldiCoordinateSystem(5, seed=0)
+        with pytest.raises(ValidationError):
+            system.train(space)
+
+    def test_heights_nonnegative(self, planetlab20):
+        space, _nodes = planetlab20
+        system = VivaldiCoordinateSystem(20, seed=3)
+        system.train(space, rounds=20, rng=4)
+        assert all(c.height >= 0 for c in system.coordinates)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValidationError):
+            VivaldiCoordinateSystem(1)
+        with pytest.raises(ValidationError):
+            VivaldiCoordinateSystem(5, dimensions=0)

@@ -1,0 +1,95 @@
+"""Tests for ping / coordinate / chirp probers."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.bandwidth import BandwidthModel
+from repro.netsim.coordinates import VivaldiCoordinateSystem
+from repro.netsim.delayspace import DelaySpace
+from repro.netsim.probing import (
+    ChirpProber,
+    CoordinateProber,
+    ICMP_MESSAGE_BITS,
+    PingProber,
+)
+from repro.util.validation import ValidationError
+
+
+class TestPingProber:
+    def test_estimate_matches_truth_without_jitter(self, small_delay_space):
+        prober = PingProber(small_delay_space, rng=0)
+        # One-way estimate is RTT/2, i.e. the mean of the two directions.
+        expected = (small_delay_space.delay(0, 1) + small_delay_space.delay(1, 0)) / 2
+        assert prober.probe(0, 1) == pytest.approx(expected)
+
+    def test_estimate_with_jitter_close_to_truth(self, small_delay_matrix):
+        space = DelaySpace(small_delay_matrix, jitter_std=1.0)
+        prober = PingProber(space, samples_per_probe=20, rng=1)
+        estimate = prober.probe(0, 1)
+        assert estimate == pytest.approx(10.5, abs=2.0)
+
+    def test_accounting(self, small_delay_space):
+        prober = PingProber(small_delay_space, samples_per_probe=5, rng=0)
+        prober.probe(0, 1)
+        assert prober.accounting.messages == 10
+        assert prober.accounting.bits == 10 * ICMP_MESSAGE_BITS
+
+    def test_probe_all_excludes_self_and_excluded(self, small_delay_space):
+        prober = PingProber(small_delay_space, rng=0)
+        estimates = prober.probe_all(0, exclude={1})
+        assert set(estimates) == {2, 3, 4}
+
+    def test_invalid_samples(self, small_delay_space):
+        with pytest.raises(ValidationError):
+            PingProber(small_delay_space, samples_per_probe=0)
+
+
+class TestCoordinateProber:
+    def test_probe_all_and_accounting(self, planetlab20):
+        space, _nodes = planetlab20
+        coords = VivaldiCoordinateSystem(20, seed=0)
+        coords.train(space, rounds=10, rng=1)
+        prober = CoordinateProber(coords)
+        estimates = prober.probe_all(0)
+        assert set(estimates) == set(range(1, 20))
+        assert prober.accounting.bits == 320 + 32 * 20
+
+    def test_single_probe(self, planetlab20):
+        space, _nodes = planetlab20
+        coords = VivaldiCoordinateSystem(20, seed=0)
+        prober = CoordinateProber(coords)
+        assert prober.probe(0, 5) == pytest.approx(coords.estimate(0, 5))
+
+
+class TestChirpProber:
+    def test_estimate_close_to_truth(self):
+        model = BandwidthModel(6, seed=0)
+        prober = ChirpProber(model, relative_error=0.05, rng=1)
+        truth = model.available(0, 1)
+        estimates = [prober.probe(0, 1) for _ in range(30)]
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.2)
+
+    def test_estimates_positive(self):
+        model = BandwidthModel(6, seed=0)
+        prober = ChirpProber(model, relative_error=0.5, rng=1)
+        assert all(prober.probe(0, 1) > 0 for _ in range(50))
+
+    def test_accounting_grows(self):
+        model = BandwidthModel(6, seed=0)
+        prober = ChirpProber(model, rng=1)
+        prober.probe(0, 1)
+        prober.probe(1, 2)
+        assert prober.accounting.messages == 2 * prober.chirp_packets
+
+    def test_probe_all(self):
+        model = BandwidthModel(5, seed=0)
+        prober = ChirpProber(model, rng=1)
+        estimates = prober.probe_all(2)
+        assert set(estimates) == {0, 1, 3, 4}
+
+    def test_reset_accounting(self):
+        model = BandwidthModel(5, seed=0)
+        prober = ChirpProber(model, rng=1)
+        prober.probe(0, 1)
+        prober.accounting.reset()
+        assert prober.accounting.bits == 0

@@ -1,0 +1,94 @@
+"""Tests for underlay topology generators."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.netsim.topology import (
+    barabasi_albert_underlay,
+    delay_matrix_from_underlay,
+    waxman_underlay,
+)
+from repro.util.validation import ValidationError
+
+
+class TestWaxman:
+    def test_connected(self):
+        graph = waxman_underlay(30, seed=0)
+        assert nx.is_connected(graph)
+
+    def test_edge_weights_positive(self):
+        graph = waxman_underlay(20, seed=1)
+        assert all(d["delay_ms"] > 0 for _u, _v, d in graph.edges(data=True))
+
+    def test_node_positions_stored(self):
+        graph = waxman_underlay(10, seed=2)
+        assert all("pos" in graph.nodes[n] for n in graph.nodes)
+
+    def test_deterministic(self):
+        a = waxman_underlay(15, seed=5)
+        b = waxman_underlay(15, seed=5)
+        assert set(a.edges) == set(b.edges)
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValidationError):
+            waxman_underlay(1)
+
+
+class TestBarabasiAlbert:
+    def test_connected_and_sized(self):
+        graph = barabasi_albert_underlay(40, m=2, seed=0)
+        assert graph.number_of_nodes() == 40
+        assert nx.is_connected(graph)
+
+    def test_edge_delays_positive(self):
+        graph = barabasi_albert_underlay(20, seed=1)
+        assert all(d["delay_ms"] > 0 for _u, _v, d in graph.edges(data=True))
+
+    def test_invalid_m(self):
+        with pytest.raises(ValidationError):
+            barabasi_albert_underlay(5, m=5)
+
+    def test_hub_structure(self):
+        graph = barabasi_albert_underlay(100, m=2, seed=3)
+        degrees = sorted((d for _n, d in graph.degree()), reverse=True)
+        # Preferential attachment creates hubs far above the median degree.
+        assert degrees[0] >= 3 * degrees[len(degrees) // 2]
+
+
+class TestDelayMatrixFromUnderlay:
+    def test_matches_shortest_paths(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, delay_ms=5.0)
+        graph.add_edge(1, 2, delay_ms=7.0)
+        space = delay_matrix_from_underlay(graph)
+        assert space.delay(0, 2) == pytest.approx(12.0)
+        assert space.delay(2, 0) == pytest.approx(12.0)
+
+    def test_overlay_subset(self):
+        graph = nx.path_graph(5)
+        for u, v in graph.edges:
+            graph.edges[u, v]["delay_ms"] = 1.0
+        space = delay_matrix_from_underlay(graph, overlay_nodes=[0, 4])
+        assert space.size == 2
+        assert space.delay(0, 1) == pytest.approx(4.0)
+
+    def test_disconnected_rejected(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        graph.add_node(1)
+        with pytest.raises(ValidationError):
+            delay_matrix_from_underlay(graph)
+
+    def test_waxman_to_delay_space_triangle_reasonable(self):
+        graph = waxman_underlay(25, seed=7)
+        space = delay_matrix_from_underlay(graph)
+        # Shortest-path metrics always satisfy the triangle inequality.
+        m = space.matrix
+        n = space.size
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            i, j, k = rng.integers(0, n, size=3)
+            if len({i, j, k}) < 3:
+                continue
+            assert m[i, j] <= m[i, k] + m[k, j] + 1e-9

@@ -1,0 +1,106 @@
+"""Tests for trace file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.churn.models import trace_driven_churn
+from repro.netsim.planetlab import synthetic_planetlab
+from repro.netsim.traces import (
+    read_churn_trace,
+    read_delay_trace,
+    write_churn_trace,
+    write_delay_trace,
+)
+from repro.util.validation import ValidationError
+
+
+class TestDelayTraces:
+    def test_round_trip(self, tmp_path, small_delay_space):
+        path = tmp_path / "delays.csv"
+        write_delay_trace(small_delay_space, path)
+        loaded = read_delay_trace(path)
+        assert loaded.size == small_delay_space.size
+        assert np.allclose(loaded.matrix, small_delay_space.matrix)
+        assert loaded.labels == small_delay_space.labels
+
+    def test_round_trip_planetlab(self, tmp_path):
+        space, _nodes = synthetic_planetlab(15, seed=1)
+        path = tmp_path / "pl.csv"
+        write_delay_trace(space, path)
+        loaded = read_delay_trace(path)
+        assert np.allclose(loaded.matrix, space.matrix)
+
+    def test_missing_pairs_rejected_by_default(self, tmp_path):
+        path = tmp_path / "partial.csv"
+        path.write_text("src,dst,delay_ms\na,b,10\nb,a,12\na,c,20\nc,a,21\n")
+        with pytest.raises(ValidationError):
+            read_delay_trace(path)
+
+    def test_missing_pairs_filled_when_requested(self, tmp_path):
+        path = tmp_path / "partial.csv"
+        path.write_text("src,dst,delay_ms\na,b,10\nb,a,12\na,c,20\nc,a,21\n")
+        space = read_delay_trace(path, fill_missing=500.0)
+        assert space.size == 3
+        assert space.delay(1, 2) == 500.0
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("from,to,rtt\na,b,10\n")
+        with pytest.raises(ValidationError):
+            read_delay_trace(path)
+
+    def test_negative_delay_rejected(self, tmp_path):
+        path = tmp_path / "neg.csv"
+        path.write_text("src,dst,delay_ms\na,b,-1\nb,a,1\n")
+        with pytest.raises(ValidationError):
+            read_delay_trace(path)
+
+    def test_single_node_rejected(self, tmp_path):
+        path = tmp_path / "one.csv"
+        path.write_text("src,dst,delay_ms\n")
+        with pytest.raises(ValidationError):
+            read_delay_trace(path)
+
+
+class TestChurnTraces:
+    def test_round_trip(self, tmp_path):
+        schedule = trace_driven_churn(8, 1200.0, seed=0)
+        path = tmp_path / "churn.csv"
+        write_churn_trace(schedule, path)
+        loaded = read_churn_trace(path, n=8, horizon=1200.0)
+        assert loaded.n == 8
+        assert len(loaded.sessions) == len(schedule.sessions)
+        assert loaded.churn_rate() == pytest.approx(schedule.churn_rate(), rel=1e-6)
+
+    def test_defaults_inferred(self, tmp_path):
+        path = tmp_path / "churn.csv"
+        path.write_text("node,start_s,end_s\n0,0,100\n1,50,200\n")
+        schedule = read_churn_trace(path)
+        assert schedule.n == 2
+        assert schedule.horizon == pytest.approx(200.0)
+
+    def test_timescale_compression_increases_churn(self, tmp_path):
+        schedule = trace_driven_churn(10, 3600.0, seed=3)
+        path = tmp_path / "churn.csv"
+        write_churn_trace(schedule, path)
+        normal = read_churn_trace(path)
+        compressed = read_churn_trace(path, timescale=0.1)
+        assert compressed.churn_rate() > normal.churn_rate()
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("who,from,to\n0,0,10\n")
+        with pytest.raises(ValidationError):
+            read_churn_trace(path)
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("node,start_s,end_s\n")
+        with pytest.raises(ValidationError):
+            read_churn_trace(path)
+
+    def test_invalid_timescale(self, tmp_path):
+        path = tmp_path / "churn.csv"
+        path.write_text("node,start_s,end_s\n0,0,10\n")
+        with pytest.raises(ValidationError):
+            read_churn_trace(path, timescale=0.0)

@@ -1,0 +1,120 @@
+"""Tests for forwarding tables and hop-by-hop delivery."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import DelayMetric
+from repro.core.policies import BestResponsePolicy, build_overlay
+from repro.netsim.planetlab import synthetic_planetlab
+from repro.routing.forwarding import (
+    DeliveryStatus,
+    ForwardingTable,
+    OverlayForwarder,
+    RoutingObjective,
+)
+from repro.routing.graph import OverlayGraph
+from repro.routing.shortest_path import all_pairs_shortest_costs
+from repro.util.validation import ValidationError
+
+
+def diamond():
+    graph = OverlayGraph(4)
+    graph.add_edge(0, 1, 1.0)
+    graph.add_edge(1, 3, 1.0)
+    graph.add_edge(0, 2, 5.0)
+    graph.add_edge(2, 3, 5.0)
+    graph.add_edge(3, 0, 1.0)
+    return graph
+
+
+class TestForwardingTable:
+    def test_next_hop_follows_shortest_path(self):
+        table = ForwardingTable(0, diamond())
+        assert table.next_hop(3) == 1
+        assert table.metric_to(3) == pytest.approx(2.0)
+
+    def test_unreachable_destination_absent(self):
+        graph = OverlayGraph(3)
+        graph.add_edge(0, 1, 1.0)
+        table = ForwardingTable(0, graph)
+        assert table.next_hop(2) is None
+        assert table.reachable_destinations() == [1]
+
+    def test_widest_path_objective(self):
+        graph = OverlayGraph(4)
+        graph.add_edge(0, 1, 10.0)
+        graph.add_edge(1, 3, 2.0)
+        graph.add_edge(0, 2, 5.0)
+        graph.add_edge(2, 3, 5.0)
+        table = ForwardingTable(0, graph, RoutingObjective.WIDEST_PATH)
+        assert table.next_hop(3) == 2
+        assert table.metric_to(3) == pytest.approx(5.0)
+
+    def test_entries_sorted(self):
+        table = ForwardingTable(0, diamond())
+        destinations = [e.destination for e in table.entries()]
+        assert destinations == sorted(destinations)
+        assert len(table) == 3
+
+
+class TestOverlayForwarder:
+    def test_delivery_matches_control_plane(self):
+        """Hop-by-hop delivery over per-node tables realises the end-to-end
+        shortest-path cost computed by the control plane."""
+        space, _nodes = synthetic_planetlab(15, seed=6)
+        metric = DelayMetric(space.matrix)
+        overlay = build_overlay(BestResponsePolicy(), metric, 3, rng=6, br_rounds=2)
+        graph = overlay.to_graph()
+        forwarder = OverlayForwarder(graph)
+        costs = all_pairs_shortest_costs(graph)
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            src, dst = rng.integers(0, 15, size=2)
+            if src == dst:
+                continue
+            report = forwarder.deliver(int(src), int(dst))
+            assert report.delivered
+            assert report.cost == pytest.approx(costs[src, dst])
+
+    def test_delivery_report_fields(self):
+        forwarder = OverlayForwarder(diamond())
+        report = forwarder.deliver(0, 3)
+        assert report.delivered
+        assert report.path == [0, 1, 3]
+        assert report.hops == 2
+
+    def test_no_route(self):
+        graph = OverlayGraph(3)
+        graph.add_edge(0, 1, 1.0)
+        forwarder = OverlayForwarder(graph)
+        report = forwarder.deliver(0, 2)
+        assert report.status is DeliveryStatus.NO_ROUTE
+        assert not report.delivered
+
+    def test_ttl_expiry(self):
+        forwarder = OverlayForwarder(diamond())
+        report = forwarder.deliver(0, 3, ttl=1)
+        assert report.status is DeliveryStatus.TTL_EXPIRED
+
+    def test_inconsistent_tables_detected_as_loop(self):
+        """Stale per-node views can loop traffic; the forwarder detects it."""
+        graph = diamond()
+        tables = {node: ForwardingTable(node, graph) for node in range(4)}
+        # Node 1 has a stale view in which the route to 3 goes back via 0.
+        stale = OverlayGraph(4)
+        stale.add_edge(1, 0, 1.0)
+        stale.add_edge(0, 3, 1.0)
+        tables[1] = ForwardingTable(1, stale)
+        forwarder = OverlayForwarder(graph, tables=tables)
+        report = forwarder.deliver(0, 3)
+        assert report.status in (DeliveryStatus.LOOP_DETECTED, DeliveryStatus.NO_ROUTE)
+
+    def test_delivery_ratio(self):
+        forwarder = OverlayForwarder(diamond())
+        pairs = [(0, 3), (1, 3), (2, 3), (3, 0)]
+        assert forwarder.delivery_ratio(pairs) == 1.0
+        assert forwarder.delivery_ratio([]) == 0.0
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ValidationError):
+            OverlayForwarder(diamond()).deliver(1, 1)

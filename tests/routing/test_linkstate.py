@@ -1,0 +1,101 @@
+"""Tests for the link-state protocol simulation."""
+
+import pytest
+
+from repro.routing.linkstate import LinkStateProtocol, TopologyDatabase
+from repro.routing.messages import LinkStateAnnouncement
+
+
+class TestTopologyDatabase:
+    def test_insert_and_build(self):
+        db = TopologyDatabase(4)
+        db.insert(LinkStateAnnouncement.from_dict(0, 1, {1: 5.0}))
+        db.insert(LinkStateAnnouncement.from_dict(1, 1, {2: 7.0}))
+        graph = db.build_graph()
+        assert graph.weight(0, 1) == 5.0
+        assert graph.weight(1, 2) == 7.0
+
+    def test_stale_announcement_ignored(self):
+        db = TopologyDatabase(3)
+        db.insert(LinkStateAnnouncement.from_dict(0, 5, {1: 1.0}))
+        changed = db.insert(LinkStateAnnouncement.from_dict(0, 3, {2: 2.0}))
+        assert not changed
+        assert db.build_graph().has_edge(0, 1)
+        assert not db.build_graph().has_edge(0, 2)
+
+    def test_fresher_announcement_replaces(self):
+        db = TopologyDatabase(3)
+        db.insert(LinkStateAnnouncement.from_dict(0, 1, {1: 1.0}))
+        db.insert(LinkStateAnnouncement.from_dict(0, 2, {2: 2.0}))
+        graph = db.build_graph()
+        assert graph.has_edge(0, 2)
+        assert not graph.has_edge(0, 1)
+
+    def test_residual_graph_excludes_origin(self):
+        db = TopologyDatabase(3)
+        db.insert(LinkStateAnnouncement.from_dict(0, 1, {1: 1.0}))
+        db.insert(LinkStateAnnouncement.from_dict(1, 1, {2: 1.0}))
+        residual = db.build_graph(exclude_origin=0)
+        assert not residual.has_edge(0, 1)
+        assert residual.has_edge(1, 2)
+
+    def test_remove_origin(self):
+        db = TopologyDatabase(3)
+        db.insert(LinkStateAnnouncement.from_dict(0, 1, {1: 1.0}))
+        db.remove_origin(0)
+        assert len(db) == 0
+
+
+class TestLinkStateProtocol:
+    def test_broadcast_reaches_active_nodes(self):
+        protocol = LinkStateProtocol(4)
+        protocol.broadcast(0, {1: 5.0}, active=[0, 1, 2])
+        assert protocol.view_of(1).has_edge(0, 1)
+        assert protocol.view_of(2).has_edge(0, 1)
+        # Node 3 was not active and never received the flood.
+        assert not protocol.view_of(3).has_edge(0, 1)
+
+    def test_sequence_numbers_increase(self):
+        protocol = LinkStateProtocol(3)
+        a = protocol.broadcast(0, {1: 1.0})
+        b = protocol.broadcast(0, {2: 1.0})
+        assert b.sequence > a.sequence
+
+    def test_withdraw_clears_links(self):
+        protocol = LinkStateProtocol(3)
+        protocol.broadcast(0, {1: 1.0})
+        protocol.withdraw(0)
+        assert not protocol.view_of(1).has_edge(0, 1)
+
+    def test_purge_removes_state_without_flood(self):
+        protocol = LinkStateProtocol(3)
+        protocol.broadcast(0, {1: 1.0})
+        protocol.purge(0)
+        assert not protocol.view_of(2).has_edge(0, 1)
+
+    def test_residual_view(self):
+        protocol = LinkStateProtocol(3)
+        protocol.broadcast(0, {1: 1.0})
+        protocol.broadcast(1, {2: 1.0})
+        residual = protocol.view_of(0, residual_for=0)
+        assert not residual.has_edge(0, 1)
+        assert residual.has_edge(1, 2)
+
+    def test_stats_accumulate(self):
+        protocol = LinkStateProtocol(3)
+        protocol.broadcast(0, {1: 1.0, 2: 2.0})
+        assert protocol.stats.announcements_sent == 1
+        assert protocol.stats.announcement_bits == 192 + 32 * 2
+        assert protocol.stats.flood_deliveries == 3
+
+    def test_traffic_rate_matches_paper_formula(self):
+        protocol = LinkStateProtocol(10, announce_interval_s=20.0)
+        assert protocol.traffic_rate_bps(5) == pytest.approx((192 + 32 * 5) / 20.0)
+
+    def test_newcomer_learns_full_topology(self):
+        """A node that only hears the flood still reconstructs everyone's links."""
+        protocol = LinkStateProtocol(5)
+        for node in range(4):
+            protocol.broadcast(node, {(node + 1) % 4: 1.0})
+        view = protocol.view_of(4)
+        assert view.edge_count() == 4

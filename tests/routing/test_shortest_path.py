@@ -1,0 +1,151 @@
+"""Tests for shortest-path routing."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing.graph import OverlayGraph
+from repro.routing.shortest_path import (
+    all_pairs_shortest_costs,
+    average_path_stretch,
+    path_cost,
+    shortest_path,
+    shortest_path_costs_from,
+    shortest_path_costs_multi,
+    shortest_path_tree,
+)
+
+
+def line_graph(weights):
+    """0 -> 1 -> 2 ... with the given edge weights (directed)."""
+    graph = OverlayGraph(len(weights) + 1)
+    for i, w in enumerate(weights):
+        graph.add_edge(i, i + 1, w)
+    return graph
+
+
+def random_overlay(n, k, seed):
+    rng = np.random.default_rng(seed)
+    graph = OverlayGraph(n)
+    for i in range(n):
+        graph.add_edge(i, (i + 1) % n, float(rng.uniform(1, 10)))
+        for j in rng.choice([x for x in range(n) if x != i], size=k, replace=False):
+            graph.add_edge(i, int(j), float(rng.uniform(1, 10)))
+    return graph
+
+
+class TestSingleSource:
+    def test_line_costs(self):
+        graph = line_graph([2.0, 3.0, 4.0])
+        costs = shortest_path_costs_from(graph, 0)
+        assert list(costs) == pytest.approx([0.0, 2.0, 5.0, 9.0])
+
+    def test_unreachable_infinite_by_default(self):
+        graph = line_graph([1.0])
+        costs = shortest_path_costs_from(graph, 1)
+        assert np.isinf(costs[0])
+
+    def test_unreachable_custom_penalty(self):
+        graph = line_graph([1.0])
+        costs = shortest_path_costs_from(graph, 1, disconnection_cost=999.0)
+        assert costs[0] == 999.0
+
+    def test_multi_source(self):
+        graph = line_graph([2.0, 3.0])
+        costs = shortest_path_costs_multi(graph, [0, 1])
+        assert costs.shape == (2, 3)
+        assert costs[0, 2] == pytest.approx(5.0)
+        assert costs[1, 2] == pytest.approx(3.0)
+
+    def test_matches_networkx(self):
+        graph = random_overlay(15, 3, seed=0)
+        nxg = graph.to_networkx()
+        ours = shortest_path_costs_from(graph, 0)
+        theirs = nx.single_source_dijkstra_path_length(nxg, 0, weight="weight")
+        for node, dist in theirs.items():
+            assert ours[node] == pytest.approx(dist)
+
+
+class TestPathExtraction:
+    def test_shortest_path_nodes(self):
+        graph = OverlayGraph(4)
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(1, 3, 1.0)
+        graph.add_edge(0, 2, 5.0)
+        graph.add_edge(2, 3, 5.0)
+        assert shortest_path(graph, 0, 3) == [0, 1, 3]
+
+    def test_no_path_returns_none(self):
+        graph = line_graph([1.0])
+        assert shortest_path(graph, 1, 0) is None
+
+    def test_path_cost_matches_distance(self):
+        graph = random_overlay(12, 2, seed=1)
+        path = shortest_path(graph, 0, 7)
+        dist = shortest_path_costs_from(graph, 0)[7]
+        assert path_cost(graph, path) == pytest.approx(dist)
+
+    def test_tree_predecessors_consistent(self):
+        graph = random_overlay(10, 2, seed=2)
+        dist, pred = shortest_path_tree(graph, 0)
+        for v in range(1, 10):
+            if np.isfinite(dist[v]):
+                parent = int(pred[v])
+                assert dist[v] == pytest.approx(dist[parent] + graph.weight(parent, v))
+
+
+class TestAllPairs:
+    def test_diagonal_zero(self):
+        graph = random_overlay(8, 2, seed=3)
+        costs = all_pairs_shortest_costs(graph)
+        assert np.all(np.diag(costs) == 0)
+
+    def test_subset_sources(self):
+        graph = random_overlay(8, 2, seed=4)
+        costs = all_pairs_shortest_costs(graph, sources=[0, 1], disconnection_cost=1e6)
+        full = all_pairs_shortest_costs(graph, disconnection_cost=1e6)
+        assert np.allclose(costs[0], full[0])
+        assert np.allclose(costs[1], full[1])
+        # Untouched rows carry the disconnection cost off-diagonal.
+        assert costs[5, 3] == 1e6
+
+    def test_triangle_inequality_over_graph_metric(self):
+        graph = random_overlay(12, 3, seed=5)
+        costs = all_pairs_shortest_costs(graph)
+        n = graph.n
+        for i in range(n):
+            for j in range(n):
+                for k in range(0, n, 3):
+                    assert costs[i, j] <= costs[i, k] + costs[k, j] + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(4, 12), st.integers(1, 3))
+    def test_more_edges_never_hurt(self, n, k):
+        """Adding edges can only lower (or keep) shortest-path costs."""
+        sparse = random_overlay(n, k, seed=n * 10 + k)
+        dense = sparse.copy()
+        rng = np.random.default_rng(n)
+        for i in range(n):
+            j = int(rng.integers(0, n))
+            if i != j and not dense.has_edge(i, j):
+                dense.add_edge(i, j, float(rng.uniform(1, 10)))
+        sparse_costs = all_pairs_shortest_costs(sparse, disconnection_cost=1e9)
+        dense_costs = all_pairs_shortest_costs(dense, disconnection_cost=1e9)
+        assert np.all(dense_costs <= sparse_costs + 1e-9)
+
+
+class TestStretch:
+    def test_full_mesh_stretch_is_one(self):
+        n = 6
+        rng = np.random.default_rng(0)
+        direct = rng.uniform(1, 10, size=(n, n))
+        direct = (direct + direct.T) / 2
+        np.fill_diagonal(direct, 0.0)
+        graph = OverlayGraph(n)
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    graph.add_edge(i, j, direct[i, j])
+        # Costs may be lower than direct (two-hop shortcuts), never higher.
+        assert average_path_stretch(graph, direct) <= 1.0 + 1e-9

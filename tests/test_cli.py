@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1-delay-ping", "fig11-disjoint", "overheads"):
+            assert name in out
+
+    def test_every_registered_experiment_has_help(self):
+        for name, spec in EXPERIMENTS.items():
+            assert spec["help"], name
+
+    def test_unknown_experiment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "fig99-unknown"])
+
+    def test_k_list_parsing(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "fig1-delay-ping", "--k", "2,4,8"])
+        assert args.k == (2, 4, 8)
+
+    def test_churn_rate_parsing(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "fig2-churn-rate", "--churn-rates", "0.001,0.1"])
+        assert args.churn_rates == (0.001, 0.1)
+
+
+class TestRun:
+    def test_run_overheads_prints_table(self, capsys):
+        code = main(["run", "overheads", "--n", "50", "--k", "2,5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "section-4.3" in out
+        assert "ping measurement (bps)" in out
+
+    def test_run_small_fig1_and_json_output(self, tmp_path, capsys):
+        output = tmp_path / "fig1.json"
+        code = main(
+            [
+                "run",
+                "fig1-delay-ping",
+                "--n",
+                "12",
+                "--k",
+                "2,3",
+                "--br-rounds",
+                "2",
+                "--seed",
+                "3",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        data = json.loads(output.read_text())
+        assert data["figure"] == "fig1-delay-ping"
+        assert "best-response" in data["series"]
+        out = capsys.readouterr().out
+        assert "best-response" in out
+
+    def test_run_ablation_preferences(self, capsys):
+        code = main(
+            [
+                "run",
+                "ablation-preferences",
+                "--n",
+                "12",
+                "--k",
+                "3",
+                "--br-rounds",
+                "2",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ablation-preferences" in out
