@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Diff two pytest-benchmark JSON runs (``BENCH_*.json``).
+
+The benchmark suite regenerates the paper's figures under timing; saving
+each run with ``--benchmark-json=BENCH_<label>.json`` builds a trajectory
+of timings across PRs.  This script compares two such files (or the two
+most recent ``BENCH_*.json`` in a directory) benchmark-by-benchmark and
+flags regressions beyond a threshold.
+
+Usage::
+
+    # explicit files (old, new)
+    python benchmarks/compare_bench.py BENCH_prev.json BENCH_curr.json
+
+    # or let it pick the two most recent BENCH_*.json in a directory
+    python benchmarks/compare_bench.py .
+
+    # custom regression threshold (default: 1.25x slower fails)
+    python benchmarks/compare_bench.py old.json new.json --threshold 1.5
+
+Exit status is 0 when no benchmark slowed down by more than the
+threshold, 1 otherwise — suitable as a CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+
+def load_benchmarks(path: Path) -> Dict[str, float]:
+    """Map of benchmark name -> mean seconds from a pytest-benchmark JSON."""
+    data = json.loads(path.read_text())
+    result = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("fullname") or bench.get("name")
+        stats = bench.get("stats", {})
+        if name and "mean" in stats:
+            result[name] = float(stats["mean"])
+    return result
+
+
+def find_recent_pair(directory: Path) -> Tuple[Path, Path]:
+    """The two most recent ``BENCH_*.json`` files in ``directory``."""
+    candidates = sorted(
+        directory.glob("BENCH_*.json"), key=lambda p: p.stat().st_mtime
+    )
+    if len(candidates) < 2:
+        raise SystemExit(
+            f"need at least two BENCH_*.json files in {directory} "
+            f"(found {len(candidates)})"
+        )
+    return candidates[-2], candidates[-1]
+
+
+def format_row(name: str, old: float, new: float, threshold: float) -> Tuple[str, bool]:
+    ratio = new / old if old > 0 else float("inf")
+    regressed = ratio > threshold
+    marker = " !! REGRESSION" if regressed else ""
+    return (
+        f"{name:<70s} {old * 1000:>12.2f} {new * 1000:>12.2f} {ratio:>8.2f}x{marker}",
+        regressed,
+    )
+
+
+def compare(old_path: Path, new_path: Path, threshold: float) -> int:
+    old = load_benchmarks(old_path)
+    new = load_benchmarks(new_path)
+    shared = sorted(set(old) & set(new))
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+
+    print(f"old: {old_path}  ({len(old)} benchmarks)")
+    print(f"new: {new_path}  ({len(new)} benchmarks)")
+    print()
+    header = f"{'benchmark':<70s} {'old ms':>12s} {'new ms':>12s} {'ratio':>9s}"
+    print(header)
+    print("-" * len(header))
+    regressions: List[str] = []
+    for name in shared:
+        row, regressed = format_row(name, old[name], new[name], threshold)
+        print(row)
+        if regressed:
+            regressions.append(name)
+    for name in only_old:
+        print(f"{name:<70s} {'(removed)':>12s}")
+    for name in only_new:
+        print(f"{name:<70s} {'(new)':>25s} {new[name] * 1000:>12.2f}")
+    print()
+    if regressions:
+        print(
+            f"{len(regressions)} benchmark(s) regressed beyond "
+            f"{threshold:.2f}x: {', '.join(regressions)}"
+        )
+        return 1
+    print(f"no regressions beyond {threshold:.2f}x across {len(shared)} benchmarks")
+    return 0
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        type=Path,
+        help="two BENCH_*.json files (old new), or one directory",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="fail when new/old mean exceeds this ratio (default: 1.25)",
+    )
+    args = parser.parse_args(argv)
+    if len(args.paths) == 1 and args.paths[0].is_dir():
+        old_path, new_path = find_recent_pair(args.paths[0])
+    elif len(args.paths) == 2:
+        old_path, new_path = args.paths
+    else:
+        parser.error("pass exactly two JSON files or one directory")
+    return compare(old_path, new_path, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -20,6 +20,17 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Tag every test under benchmarks/ with the ``bench`` marker.
+
+    Lets CI (and impatient humans) split the fast unit suite from the
+    figure regenerations: ``pytest -m "not bench"`` vs ``pytest -m bench``.
+    """
+    for item in items:
+        if item.nodeid.startswith("benchmarks/"):
+            item.add_marker(pytest.mark.bench)
+
+
 def run_once(benchmark, func, *args, **kwargs):
     """Run ``func`` exactly once under pytest-benchmark and return its result.
 

@@ -18,6 +18,36 @@ This subpackage implements the paper's primary contribution:
   (:mod:`repro.core.engine`, :mod:`repro.core.node`,
   :mod:`repro.core.bootstrap`, :mod:`repro.core.providers`,
   :mod:`repro.core.overhead`).
+
+Performance
+-----------
+The best-response hot path ships two implementations selected by the
+``vectorized`` flag on :func:`best_response` and friends (and carried by
+:class:`BestResponsePolicy` / :class:`HybridBRPolicy`):
+
+* **Vectorized (default).**  Candidate wirings are scored as broadcast
+  reductions over a precomputed ``(hops x destinations)`` route-value
+  matrix: exhaustive enumeration batches whole blocks of k-subsets
+  (:meth:`WiringEvaluator.evaluate_batch`), and each local-search pass
+  scores all ``k * (m - k)`` single-swap neighbours in one kernel call
+  (:meth:`WiringEvaluator.swap_costs`, a leave-one-out top-2 reduction).
+* **Scalar (``vectorized=False``).**  The interpreted per-wiring
+  reference path, kept for parity testing and debugging.
+
+Both paths share the same exact elementwise reductions (min/max, multiply
+then pairwise sum), so objective values are bitwise identical and ties
+break identically — seeded runs produce byte-identical wirings either
+way; only the wall-clock differs (see
+``benchmarks/test_bench_vectorized_kernels.py``).
+
+On top of the kernels, :class:`EgoistEngine` shares the expensive
+multi-source residual route-value sweeps through a
+:class:`ResidualRouteCache`: within one re-wiring opportunity the node's
+current-cost evaluation and its best-response computation reuse a single
+sweep, and across quiescent epochs (no re-wiring anywhere, announced
+metric and membership unchanged) each node's matrices are reused
+verbatim, so a converged deployment with a static substrate performs no
+routing sweeps at all during the re-wiring loop.
 """
 
 from repro.core.wiring import GlobalWiring, Wiring
@@ -61,6 +91,7 @@ from repro.core.sampling import (
 )
 from repro.core.cheating import AuditFinding, CheatingModel, audit_announcements
 from repro.core.bootstrap import BootstrapServer
+from repro.core.route_cache import ResidualRouteCache
 from repro.core.node import EgoistNode, RewireDecision, RewireMode
 from repro.core.providers import (
     BandwidthMetricProvider,
@@ -117,6 +148,7 @@ __all__ = [
     "CheatingModel",
     "audit_announcements",
     "BootstrapServer",
+    "ResidualRouteCache",
     "EgoistNode",
     "RewireDecision",
     "RewireMode",

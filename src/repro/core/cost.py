@@ -109,6 +109,15 @@ class Metric(abc.ABC):
     def link_weight_matrix(self) -> np.ndarray:
         """Dense ``n x n`` matrix of direct-link weights."""
 
+    def link_weight_row(self, src: int) -> np.ndarray:
+        """Direct-link weights from ``src`` to every node (length ``n``).
+
+        The concrete metrics override this with a row slice; the default
+        loops over :meth:`link_weight` (O(n), never O(n²)) so arbitrary
+        metric subclasses stay safe to use in the evaluator hot path.
+        """
+        return np.array([self.link_weight(src, j) for j in range(self.size)])
+
     @abc.abstractmethod
     def route_values(self, graph: OverlayGraph) -> np.ndarray:
         """Per-pair routing value over ``graph``.
@@ -168,20 +177,34 @@ class Metric(abc.ABC):
         if preferences is None:
             preferences = uniform_preferences(n)
         values = self.route_values_from(graph, node)
-        dests = list(destinations) if destinations is not None else [
-            j for j in range(n) if j != node
-        ]
-        total = 0.0
-        for j in dests:
-            if j == node:
-                continue
-            value = values[j]
-            if not np.isfinite(value) or (self.maximize and value <= 0):
-                value = self.unreachable_value
-            if not self.maximize and np.isinf(value):
-                value = self.unreachable_value
-            total += preferences[node, j] * value
-        return float(total)
+        return self._weighted_cost(node, values, preferences, destinations)
+
+    def _weighted_cost(
+        self,
+        node: int,
+        values: np.ndarray,
+        preferences: np.ndarray,
+        destinations: Optional[Iterable[int]],
+    ) -> float:
+        """Preference-weighted objective of per-destination ``values``.
+
+        Unreachable destinations (non-finite values, and non-positive
+        bandwidths under maximisation) are charged the metric's
+        disconnection value; the node itself is always excluded.
+        """
+        if destinations is not None:
+            dests = np.array([j for j in destinations if j != node], dtype=int)
+        else:
+            dests = np.array([j for j in range(self.size) if j != node], dtype=int)
+        if len(dests) == 0:
+            return 0.0
+        picked = values[dests]
+        if self.maximize:
+            reachable = np.isfinite(picked) & (picked > 0)
+        else:
+            reachable = np.isfinite(picked)
+        picked = np.where(reachable, picked, self.unreachable_value)
+        return float((preferences[node, dests] * picked).sum())
 
     def route_values_from(self, graph: OverlayGraph, node: int) -> np.ndarray:
         """Routing values from ``node`` to every destination over ``graph``."""
@@ -193,6 +216,24 @@ class Metric(abc.ABC):
 
         return shortest_path_costs_from(graph, node)
 
+    def route_values_rows(
+        self, graph: OverlayGraph, sources: Iterable[int]
+    ) -> np.ndarray:
+        """Routing values from each of ``sources`` (``len(sources) x n``).
+
+        The additive metrics batch all sources into one sparse Dijkstra
+        sweep; the bandwidth metric stacks per-source widest-path runs.
+        This is the matrix entry point behind :meth:`all_node_costs`.
+        """
+        source_list = list(sources)
+        if self.maximize:
+            from repro.routing.widest_path import widest_path_bandwidths_multi
+
+            return widest_path_bandwidths_multi(graph, source_list)
+        from repro.routing.shortest_path import shortest_path_costs_multi
+
+        return shortest_path_costs_multi(graph, source_list)
+
     def all_node_costs(
         self,
         graph: OverlayGraph,
@@ -201,11 +242,22 @@ class Metric(abc.ABC):
         nodes: Optional[Iterable[int]] = None,
         destinations: Optional[Iterable[int]] = None,
     ) -> Dict[int, float]:
-        """Costs of all (or the given) nodes over ``graph``."""
+        """Costs of all (or the given) nodes over ``graph``.
+
+        Route values for every requested node are computed in one batched
+        sweep (:meth:`route_values_rows`) rather than one single-source
+        query per node.
+        """
         node_list = list(nodes) if nodes is not None else list(range(self.size))
+        if not node_list:
+            return {}
+        if preferences is None:
+            preferences = uniform_preferences(self.size)
+        dest_list = list(destinations) if destinations is not None else None
+        values = self.route_values_rows(graph, node_list)
         return {
-            i: self.node_cost(i, graph, preferences, destinations=destinations)
-            for i in node_list
+            i: self._weighted_cost(i, values[row], preferences, dest_list)
+            for row, i in enumerate(node_list)
         }
 
     def social_cost(
@@ -241,6 +293,9 @@ class DelayMetric(Metric):
 
     def link_weight(self, src: int, dst: int) -> float:
         return float(self._delays[src, dst])
+
+    def link_weight_row(self, src: int) -> np.ndarray:
+        return self._delays[src].copy()
 
     def link_weight_matrix(self) -> np.ndarray:
         return self._delays.copy()
@@ -281,6 +336,11 @@ class NodeLoadMetric(Metric):
             return 0.0
         return float(self._loads[src])
 
+    def link_weight_row(self, src: int) -> np.ndarray:
+        row = np.full(self.size, self._loads[src])
+        row[src] = 0.0
+        return row
+
     def link_weight_matrix(self) -> np.ndarray:
         n = self.size
         mat = np.repeat(self._loads[:, None], n, axis=1)
@@ -316,6 +376,9 @@ class BandwidthMetric(Metric):
 
     def link_weight(self, src: int, dst: int) -> float:
         return float(self._bw[src, dst])
+
+    def link_weight_row(self, src: int) -> np.ndarray:
+        return self._bw[src].copy()
 
     def link_weight_matrix(self) -> np.ndarray:
         return self._bw.copy()

@@ -18,6 +18,7 @@ The engine ties everything together the way the PlanetLab prototype did:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
@@ -25,12 +26,14 @@ import numpy as np
 
 from repro.churn.metrics import overlay_efficiency
 from repro.churn.models import ChurnSchedule
+from repro.core.best_response import WiringEvaluator
 from repro.core.bootstrap import BootstrapServer
 from repro.core.cheating import CheatingModel
 from repro.core.cost import Metric, uniform_preferences
 from repro.core.node import EgoistNode, RewireMode
 from repro.core.policies import NeighborSelectionPolicy
 from repro.core.providers import MetricProvider
+from repro.core.route_cache import ResidualRouteCache
 from repro.core.wiring import GlobalWiring, Wiring
 from repro.routing.linkstate import LinkStateProtocol
 from repro.util.rng import SeedLike, as_generator, spawn_generators
@@ -70,20 +73,31 @@ class EngineHistory:
         """Mean node efficiency per epoch (churn experiments)."""
         return [r.mean_efficiency for r in self.records]
 
+    def _steady_tail(self, warmup_fraction: float) -> List[EpochRecord]:
+        """Post-warm-up records: at least the final record is always kept.
+
+        ``warmup_fraction`` must lie in ``[0, 1]``; 1.0 means "the last
+        epoch only" (not, as a naive slice would give, an empty tail).
+        """
+        if not 0.0 <= warmup_fraction <= 1.0:
+            raise ValidationError("warmup_fraction must be in [0, 1]")
+        if not self.records:
+            return []
+        start = min(int(len(self.records) * warmup_fraction), len(self.records) - 1)
+        return self.records[start:]
+
     def steady_state_mean_cost(self, warmup_fraction: float = 0.5) -> float:
         """Mean cost over the post-warm-up epochs."""
-        if not self.records:
+        tail = self._steady_tail(warmup_fraction)
+        if not tail:
             return float("nan")
-        start = int(len(self.records) * warmup_fraction)
-        tail = self.records[start:] or self.records
         return float(np.mean([r.mean_cost for r in tail]))
 
     def steady_state_efficiency(self, warmup_fraction: float = 0.5) -> float:
         """Mean efficiency over the post-warm-up epochs."""
-        if not self.records:
+        tail = self._steady_tail(warmup_fraction)
+        if not tail:
             return float("nan")
-        start = int(len(self.records) * warmup_fraction)
-        tail = self.records[start:] or self.records
         return float(np.mean([r.mean_efficiency for r in tail]))
 
     def total_rewirings(self) -> int:
@@ -119,6 +133,14 @@ class EgoistEngine:
     compute_efficiency:
         Whether to compute the efficiency metric each epoch (slightly
         expensive; mainly needed for churn experiments).
+    route_cache_size:
+        Entry budget for the residual route-value cache shared by every
+        re-wiring opportunity: within an opportunity the node's cost
+        evaluation and its best-response computation reuse one sweep, and
+        across quiescent epochs (no re-wiring, unchanged announced metric
+        and membership) a node's matrices are reused verbatim.  ``None``
+        (default) sizes the cache to the deployment (one entry per node);
+        ``0`` disables caching entirely.
     seed:
         Master seed.
     """
@@ -137,6 +159,7 @@ class EgoistEngine:
         rewire_mode: RewireMode = RewireMode.DELAYED,
         preferences: Optional[np.ndarray] = None,
         compute_efficiency: bool = False,
+        route_cache_size: Optional[int] = None,
         seed: SeedLike = None,
     ):
         self.provider = provider
@@ -170,6 +193,13 @@ class EgoistEngine:
         self.wiring = GlobalWiring(self.n)
         self.history = EngineHistory()
         self._previous_active: Set[int] = set()
+        if route_cache_size is None:
+            route_cache_size = self.n
+        self.route_cache: Optional[ResidualRouteCache] = (
+            ResidualRouteCache(max_entries=int(route_cache_size))
+            if route_cache_size
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -234,14 +264,42 @@ class EgoistEngine:
         order = list(active_list)
         self._rng.shuffle(order)
         bits_before = self.protocol.stats.announcement_bits
+        # Residual route values depend on the announced metric, the global
+        # wiring, and the active membership; a token of the three keeps
+        # cache entries valid exactly as long as nothing re-wires.
+        metric_fp = (
+            # blake2b, not md5: non-cryptographic fingerprint that also
+            # works on FIPS-restricted Python builds.
+            hashlib.blake2b(
+                announced.link_weight_matrix().tobytes(), digest_size=16
+            ).hexdigest()
+            if self.route_cache is not None
+            else None
+        )
+        active_key = tuple(active_list)
         for node_id in order:
             node = self.nodes[node_id]
-            residual = self.wiring.residual(node_id).to_graph(active=active_list)
+            residual = self.wiring.residual_graph(node_id, active=active_list)
+            if self.route_cache is not None:
+                self.route_cache.set_token(
+                    (self.wiring.version, metric_fp, active_key)
+                )
+            candidates = [c for c in active_list if c != node_id]
+            evaluator = WiringEvaluator(
+                node=node_id,
+                metric=announced,
+                residual_graph=residual,
+                candidates=candidates,
+                preferences=self.preferences,
+                destinations=candidates,
+                route_cache=self.route_cache,
+            )
             decision = node.consider_rewiring(
                 announced,
                 residual,
                 active_list,
                 preferences=self.preferences,
+                evaluator=evaluator,
             )
             if node.wiring is not None:
                 self._install_wiring(node_id, announced)

@@ -36,6 +36,9 @@ class HybridBRPolicy(NeighborSelectionPolicy):
         BR(ε) re-wiring threshold applied to the selfish links.
     exact_threshold, max_iterations:
         Passed through to the underlying best-response computation.
+    vectorized:
+        Use the batched best-response kernels (default); ``False`` selects
+        the interpreted reference path.
     """
 
     name = "hybrid-br"
@@ -47,6 +50,7 @@ class HybridBRPolicy(NeighborSelectionPolicy):
         epsilon: float = 0.0,
         exact_threshold: int = 12,
         max_iterations: int = 100,
+        vectorized: bool = True,
     ):
         if k2 < 0 or k2 % 2 != 0:
             raise ValidationError("k2 must be a non-negative even integer")
@@ -54,10 +58,12 @@ class HybridBRPolicy(NeighborSelectionPolicy):
         self.epsilon = float(epsilon)
         self.exact_threshold = int(exact_threshold)
         self.max_iterations = int(max_iterations)
+        self.vectorized = bool(vectorized)
         self._br = BestResponsePolicy(
             epsilon=epsilon,
             exact_threshold=exact_threshold,
             max_iterations=max_iterations,
+            vectorized=vectorized,
         )
 
     def donated_links_for(
@@ -78,6 +84,7 @@ class HybridBRPolicy(NeighborSelectionPolicy):
         rng: SeedLike = None,
         preferences: Optional[np.ndarray] = None,
         destinations: Optional[Sequence[int]] = None,
+        evaluator: Optional[WiringEvaluator] = None,
     ) -> Set[int]:
         rng = as_generator(rng)
         n = metric.size
@@ -88,7 +95,12 @@ class HybridBRPolicy(NeighborSelectionPolicy):
         # Donated links consume part of the budget; never exceed k total.
         donated = set(sorted(donated)[: min(len(donated), k)])
         k1 = max(0, k - len(donated))
-        evaluator = WiringEvaluator(
+        # A caller-supplied evaluator lacks the donated links as `required`,
+        # so it cannot be reused directly — but its route cache can: the
+        # hop set (candidates + donated) is identical, so the residual
+        # sweep computed for the node's cost evaluation is shared.
+        route_cache = evaluator.route_cache if evaluator is not None else None
+        hybrid_evaluator = WiringEvaluator(
             node=node,
             metric=metric,
             residual_graph=residual_graph,
@@ -96,13 +108,15 @@ class HybridBRPolicy(NeighborSelectionPolicy):
             preferences=preferences,
             destinations=destinations,
             required=frozenset(donated),
+            route_cache=route_cache,
         )
         result = best_response(
-            evaluator,
+            hybrid_evaluator,
             k1,
             exact_threshold=self.exact_threshold,
             rng=rng,
             max_iterations=self.max_iterations,
+            vectorized=self.vectorized,
         )
         return set(result.neighbors)
 
@@ -117,6 +131,7 @@ class HybridBRPolicy(NeighborSelectionPolicy):
         rng: SeedLike = None,
         preferences: Optional[np.ndarray] = None,
         destinations: Optional[Sequence[int]] = None,
+        evaluator: Optional[WiringEvaluator] = None,
     ) -> Wiring:
         """Like :meth:`select` but returns a :class:`Wiring` with the donated
         links marked, which the engine uses for aggressive vs lazy monitoring."""
@@ -135,6 +150,7 @@ class HybridBRPolicy(NeighborSelectionPolicy):
             rng=rng,
             preferences=preferences,
             destinations=destinations,
+            evaluator=evaluator,
         )
         return Wiring.of(node, chosen, donated & chosen)
 
@@ -173,7 +189,7 @@ def build_hybrid_overlay(
         rng.shuffle(order)
         changed = 0
         for node in order:
-            residual = wiring.residual(node).to_graph(active=node_list)
+            residual = wiring.residual_graph(node, active=node_list)
             new_wiring = policy.select_wiring(
                 node,
                 k,

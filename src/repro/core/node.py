@@ -123,6 +123,7 @@ class EgoistNode:
         active_nodes: Sequence[int],
         *,
         preferences: Optional[np.ndarray] = None,
+        evaluator: Optional[WiringEvaluator] = None,
     ) -> RewireDecision:
         """Evaluate a new wiring and adopt it if it is worth it.
 
@@ -131,20 +132,29 @@ class EgoistNode:
         its current cost and applies the BR(ε) rule; purely structural
         policies (k-Random, k-Regular) only re-wire if their prescribed
         neighbour set changed (e.g. due to membership change).
+
+        ``evaluator`` optionally supplies a pre-built
+        :class:`WiringEvaluator` over ``residual_graph`` with candidates
+        and destinations equal to the other active nodes (the engine
+        builds one, route-cache-backed, per re-wiring opportunity); the
+        same evaluator then scores the current wiring *and* drives the
+        policy's best-response computation, so the residual route-value
+        sweep runs at most once per opportunity.
         """
         candidates = [c for c in active_nodes if c != self.node_id]
         destinations = candidates
         old_neighbors = (
             frozenset(self.wiring.neighbors) if self.wiring is not None else frozenset()
         )
-        evaluator = WiringEvaluator(
-            node=self.node_id,
-            metric=metric,
-            residual_graph=residual_graph,
-            candidates=candidates,
-            preferences=preferences,
-            destinations=destinations,
-        )
+        if evaluator is None:
+            evaluator = WiringEvaluator(
+                node=self.node_id,
+                metric=metric,
+                residual_graph=residual_graph,
+                candidates=candidates,
+                preferences=preferences,
+                destinations=destinations,
+            )
         old_cost = evaluator.evaluate(old_neighbors) if old_neighbors else evaluator.evaluate(())
 
         if isinstance(self.policy, HybridBRPolicy):
@@ -157,6 +167,7 @@ class EgoistNode:
                 rng=self.rng,
                 preferences=preferences,
                 destinations=destinations,
+                evaluator=evaluator,
             )
             new_neighbors = frozenset(new_wiring.neighbors)
             donated = new_wiring.donated
@@ -171,6 +182,7 @@ class EgoistNode:
                     rng=self.rng,
                     preferences=preferences,
                     destinations=destinations,
+                    evaluator=evaluator,
                 )
             )
             donated = frozenset()

@@ -59,8 +59,16 @@ class NeighborSelectionPolicy(abc.ABC):
         rng: SeedLike = None,
         preferences: Optional[np.ndarray] = None,
         destinations: Optional[Sequence[int]] = None,
+        evaluator: Optional[WiringEvaluator] = None,
     ) -> Set[int]:
-        """Return the chosen neighbour set for ``node`` (size <= k)."""
+        """Return the chosen neighbour set for ``node`` (size <= k).
+
+        ``evaluator`` optionally supplies a pre-built
+        :class:`WiringEvaluator` over the same residual graph and
+        candidate/destination sets, letting cost-driven policies reuse its
+        residual route-value matrices instead of recomputing them;
+        structural policies ignore it.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"
@@ -90,6 +98,7 @@ class KRandomPolicy(NeighborSelectionPolicy):
         rng: SeedLike = None,
         preferences: Optional[np.ndarray] = None,
         destinations: Optional[Sequence[int]] = None,
+        evaluator: Optional[WiringEvaluator] = None,
     ) -> Set[int]:
         rng = as_generator(rng)
         pool = _default_candidates(node, metric.size, candidates)
@@ -116,14 +125,17 @@ class KClosestPolicy(NeighborSelectionPolicy):
         rng: SeedLike = None,
         preferences: Optional[np.ndarray] = None,
         destinations: Optional[Sequence[int]] = None,
+        evaluator: Optional[WiringEvaluator] = None,
     ) -> Set[int]:
         pool = _default_candidates(node, metric.size, candidates)
         k = min(k, len(pool))
         if k == 0:
             return set()
-        weights = [(metric.link_weight(node, c), c) for c in pool]
-        weights.sort(key=lambda pair: pair[0], reverse=metric.maximize)
-        return {c for _w, c in weights[:k]}
+        # One row lookup + stable argsort instead of n link_weight calls;
+        # ties at the budget boundary resolve in pool order, as before.
+        row = metric.link_weight_row(node)[np.array(pool, dtype=int)]
+        order = np.argsort(-row if metric.maximize else row, kind="stable")
+        return {pool[i] for i in order[:k]}
 
 
 class KRegularPolicy(NeighborSelectionPolicy):
@@ -170,6 +182,7 @@ class KRegularPolicy(NeighborSelectionPolicy):
         rng: SeedLike = None,
         preferences: Optional[np.ndarray] = None,
         destinations: Optional[Sequence[int]] = None,
+        evaluator: Optional[WiringEvaluator] = None,
     ) -> Set[int]:
         n = metric.size
         allowed = set(_default_candidates(node, n, candidates))
@@ -204,6 +217,7 @@ class FullMeshPolicy(NeighborSelectionPolicy):
         rng: SeedLike = None,
         preferences: Optional[np.ndarray] = None,
         destinations: Optional[Sequence[int]] = None,
+        evaluator: Optional[WiringEvaluator] = None,
     ) -> Set[int]:
         return set(_default_candidates(node, metric.size, candidates))
 
@@ -221,6 +235,10 @@ class BestResponsePolicy(NeighborSelectionPolicy):
         Candidate-pool size below which exhaustive enumeration is used.
     max_iterations:
         Local-search iteration budget.
+    vectorized:
+        Use the batched NumPy kernels (default).  ``False`` selects the
+        interpreted per-wiring reference path, which returns the same
+        wirings (seeded parity is tested) but far slower.
     """
 
     name = "best-response"
@@ -231,12 +249,14 @@ class BestResponsePolicy(NeighborSelectionPolicy):
         *,
         exact_threshold: int = 12,
         max_iterations: int = 100,
+        vectorized: bool = True,
     ):
         if epsilon < 0:
             raise ValidationError("epsilon must be non-negative")
         self.epsilon = float(epsilon)
         self.exact_threshold = int(exact_threshold)
         self.max_iterations = int(max_iterations)
+        self.vectorized = bool(vectorized)
         if self.epsilon > 0:
             self.name = f"best-response(eps={self.epsilon:g})"
 
@@ -252,23 +272,32 @@ class BestResponsePolicy(NeighborSelectionPolicy):
         preferences: Optional[np.ndarray] = None,
         destinations: Optional[Sequence[int]] = None,
         required: Iterable[int] = (),
+        evaluator: Optional[WiringEvaluator] = None,
     ) -> BestResponseResult:
-        """Full best-response computation returning cost and diagnostics."""
-        evaluator = WiringEvaluator(
-            node=node,
-            metric=metric,
-            residual_graph=residual_graph,
-            candidates=candidates,
-            preferences=preferences,
-            destinations=destinations,
-            required=frozenset(required),
-        )
+        """Full best-response computation returning cost and diagnostics.
+
+        A pre-built ``evaluator`` (over the same residual graph and
+        candidate/destination/required sets) skips the multi-source
+        route-value sweep of evaluator construction — the engine passes
+        the one it already built to score the node's current wiring.
+        """
+        if evaluator is None:
+            evaluator = WiringEvaluator(
+                node=node,
+                metric=metric,
+                residual_graph=residual_graph,
+                candidates=candidates,
+                preferences=preferences,
+                destinations=destinations,
+                required=frozenset(required),
+            )
         return best_response(
             evaluator,
             k,
             exact_threshold=self.exact_threshold,
             rng=rng,
             max_iterations=self.max_iterations,
+            vectorized=self.vectorized,
         )
 
     def select(
@@ -282,6 +311,7 @@ class BestResponsePolicy(NeighborSelectionPolicy):
         rng: SeedLike = None,
         preferences: Optional[np.ndarray] = None,
         destinations: Optional[Sequence[int]] = None,
+        evaluator: Optional[WiringEvaluator] = None,
     ) -> Set[int]:
         result = self.compute(
             node,
@@ -292,6 +322,7 @@ class BestResponsePolicy(NeighborSelectionPolicy):
             rng=rng,
             preferences=preferences,
             destinations=destinations,
+            evaluator=evaluator,
         )
         return set(result.neighbors)
 
@@ -439,7 +470,7 @@ def _build_best_response_overlay(
         rng.shuffle(order)
         changed = 0
         for node in order:
-            residual = wiring.residual(node).to_graph(active=node_list)
+            residual = wiring.residual_graph(node, active=node_list)
             current = wiring.wiring_of(node)
             evaluator = WiringEvaluator(
                 node=node,
@@ -456,6 +487,7 @@ def _build_best_response_overlay(
                 exact_threshold=policy.exact_threshold,
                 rng=rng,
                 max_iterations=policy.max_iterations,
+                vectorized=policy.vectorized,
             )
             adopt = (
                 current is None

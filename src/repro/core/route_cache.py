@@ -1,0 +1,128 @@
+"""Per-node residual route-value caching for the wiring epoch hot path.
+
+Building a :class:`~repro.core.best_response.WiringEvaluator` requires the
+routing values of the *residual* graph from every candidate first hop — a
+multi-source Dijkstra (or widest-path) sweep that dominates the cost of a
+re-wiring opportunity once candidate evaluation itself is vectorised.
+
+Within (and across) wiring epochs this work is highly redundant:
+
+* a node's re-wiring opportunity evaluates its current wiring *and* runs a
+  best-response computation — both need the same residual matrix;
+* once best-response dynamics have converged, no node re-wires, so the
+  global wiring (and with it every node's residual graph) is unchanged
+  from one epoch to the next; with a static announced metric the matrices
+  can be reused verbatim.
+
+:class:`ResidualRouteCache` makes both kinds of sharing explicit.  The
+engine owns one cache and stamps it with an opaque *token* — a fingerprint
+of everything the residual matrices depend on (global-wiring version,
+announced-metric fingerprint, active membership).  Evaluator construction
+consults the cache; an entry is valid only if its token matches the
+cache's current token, so a single re-wiring anywhere (which bumps the
+wiring version) invalidates every stale entry implicitly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.util.validation import ValidationError
+
+
+class ResidualRouteCache:
+    """LRU cache of per-node residual route-value matrices.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of node entries kept (each entry is a dense
+        ``hops x n`` matrix, so memory is roughly ``max_entries * n**2``
+        floats).  Must be positive; use ``None`` on the engine side to
+        size the cache to the deployment.
+
+    Notes
+    -----
+    Entries are keyed by node id and validated against both the cache's
+    current :attr:`token` and the tuple of first hops the matrix was
+    computed for.  :meth:`set_token` is cheap and does *not* clear the
+    store — entries stamped with an older token simply stop matching and
+    age out of the LRU.
+    """
+
+    def __init__(self, max_entries: int = 128):
+        if max_entries < 1:
+            raise ValidationError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self.token: Optional[Hashable] = None
+        self.hits: int = 0
+        self.misses: int = 0
+        self._store: "OrderedDict[int, Tuple[Hashable, Tuple[int, ...], np.ndarray]]" = (
+            OrderedDict()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Token management
+    # ------------------------------------------------------------------ #
+    def set_token(self, token: Hashable) -> None:
+        """Stamp the cache with the current residual-state fingerprint."""
+        self.token = token
+
+    def invalidate(self) -> None:
+        """Drop every entry (e.g. when the substrate changed wholesale)."""
+        self._store.clear()
+
+    # ------------------------------------------------------------------ #
+    # Lookup / insertion
+    # ------------------------------------------------------------------ #
+    def get(self, node: int, hops: Tuple[int, ...]) -> Optional[np.ndarray]:
+        """The cached residual matrix for ``node``, or None on miss.
+
+        A hit requires the stored token to equal the cache's current
+        token and the stored hop tuple to equal ``hops`` exactly (rows of
+        the matrix are indexed by hop order).
+        """
+        entry = self._store.get(node)
+        if entry is not None and entry[0] == self.token and entry[1] == hops:
+            self._store.move_to_end(node)
+            self.hits += 1
+            return entry[2]
+        self.misses += 1
+        return None
+
+    def put(self, node: int, hops: Tuple[int, ...], matrix: np.ndarray) -> None:
+        """Store ``matrix`` (``len(hops) x n``) for ``node`` under the token."""
+        self._store[node] = (self.token, tuple(hops), matrix)
+        self._store.move_to_end(node)
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Hit/miss counters for benchmarks and tests."""
+        return {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "entries": float(len(self._store)),
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResidualRouteCache(entries={len(self._store)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -85,17 +85,25 @@ def bias_rank(
     routes yet).  An empty neighbourhood ranks zero.
     """
     members = neighborhood(residual_graph, candidate, radius)
+    return _bias_rank_from_row(
+        metric.link_weight_row(newcomer), members, maximize=metric.maximize
+    )
+
+
+def _bias_rank_from_row(
+    weight_row: np.ndarray, members: Set[int], *, maximize: bool
+) -> float:
+    """``b_ij`` from a precomputed direct-weight row (vectorised sum)."""
     if not members:
         return 0.0
-    if metric.maximize:
+    total = float(weight_row[np.fromiter(members, dtype=int, count=len(members))].sum())
+    if maximize:
         # Bandwidth analogue: prefer candidates whose neighbourhood offers
         # high direct bandwidth from the newcomer.
-        total = sum(metric.link_weight(newcomer, u) for u in members)
-        return float(total)
-    total_distance = sum(metric.link_weight(newcomer, u) for u in members)
-    if total_distance <= 0:
+        return total
+    if total <= 0:
         return float("inf")
-    return len(members) / total_distance
+    return len(members) / total
 
 
 def topology_biased_sample(
@@ -122,9 +130,16 @@ def topology_biased_sample(
         return []
     m_prime = min(len(candidates), max(m, int(oversample) * m))
     pool = random_sample(candidates, m_prime, rng=rng)
+    # One direct-weight row lookup shared across every candidate's ranking
+    # instead of a link_weight call per neighbourhood member.
+    weight_row = metric.link_weight_row(newcomer)
     ranked = sorted(
         pool,
-        key=lambda c: bias_rank(newcomer, c, metric, residual_graph, radius),
+        key=lambda c: _bias_rank_from_row(
+            weight_row,
+            neighborhood(residual_graph, c, radius),
+            maximize=metric.maximize,
+        ),
         reverse=True,
     )
     return ranked[:m]
@@ -151,6 +166,7 @@ def sampled_best_response(
     preferences: Optional[np.ndarray] = None,
     rng: SeedLike = None,
     max_iterations: int = 100,
+    vectorized: bool = True,
 ) -> SampledJoinResult:
     """Compute a newcomer's BR restricted to the sampled nodes.
 
@@ -171,7 +187,7 @@ def sampled_best_response(
         destinations=sample,
     )
     result = best_response(
-        evaluator, k, rng=rng, max_iterations=max_iterations
+        evaluator, k, rng=rng, max_iterations=max_iterations, vectorized=vectorized
     )
     return SampledJoinResult(
         newcomer=newcomer,

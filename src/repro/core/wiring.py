@@ -99,6 +99,18 @@ class GlobalWiring:
         self.n = int(n)
         self._wirings: Dict[int, Wiring] = {}
         self._weights: Dict[int, Dict[int, float]] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped whenever the wiring content changes.
+
+        Re-installing a node's existing wiring with identical weights is a
+        no-op and does *not* bump the version, so the counter is a cheap
+        fingerprint of the induced overlay — the engine keys its residual
+        route-value cache on it.
+        """
+        return self._version
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -114,13 +126,25 @@ class GlobalWiring:
                 raise ValidationError(
                     f"missing weight for link {wiring.node} -> {neighbor}"
                 )
+        new_weights = {v: float(weights[v]) for v in wiring.neighbors}
+        for v, w in new_weights.items():
+            if w < 0:
+                raise ValidationError(
+                    f"negative weight for link {wiring.node} -> {v}"
+                )
+        if (
+            self._wirings.get(wiring.node) == wiring
+            and self._weights.get(wiring.node) == new_weights
+        ):
+            return
         self._wirings[wiring.node] = wiring
-        self._weights[wiring.node] = {
-            v: float(weights[v]) for v in wiring.neighbors
-        }
+        self._weights[wiring.node] = new_weights
+        self._version += 1
 
     def remove_wiring(self, node: int) -> None:
         """Remove ``node``'s wiring entirely (e.g. the node went OFF)."""
+        if node in self._wirings:
+            self._version += 1
         self._wirings.pop(node, None)
         self._weights.pop(node, None)
 
@@ -163,18 +187,42 @@ class GlobalWiring:
     # ------------------------------------------------------------------ #
     # Conversion
     # ------------------------------------------------------------------ #
+    def _weight_rows(
+        self, active: Optional[Iterable[int]], exclude: Optional[int]
+    ) -> Iterable:
+        """(node, weights) rows restricted to ``active``, minus ``exclude``.
+
+        Contents are pre-validated by :meth:`set_wiring`, which is what
+        entitles the graph conversions below to the trusted bulk
+        constructor.
+        """
+        if active is None:
+            return (
+                (node, weights)
+                for node, weights in self._weights.items()
+                if node != exclude
+            )
+        active_set = set(active)
+        return (
+            (node, {v: w for v, w in weights.items() if v in active_set})
+            for node, weights in self._weights.items()
+            if node != exclude and node in active_set
+        )
+
     def to_graph(self, active: Optional[Iterable[int]] = None) -> OverlayGraph:
         """Overlay graph induced by the wiring (optionally restricted)."""
-        graph = OverlayGraph(self.n)
-        active_set = set(active) if active is not None else None
-        for node, weights in self._weights.items():
-            if active_set is not None and node not in active_set:
-                continue
-            for neighbor, weight in weights.items():
-                if active_set is not None and neighbor not in active_set:
-                    continue
-                graph.add_edge(node, neighbor, weight)
-        return graph
+        return OverlayGraph.from_weight_maps(self.n, self._weight_rows(active, None))
+
+    def residual_graph(
+        self, node: int, active: Optional[Iterable[int]] = None
+    ) -> OverlayGraph:
+        """Overlay graph of the residual wiring ``S_{-node}``.
+
+        Equivalent to ``residual(node).to_graph(active)`` but built in one
+        pass without copying the wiring — this runs once per re-wiring
+        opportunity in the engine's epoch loop.
+        """
+        return OverlayGraph.from_weight_maps(self.n, self._weight_rows(active, node))
 
     def announcements(self) -> Dict[int, Dict[int, float]]:
         """Per-node link announcements (node -> {neighbor: cost})."""

@@ -69,7 +69,7 @@ class SNSGame:
         rng: SeedLike = None,
     ):
         """Best response of ``node`` to everyone else's wiring."""
-        residual = wiring.residual(node).to_graph()
+        residual = wiring.residual_graph(node)
         evaluator = WiringEvaluator(
             node=node,
             metric=self.metric,

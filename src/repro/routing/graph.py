@@ -117,11 +117,36 @@ class OverlayGraph:
     # ------------------------------------------------------------------ #
     # Derivation
     # ------------------------------------------------------------------ #
+    @classmethod
+    def from_weight_maps(
+        cls, n: int, rows: Iterable[Tuple[int, Dict[int, float]]]
+    ) -> "OverlayGraph":
+        """Trusted bulk constructor from ``(node, {neighbor: weight})`` rows.
+
+        Skips the per-edge validation of :meth:`add_edge`, so callers must
+        supply pre-validated contents: indices in range, no self-loops,
+        non-negative float weights (:class:`~repro.core.wiring.GlobalWiring`
+        guarantees all three).  This is the fast path behind the engine's
+        per-node residual-graph construction.
+        """
+        graph = cls(n)
+        succ = graph._succ
+        pred = graph._pred
+        for u, weights in rows:
+            if not weights:
+                continue
+            row = succ[u]
+            row.update(weights)
+            for v in row:
+                pred[v].add(u)
+        return graph
+
     def copy(self) -> "OverlayGraph":
         """Deep copy."""
-        clone = OverlayGraph(self.n)
-        for u, v, w in self.edges():
-            clone.add_edge(u, v, w)
+        clone = OverlayGraph.__new__(OverlayGraph)
+        clone.n = self.n
+        clone._succ = [dict(row) for row in self._succ]
+        clone._pred = [set(preds) for preds in self._pred]
         return clone
 
     def without_node_out_edges(self, node: int) -> "OverlayGraph":

@@ -38,18 +38,25 @@ DEFAULT_DISCONNECTION_COST = float("inf")
 def _to_csr(graph: OverlayGraph) -> csr_matrix:
     """Sparse adjacency matrix of ``graph`` (zero-weight edges preserved).
 
-    scipy's csgraph treats explicit zeros as absent edges unless told
-    otherwise; we nudge zero weights to a tiny epsilon so that zero-cost
-    links (possible under the node-load metric) stay routable.
+    Assembled directly in CSR form (indptr/indices/data) from the per-node
+    adjacency, skipping the COO intermediate.  scipy's csgraph treats
+    explicit zeros as absent edges unless told otherwise; we nudge zero
+    weights to a tiny epsilon so that zero-cost links (possible under the
+    node-load metric) stay routable.
     """
-    rows: List[int] = []
-    cols: List[int] = []
+    n = graph.n
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    indices: List[int] = []
     data: List[float] = []
-    for u, v, w in graph.edges():
-        rows.append(u)
-        cols.append(v)
-        data.append(w if w > 0 else 1e-12)
-    return csr_matrix((data, (rows, cols)), shape=(graph.n, graph.n))
+    for u in range(n):
+        succ = graph.successors(u)
+        indptr[u + 1] = indptr[u] + len(succ)
+        indices.extend(succ.keys())
+        data.extend(w if w > 0 else 1e-12 for w in succ.values())
+    return csr_matrix(
+        (np.asarray(data, dtype=float), np.asarray(indices, dtype=np.int64), indptr),
+        shape=(n, n),
+    )
 
 
 def shortest_path_costs_from(

@@ -44,6 +44,22 @@ def widest_path_bandwidths_from(graph: OverlayGraph, src: int) -> np.ndarray:
     return best
 
 
+def widest_path_bandwidths_multi(
+    graph: OverlayGraph, sources: List[int]
+) -> np.ndarray:
+    """Maximum bottleneck bandwidths from each of ``sources`` to every node.
+
+    Returns a ``len(sources) x n`` matrix.  This is the matrix route-value
+    entry point used by the vectorised best-response evaluator, which
+    needs bottleneck values from every candidate first hop at once (the
+    bandwidth analogue of
+    :func:`repro.routing.shortest_path.shortest_path_costs_multi`).
+    """
+    if not sources:
+        return np.zeros((0, graph.n))
+    return np.vstack([widest_path_bandwidths_from(graph, src) for src in sources])
+
+
 def widest_path_tree(
     graph: OverlayGraph, src: int
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -102,8 +118,8 @@ def all_pairs_widest_bandwidth(
         sources = list(range(n))
     result = np.zeros((n, n))
     np.fill_diagonal(result, np.inf)
-    for src in sources:
-        result[src, :] = widest_path_bandwidths_from(graph, src)
+    if sources:
+        result[list(sources), :] = widest_path_bandwidths_multi(graph, list(sources))
     return result
 
 

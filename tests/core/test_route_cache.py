@@ -1,0 +1,122 @@
+"""Tests for the residual route-value cache and its engine integration."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BestResponsePolicy,
+    DelayMetricProvider,
+    EgoistEngine,
+    ResidualRouteCache,
+)
+from repro.netsim.delayspace import DelaySpace
+from repro.util.validation import ValidationError
+
+
+class TestResidualRouteCache:
+    def test_token_and_hops_must_match(self):
+        cache = ResidualRouteCache(max_entries=4)
+        matrix = np.arange(6.0).reshape(2, 3)
+        cache.set_token(("v1",))
+        cache.put(0, (1, 2), matrix)
+        assert cache.get(0, (1, 2)) is matrix
+        assert cache.get(0, (1, 3)) is None  # different hops
+        cache.set_token(("v2",))
+        assert cache.get(0, (1, 2)) is None  # stale token
+        assert cache.hits == 1
+        assert cache.misses == 2
+
+    def test_lru_eviction(self):
+        cache = ResidualRouteCache(max_entries=2)
+        cache.set_token("t")
+        for node in range(3):
+            cache.put(node, (1,), np.zeros((1, 1)))
+        assert len(cache) == 2
+        assert cache.get(0, (1,)) is None  # evicted as oldest
+        assert cache.get(2, (1,)) is not None
+
+    def test_invalidate_clears_entries(self):
+        cache = ResidualRouteCache()
+        cache.set_token("t")
+        cache.put(0, (1,), np.zeros((1, 1)))
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.get(0, (1,)) is None
+
+    def test_stats_and_hit_rate(self):
+        cache = ResidualRouteCache()
+        assert cache.hit_rate == 0.0
+        cache.set_token("t")
+        cache.put(0, (1,), np.zeros((1, 1)))
+        cache.get(0, (1,))
+        cache.get(1, (1,))
+        stats = cache.stats()
+        assert stats["hits"] == 1.0
+        assert stats["misses"] == 1.0
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            ResidualRouteCache(max_entries=0)
+
+
+def make_engine(route_cache_size, *, n=12, seed=9):
+    rng = np.random.default_rng(77)
+    matrix = rng.uniform(5.0, 120.0, size=(n, n))
+    np.fill_diagonal(matrix, 0.0)
+    provider = DelayMetricProvider(DelaySpace(matrix, jitter_std=0.0), estimator="true")
+    return EgoistEngine(
+        provider,
+        BestResponsePolicy(),
+        k=2,
+        seed=seed,
+        route_cache_size=route_cache_size,
+    )
+
+
+def record_key(record):
+    return tuple(
+        None if isinstance(v, float) and math.isnan(v) else v
+        for v in (
+            record.epoch,
+            record.time,
+            record.active_nodes,
+            record.rewirings,
+            record.mean_cost,
+            record.mean_efficiency,
+            record.social_cost,
+            record.linkstate_bits,
+        )
+    )
+
+
+class TestEngineIntegration:
+    def test_cache_disabled_with_size_zero(self):
+        engine = make_engine(0)
+        assert engine.route_cache is None
+        engine.run(2)  # still runs fine without the cache
+
+    def test_cache_defaults_to_deployment_size(self):
+        engine = make_engine(None)
+        assert engine.route_cache is not None
+        assert engine.route_cache.max_entries == engine.n
+
+    def test_cached_and_uncached_runs_are_identical(self):
+        cached = make_engine(None).run(4).records
+        uncached = make_engine(0).run(4).records
+        assert [record_key(r) for r in cached] == [record_key(r) for r in uncached]
+
+    def test_quiescent_epochs_hit_the_cache(self):
+        """Once best-response dynamics converge with a static announced
+        metric, a whole epoch's residual sweeps come from the cache."""
+        engine = make_engine(None)
+        engine.run(6)  # long enough to converge at this scale
+        before = engine.route_cache.hits
+        misses_before = engine.route_cache.misses
+        engine.run_epoch()
+        assert engine.route_cache.hits - before == engine.n
+        assert engine.route_cache.misses == misses_before
