@@ -19,7 +19,15 @@ Usage::
     python benchmarks/compare_bench.py old.json new.json --threshold 1.5
 
 Exit status is 0 when no benchmark slowed down by more than the
-threshold, 1 otherwise — suitable as a CI gate.
+threshold, 1 otherwise — suitable as a CI gate.  The last line of
+output is always a machine-readable summary of the form::
+
+    BENCH_COMPARE status=<ok|regressed|no_overlap> regressions=<count> \
+        compared=<count> threshold=<ratio> worst=<name>:<ratio>
+
+so CI steps can consume the verdict (and annotate logs) without parsing
+the human-readable table; ``--summary-json PATH`` additionally writes
+the same fields as JSON.
 """
 
 from __future__ import annotations
@@ -28,7 +36,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 def load_benchmarks(path: Path) -> Dict[str, float]:
@@ -66,7 +74,13 @@ def format_row(name: str, old: float, new: float, threshold: float) -> Tuple[str
     )
 
 
-def compare(old_path: Path, new_path: Path, threshold: float) -> int:
+def compare(
+    old_path: Path,
+    new_path: Path,
+    threshold: float,
+    *,
+    summary_json: Optional[Path] = None,
+) -> int:
     old = load_benchmarks(old_path)
     new = load_benchmarks(new_path)
     shared = sorted(set(old) & set(new))
@@ -80,9 +94,13 @@ def compare(old_path: Path, new_path: Path, threshold: float) -> int:
     print(header)
     print("-" * len(header))
     regressions: List[str] = []
+    worst_name, worst_ratio = "", 0.0
     for name in shared:
         row, regressed = format_row(name, old[name], new[name], threshold)
         print(row)
+        ratio = new[name] / old[name] if old[name] > 0 else float("inf")
+        if ratio > worst_ratio:
+            worst_name, worst_ratio = name, ratio
         if regressed:
             regressions.append(name)
     for name in only_old:
@@ -90,14 +108,51 @@ def compare(old_path: Path, new_path: Path, threshold: float) -> int:
     for name in only_new:
         print(f"{name:<70s} {'(new)':>25s} {new[name] * 1000:>12.2f}")
     print()
+    # Nothing compared (disjoint names, or two empty runs) is a dead
+    # gate either way — never let it pass vacuously.
+    no_overlap = not shared
     if regressions:
         print(
             f"{len(regressions)} benchmark(s) regressed beyond "
             f"{threshold:.2f}x: {', '.join(regressions)}"
         )
-        return 1
-    print(f"no regressions beyond {threshold:.2f}x across {len(shared)} benchmarks")
-    return 0
+    elif no_overlap:
+        # A gate that compares nothing is a dead gate: renamed suites
+        # must fail loudly rather than pass vacuously until a fresh
+        # baseline happens to land.
+        print(
+            "the two runs share no benchmark names - nothing was gated; "
+            "refresh the baseline artifact"
+        )
+    else:
+        print(
+            f"no regressions beyond {threshold:.2f}x across {len(shared)} benchmarks"
+        )
+    if regressions:
+        status = "regressed"
+    elif no_overlap:
+        status = "no_overlap"
+    else:
+        status = "ok"
+    summary = {
+        "status": status,
+        "regressions": len(regressions),
+        "regressed": regressions,
+        "compared": len(shared),
+        "threshold": threshold,
+        "worst": worst_name,
+        "worst_ratio": worst_ratio,
+        "old": str(old_path),
+        "new": str(new_path),
+    }
+    if summary_json is not None:
+        summary_json.write_text(json.dumps(summary, indent=2) + "\n")
+    worst = f"{worst_name}:{worst_ratio:.2f}" if worst_name else "-"
+    print(
+        f"BENCH_COMPARE status={status} regressions={len(regressions)} "
+        f"compared={len(shared)} threshold={threshold:.2f} worst={worst}"
+    )
+    return 0 if status == "ok" else 1
 
 
 def main(argv: List[str]) -> int:
@@ -114,6 +169,12 @@ def main(argv: List[str]) -> int:
         default=1.25,
         help="fail when new/old mean exceeds this ratio (default: 1.25)",
     )
+    parser.add_argument(
+        "--summary-json",
+        type=Path,
+        default=None,
+        help="also write the machine-readable summary to this path",
+    )
     args = parser.parse_args(argv)
     if len(args.paths) == 1 and args.paths[0].is_dir():
         old_path, new_path = find_recent_pair(args.paths[0])
@@ -121,7 +182,9 @@ def main(argv: List[str]) -> int:
         old_path, new_path = args.paths
     else:
         parser.error("pass exactly two JSON files or one directory")
-    return compare(old_path, new_path, args.threshold)
+    return compare(
+        old_path, new_path, args.threshold, summary_json=args.summary_json
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,111 @@
+"""Benchmark: batched vs sequential full four-panel Fig. 1 sweep (n = 50).
+
+The tentpole acceptance gate for the multi-deployment sweep kernels: the
+complete four-panel Fig. 1 sweep — 140 deployments across the (policy,
+k, metric) grid, built by lockstep best-response dynamics and scored
+through the 3-D route-value tensor — against the preserved pre-batching
+sequential implementation (``batched=False``: per-deployment builds with
+per-node residual graph construction and per-source heap widest-path
+sweeps), with **byte-identical** series on both paths.
+
+Two wall-clock gates:
+
+* the full four-panel aggregate must be at least 2.2x faster batched
+  (it measures ~2.8-3.2x on an idle machine; one-shot wall-clock ratios
+  on shared/loaded runners swing ~±15%, so the gate keeps the ~30%
+  margin the vectorized-kernel gate uses);
+* the bandwidth panel alone — the sweep the widest-path closure/
+  avoid-one tensor port targets — must be at least 3x faster (it
+  measures ~8-10x: the sequential path pays one interpreted per-source
+  Dijkstra heap sweep per re-wiring opportunity).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.experiments import (
+    fig1_bandwidth,
+    fig1_delay_ping,
+    fig1_delay_pyxida,
+    fig1_node_load,
+)
+
+N = 50
+K_VALUES = (2, 3, 4, 5, 6, 7, 8)
+SEED = 2008
+BR_ROUNDS = 3
+REQUIRED_SWEEP_SPEEDUP = 2.2
+REQUIRED_BANDWIDTH_SPEEDUP = 3.0
+
+
+def _four_panel(batched: bool):
+    kwargs = dict(
+        n=N, k_values=K_VALUES, seed=SEED, br_rounds=BR_ROUNDS, batched=batched
+    )
+    return (
+        fig1_delay_ping(include_full_mesh=True, **kwargs),
+        fig1_delay_pyxida(**kwargs),
+        fig1_node_load(**kwargs),
+        fig1_bandwidth(**kwargs),
+    )
+
+
+def _warmup():
+    """Prime NumPy/SciPy dispatch so neither timed path pays first-call
+    costs (the benchmark compares steady-state throughput)."""
+    for batched in (True, False):
+        fig1_delay_ping(
+            n=16, k_values=(2,), seed=1, br_rounds=1, batched=batched
+        )
+        fig1_bandwidth(n=16, k_values=(2,), seed=1, br_rounds=1, batched=batched)
+
+
+def test_four_panel_sweep_batched_speedup(benchmark):
+    _warmup()
+    # Sequential baseline, timed by hand (pytest-benchmark tracks the
+    # batched path so BENCH_*.json trajectories chart the fast path).
+    start = time.perf_counter()
+    scalar_results = _four_panel(batched=False)
+    scalar_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    scalar_bandwidth = fig1_bandwidth(
+        n=N, k_values=K_VALUES, seed=SEED, br_rounds=BR_ROUNDS, batched=False
+    )
+    scalar_bandwidth_seconds = time.perf_counter() - start
+
+    batched_results = run_once(benchmark, _four_panel, batched=True)
+    batched_seconds = benchmark.stats.stats.mean
+
+    start = time.perf_counter()
+    batched_bandwidth = fig1_bandwidth(
+        n=N, k_values=K_VALUES, seed=SEED, br_rounds=BR_ROUNDS, batched=True
+    )
+    batched_bandwidth_seconds = time.perf_counter() - start
+
+    # Byte-identical figure series on both paths — the hard gate.
+    for batched_result, scalar_result in zip(batched_results, scalar_results):
+        assert batched_result.as_dict() == scalar_result.as_dict(), (
+            f"{batched_result.figure}: batched and sequential series diverged"
+        )
+    assert batched_bandwidth.as_dict() == scalar_bandwidth.as_dict()
+
+    sweep_speedup = scalar_seconds / batched_seconds
+    bandwidth_speedup = scalar_bandwidth_seconds / batched_bandwidth_seconds
+    print(
+        f"\n=== four-panel sweep (n={N}, k={K_VALUES[0]}..{K_VALUES[-1]}): "
+        f"sequential {scalar_seconds:.2f}s / batched {batched_seconds:.2f}s "
+        f"= {sweep_speedup:.2f}x; bandwidth panel "
+        f"{scalar_bandwidth_seconds:.2f}s / {batched_bandwidth_seconds:.2f}s "
+        f"= {bandwidth_speedup:.2f}x ==="
+    )
+    assert sweep_speedup >= REQUIRED_SWEEP_SPEEDUP, (
+        f"batched four-panel sweep only {sweep_speedup:.2f}x faster "
+        f"(required >= {REQUIRED_SWEEP_SPEEDUP}x)"
+    )
+    assert bandwidth_speedup >= REQUIRED_BANDWIDTH_SPEEDUP, (
+        f"batched bandwidth panel only {bandwidth_speedup:.2f}x faster "
+        f"(required >= {REQUIRED_BANDWIDTH_SPEEDUP}x)"
+    )

@@ -48,6 +48,17 @@ sweep, and across quiescent epochs (no re-wiring anywhere, announced
 metric and membership unchanged) each node's matrices are reused
 verbatim, so a converged deployment with a static substrate performs no
 routing sweeps at all during the re-wiring loop.
+
+One level higher, :class:`DeploymentBatch`
+(:mod:`repro.core.deployment_batch`) stacks many *independent*
+deployments of a k-sweep: best-response dynamics run in lockstep with
+residual sweeps computed in block-diagonal (or avoid-one closure)
+kernel calls, re-wiring opportunities are scored in fused broadcasts
+across deployments, and the built overlays are evaluated through one
+``(deployments x hops x destinations)`` route-value tensor — all
+bit-identical to building and scoring the deployments one by one
+(``batched=False``), which is gated by
+``benchmarks/test_bench_deployment_batch.py``.
 """
 
 from repro.core.wiring import GlobalWiring, Wiring
@@ -91,7 +102,8 @@ from repro.core.sampling import (
 )
 from repro.core.cheating import AuditFinding, CheatingModel, audit_announcements
 from repro.core.bootstrap import BootstrapServer
-from repro.core.route_cache import ResidualRouteCache
+from repro.core.deployment_batch import DeploymentBatch, DeploymentSpec
+from repro.core.route_cache import ResidualRouteCache, metric_fingerprint
 from repro.core.node import EgoistNode, RewireDecision, RewireMode
 from repro.core.providers import (
     BandwidthMetricProvider,
@@ -148,7 +160,10 @@ __all__ = [
     "CheatingModel",
     "audit_announcements",
     "BootstrapServer",
+    "DeploymentBatch",
+    "DeploymentSpec",
     "ResidualRouteCache",
+    "metric_fingerprint",
     "EgoistNode",
     "RewireDecision",
     "RewireMode",

@@ -1,0 +1,989 @@
+"""Batched multi-deployment sweep kernels.
+
+The paper's k-sweeps (Fig. 1 and friends) compare many *independent*
+overlay deployments — one per (policy, k, metric) triple — that share one
+underlay.  Building and scoring them one after another leaves the
+vectorised best-response kernels idle between deployments; this module
+stacks the per-deployment work instead:
+
+* **Construction.**  Best-response dynamics of all deployments run in
+  lockstep.  The expensive part of a re-wiring opportunity is the
+  multi-source sweep producing the node's residual route-value matrix;
+  the batch precomputes those matrices for *waves* of upcoming
+  ``(deployment, node)`` opportunities in shared kernel calls — a
+  single block-diagonal CSR Dijkstra for the additive metrics;
+  Floyd-Warshall max-min closures
+  (:func:`repro.routing.widest_path.bottleneck_closure_fw`), or one
+  divide-and-conquer
+  :func:`~repro.routing.widest_path.bottleneck_avoid_one` pass serving
+  *every* node of an overlay version at once, for bandwidth — and
+  injects them through each deployment's
+  :class:`~repro.core.route_cache.ResidualRouteCache`.  Cache tokens are
+  the engine's ``(wiring version, metric fingerprint, membership)``
+  triples, with :func:`~repro.core.route_cache.metric_fingerprint`
+  computed once per distinct underlay snapshot and shared by every
+  deployment announcing the same matrix; a re-wire bumps the wiring
+  version, so stale wave entries stop matching without explicit
+  invalidation.  Wave sizes adapt per deployment (grow on a quiet run,
+  reset on a re-wire) so quiescent rounds cost one kernel call while
+  churning rounds waste almost no speculative work.  The re-wiring
+  opportunities themselves are also fused: the current-wiring
+  evaluation, every greedy-seed pass, and every local-search swap pass
+  of all same-objective deployments run as single broadcasts over one
+  stacked via tensor (:meth:`DeploymentBatch._fused_rewire_steps`).
+
+* **Scoring.**  The built overlays' route-value matrices are stacked
+  into a single ``(deployments x hops x destinations)`` tensor — one
+  block-diagonal Dijkstra, or max-min closures, per objective group —
+  and every node cost of every deployment falls out of one
+  preference-weighted broadcast.  Deployments whose graph and objective
+  fingerprints match (e.g. full-mesh overlays over a drift-free
+  underlay) share one tensor slice.
+
+Both phases are bitwise identical to the sequential reference path:
+``batched=False`` preserves the pre-batching implementation verbatim
+(per-deployment builds with per-node residual graph construction and
+per-source heap widest-path sweeps, then one ``all_node_costs`` per
+deployment) as the parity anchor and benchmark baseline, the same way
+the best-response kernels keep their interpreted path behind
+``vectorized=False``.  Route values are computed by the same exact
+selections/summations on block-separated problems, objective reductions
+use the same elementwise operations in the same order, and each
+deployment consumes its own spawned RNG stream in the same sequence
+either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
+
+from repro.core.best_response import WiringEvaluator, should_rewire
+from repro.core.cost import Metric, uniform_preferences
+from repro.core.policies import (
+    BestResponsePolicy,
+    FullMeshPolicy,
+    KRandomPolicy,
+    NeighborSelectionPolicy,
+    best_response_rewire_step,
+    build_overlay,
+    enforce_connectivity_cycle,
+    seed_random_overlay,
+)
+from repro.core.route_cache import (
+    ResidualRouteCache,
+    array_fingerprint,
+    metric_fingerprint,
+)
+from repro.core.wiring import GlobalWiring, Wiring
+from repro.routing.graph import OverlayGraph
+from repro.routing.widest_path import (
+    CLOSURE_MAX_NODES,
+    bottleneck_avoid_one,
+    bottleneck_closure_fw,
+    reference_kernels,
+    widest_path_bandwidths_multi,
+)
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import ValidationError
+
+#: Soft cap on the stacked node count of one block-diagonal Dijkstra call
+#: (the dense distance output is ``blocks*n x blocks*n`` float64, so 4096
+#: keeps a call's output near 128 MB).
+_DIJKSTRA_BLOCK_NODES = 4096
+
+#: Wave size from which one divide-and-conquer avoid-one pass (all
+#: residual matrices of the overlay version at once) beats closing the
+#: requested residuals one by one.
+_AVOID_ONE_MIN_WAVE = 8
+
+class _CacheOnlyResidual:
+    """Placeholder residual graph for cache-fed evaluators.
+
+    The batched build guarantees every :class:`WiringEvaluator` it
+    constructs finds its residual route-value matrix in the deployment's
+    route cache, so the residual graph is never consulted.  Touching it
+    anyway means the guarantee broke — fail loudly instead of silently
+    recomputing from a wrong graph.
+    """
+
+    def __getattr__(self, name: str):
+        raise ValidationError(
+            "batched sweep expected the residual route matrix to be cached; "
+            f"evaluator tried to read residual_graph.{name}"
+        )
+
+
+_CACHE_ONLY_RESIDUAL = _CacheOnlyResidual()
+
+
+@dataclass
+class DeploymentSpec:
+    """One independent overlay deployment of a sweep.
+
+    Parameters
+    ----------
+    label:
+        Series label (e.g. the policy name) — not required to be unique.
+    policy:
+        Neighbour-selection policy building the overlay.
+    k:
+        Per-node neighbour budget.
+    announced:
+        The metric wirings are chosen from (what nodes measured).
+    truth:
+        The metric the built overlay is evaluated on.
+    br_rounds:
+        Best-response dynamics round limit (BR policies only).
+    preferences:
+        Preference matrix (uniform by default).
+    ensure_connected:
+        Whether structural policies enforce the connectivity cycle.
+    rng:
+        The deployment's *own* RNG stream.  Give every spec an
+        independent stream (e.g. via
+        :func:`repro.util.rng.spawn_generators`) — the batched and
+        sequential paths then consume identical draws per deployment
+        regardless of build interleaving.
+    """
+
+    label: str
+    policy: NeighborSelectionPolicy
+    k: int
+    announced: Metric
+    truth: Metric
+    br_rounds: int = 6
+    preferences: Optional[np.ndarray] = None
+    ensure_connected: bool = True
+    rng: SeedLike = None
+
+
+class _BRBuildState:
+    """Lockstep best-response dynamics state of one deployment."""
+
+    __slots__ = (
+        "index",
+        "spec",
+        "rng",
+        "node_list",
+        "candidates",
+        "hops_key",
+        "hops_rows",
+        "active_key",
+        "metric_fp",
+        "preferences",
+        "fusable",
+        "direct_rows",
+        "pref_rows",
+        "wiring",
+        "dense",
+        "cache",
+        "order",
+        "pos",
+        "changed",
+        "round",
+        "wave",
+    )
+
+    def __init__(self, index: int, spec: DeploymentSpec, metric_fp: str):
+        self.index = index
+        self.spec = spec
+        self.rng = as_generator(spec.rng)
+        n = spec.announced.size
+        self.node_list = list(range(n))
+        self.active_key = tuple(self.node_list)
+        self.metric_fp = metric_fp
+        # Per-node candidate/hop structures (full membership, so they are
+        # the same "everyone else" lists the sequential builder passes).
+        self.candidates = [
+            [c for c in self.node_list if c != node] for node in self.node_list
+        ]
+        self.hops_key = [tuple(c) for c in self.candidates]
+        self.hops_rows = [np.array(c, dtype=int) for c in self.candidates]
+        # Same values an evaluator would default to; precomputed once so
+        # the fused kernels can gather preference rows per step.
+        self.preferences = (
+            spec.preferences
+            if spec.preferences is not None
+            else uniform_preferences(n)
+        )
+        # The fused broadcasts replicate best_response's greedy-seeded
+        # local search; deployments that would take another branch
+        # (exact enumeration on small candidate pools, k = 0, or the
+        # interpreted kernels) step through a per-deployment evaluator.
+        policy = spec.policy
+        self.fusable = (
+            policy.vectorized
+            and int(spec.k) >= 1
+            and n - 1 > int(policy.exact_threshold)
+        )
+        # Static per-node rows (the announced metric and preferences do
+        # not change during a build): direct link weights to the node's
+        # hops, and the node's preference weights over its destinations.
+        self.direct_rows: Dict[int, np.ndarray] = {}
+        self.pref_rows: Dict[int, np.ndarray] = {}
+        self.wiring = seed_random_overlay(spec.announced, spec.k, self.node_list, self.rng)
+        self.dense = _announced_dense(spec.announced, self.wiring, n)
+        self.cache = ResidualRouteCache(max_entries=n)
+        self.order = list(self.node_list)
+        self.pos = len(self.order)
+        self.changed = 0
+        self.round = 0
+        self.wave = 1
+
+    def static_rows(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached ``(direct link weights, preference weights)`` over hops."""
+        direct = self.direct_rows.get(node)
+        if direct is None:
+            hops = self.hops_rows[node]
+            direct = self.spec.announced.link_weight_row(node)[hops]
+            self.direct_rows[node] = direct
+            self.pref_rows[node] = self.preferences[node, hops]
+        return direct, self.pref_rows[node]
+
+    # ------------------------------------------------------------------ #
+    def refresh_token(self) -> None:
+        self.cache.set_token(
+            (self.wiring.version, self.metric_fp, self.active_key)
+        )
+
+    def start_round(self) -> None:
+        self.rng.shuffle(self.order)
+        self.pos = 0
+        self.changed = 0
+        self.round += 1
+
+    def round_finished(self) -> bool:
+        return self.pos >= len(self.order)
+
+    def converged(self) -> bool:
+        return self.round >= int(self.spec.br_rounds) or (
+            self.round > 0 and self.changed == 0
+        )
+
+    def note_rewired(self, node: int) -> None:
+        """Track a re-wire: refresh the dense row, reset the wave."""
+        row = self.dense[node]
+        row[:] = np.nan
+        for v, w in self.wiring.weights_of(node).items():
+            row[v] = w
+        self.wave = 1
+
+    def grow_wave(self) -> None:
+        # Linear growth bets on a quiet streak continuing roughly as long
+        # as it has lasted; a re-wire throws the rest of the wave away,
+        # so speculation is capped harder for the bandwidth closures (a
+        # wasted member costs a full n^3 closure) than for the additive
+        # Dijkstra blocks.
+        cap = 8 if self.spec.announced.maximize else 16
+        self.wave = min(self.wave + 1, cap)
+
+
+def _announced_dense(metric: Metric, wiring: GlobalWiring, n: int) -> np.ndarray:
+    """Dense announced-weight matrix of ``wiring`` (NaN marks absent edges)."""
+    dense = np.full((n, n), np.nan)
+    for node in range(n):
+        for v, w in wiring.weights_of(node).items():
+            dense[node, v] = w
+    return dense
+
+
+def _graph_dense(graph) -> np.ndarray:
+    """Dense weight matrix of an :class:`OverlayGraph` (NaN absent)."""
+    dense = np.full((graph.n, graph.n), np.nan)
+    for u, v, w in graph.edges():
+        dense[u, v] = w
+    return dense
+
+
+def _graph_from_bandwidth_dense(adjacency: np.ndarray) -> OverlayGraph:
+    """Overlay graph of a dense bottleneck adjacency (0 absent, inf diag)."""
+    n = adjacency.shape[0]
+    graph = OverlayGraph(n)
+    offdiag = ~np.eye(n, dtype=bool)
+    for u, v in zip(*np.nonzero((adjacency > 0) & offdiag)):
+        graph.add_edge(int(u), int(v), float(adjacency[u, v]))
+    return graph
+
+
+def _block_dijkstra(stack: np.ndarray) -> np.ndarray:
+    """All-sources shortest-path costs of every member of ``stack``.
+
+    ``stack`` is a ``(members, n, n)`` tensor of additive weight matrices
+    with NaN marking absent edges.  The members are packed into one
+    block-diagonal CSR matrix and swept by a single csgraph Dijkstra call
+    with every node as a source; since blocks are disconnected from each
+    other, slicing the diagonal blocks of the result reproduces exactly
+    the per-member ``shortest_path_costs_multi`` matrices (unreachable
+    stays ``+inf``).  Zero weights get the same ``1e-12`` nudge as
+    :func:`repro.routing.shortest_path._to_csr`.
+    """
+    members, n, _ = stack.shape
+    mask = ~np.isnan(stack)
+    counts = mask.sum(axis=2).reshape(members * n)
+    indptr = np.zeros(members * n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    member_idx, _row_idx, col_idx = np.nonzero(mask)
+    data = stack[mask]
+    data = np.where(data > 0, data, 1e-12)
+    indices = member_idx * n + col_idx
+    big = csr_matrix(
+        (data, indices.astype(np.int64), indptr),
+        shape=(members * n, members * n),
+    )
+    dist = _csgraph_dijkstra(big, directed=True, indices=np.arange(members * n))
+    dist = np.asarray(dist, dtype=float).reshape(members, n, members, n)
+    member_idx = np.arange(members)
+    # Diagonal blocks only: member m's sources against member m's columns.
+    return dist[member_idx, :, member_idx, :]
+
+
+def _batched_route_matrices(
+    stack: np.ndarray, maximize: bool
+) -> np.ndarray:
+    """Route-value matrices of stacked deployments, chunked by memory.
+
+    Additive metrics go through the block-diagonal Dijkstra; bandwidth
+    through the max-min closure tensor (NaN-marked absences become the
+    closure's 0/``+inf`` conventions).
+    """
+    members, n, _ = stack.shape
+    out = np.empty_like(stack)
+    if maximize:
+        adjacency = np.where(np.isnan(stack), 0.0, stack)
+        idx = np.arange(n)
+        adjacency[:, idx, idx] = np.inf
+        if n > CLOSURE_MAX_NODES:
+            # Dense closures are O(n^3) per member; past the cutoff the
+            # per-source heap search (bitwise identical) wins.
+            for m in range(members):
+                graph = _graph_from_bandwidth_dense(adjacency[m])
+                out[m] = widest_path_bandwidths_multi(
+                    graph, list(range(n)), batched=False
+                )
+        else:
+            for m in range(members):
+                out[m] = bottleneck_closure_fw(adjacency[m])
+    else:
+        chunk = max(1, _DIJKSTRA_BLOCK_NODES // max(1, n))
+        for start in range(0, members, chunk):
+            stop = min(start + chunk, members)
+            out[start:stop] = _block_dijkstra(stack[start:stop])
+    return out
+
+
+def _structural_overlay(spec: DeploymentSpec) -> GlobalWiring:
+    """Build a structural (non-BR) deployment on the batched path.
+
+    Structural policies select from ids and direct link weights alone, so
+    there is nothing to stack — this is one pass of per-node selections
+    plus the connectivity cycle, sharing the deployment's RNG stream with
+    the reference path.
+    """
+    return build_overlay(
+        spec.policy,
+        spec.announced,
+        spec.k,
+        preferences=spec.preferences,
+        rng=spec.rng,
+        br_rounds=spec.br_rounds,
+        ensure_connected=spec.ensure_connected,
+    )
+
+
+def _reference_build_overlay(spec: DeploymentSpec) -> GlobalWiring:
+    """The pre-batching overlay construction, preserved as the baseline.
+
+    This is the sequential implementation the batch subsystem replaced,
+    kept verbatim so ``batched=False`` measures it: a residual graph is
+    rebuilt per node even for structural policies, the best-response seed
+    phase rebuilds the growing overlay graph per node, and every
+    re-wiring opportunity runs its own multi-source residual sweep
+    (per-source heap widest paths under :func:`reference_kernels`).  It
+    consumes the deployment's RNG stream exactly like the batched build,
+    so the two return bit-identical wirings — parity tests pin this.
+    """
+    rng = as_generator(spec.rng)
+    metric = spec.announced
+    n = metric.size
+    node_list = list(range(n))
+    candidates_of = {
+        node: [c for c in node_list if c != node] for node in node_list
+    }
+    wiring = GlobalWiring(n)
+
+    if not isinstance(spec.policy, BestResponsePolicy):
+        for node in node_list:
+            residual = wiring.to_graph(active=node_list)
+            chosen = spec.policy.select(
+                node,
+                spec.k,
+                metric,
+                residual,
+                candidates=candidates_of[node],
+                rng=rng,
+                preferences=spec.preferences,
+                destinations=candidates_of[node],
+            )
+            weights = {v: metric.link_weight(node, v) for v in chosen}
+            wiring.set_wiring(Wiring.of(node, chosen), weights)
+        if spec.ensure_connected and not isinstance(spec.policy, FullMeshPolicy):
+            enforce_connectivity_cycle(wiring, metric, nodes=node_list)
+        return wiring
+
+    seed_policy = KRandomPolicy()
+    for node in node_list:
+        chosen = seed_policy.select(
+            node,
+            spec.k,
+            metric,
+            wiring.to_graph(active=node_list),
+            candidates=candidates_of[node],
+            rng=rng,
+        )
+        weights = {v: metric.link_weight(node, v) for v in chosen}
+        wiring.set_wiring(Wiring.of(node, chosen), weights)
+
+    order = list(node_list)
+    for _round in range(int(spec.br_rounds)):
+        rng.shuffle(order)
+        changed = 0
+        for node in order:
+            residual = wiring.residual_graph(node, active=node_list)
+            evaluator = WiringEvaluator(
+                node=node,
+                metric=metric,
+                residual_graph=residual,
+                candidates=candidates_of[node],
+                preferences=spec.preferences,
+                destinations=candidates_of[node],
+            )
+            if best_response_rewire_step(
+                spec.policy, metric, spec.k, node, wiring, evaluator, rng
+            ):
+                changed += 1
+        if changed == 0:
+            break
+    return wiring
+
+
+class DeploymentBatch:
+    """A sweep of independent deployments over one shared underlay.
+
+    Parameters
+    ----------
+    specs:
+        The deployments, all over metrics of the same size.  Mixed metric
+        families are allowed (the kernels group by objective direction).
+    batched:
+        ``True`` (default) uses the stacked kernels; ``False`` is the
+        sequential reference path — the pre-batching implementation
+        preserved verbatim (:func:`_reference_build_overlay` per
+        deployment, then ``Metric.all_node_costs`` with per-source
+        widest-path sweeps) — kept for parity testing and as the
+        benchmark baseline, exactly as the best-response kernels keep
+        their interpreted path behind ``vectorized=False``.  Both
+        produce bit-identical results.
+    """
+
+    def __init__(self, specs: Sequence[DeploymentSpec], *, batched: bool = True):
+        specs = list(specs)
+        if not specs:
+            raise ValidationError("a DeploymentBatch needs at least one spec")
+        sizes = {spec.announced.size for spec in specs}
+        sizes |= {spec.truth.size for spec in specs}
+        if len(sizes) != 1:
+            raise ValidationError(
+                f"all deployments must share one overlay size, got {sorted(sizes)}"
+            )
+        self.specs: List[DeploymentSpec] = specs
+        self.batched = bool(batched)
+        self.n = specs[0].announced.size
+        # "Underlay snapshot" fingerprints, shared across deployments that
+        # announce the same metric object.
+        self._metric_fps: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Fingerprints
+    # ------------------------------------------------------------------ #
+    def announced_fingerprint(self, metric: Metric) -> str:
+        """Cached :func:`metric_fingerprint` of an announced metric."""
+        key = id(metric)
+        fp = self._metric_fps.get(key)
+        if fp is None:
+            fp = metric_fingerprint(metric)
+            self._metric_fps[key] = fp
+        return fp
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def build(self) -> List[GlobalWiring]:
+        """Build every deployment's overlay (order-independent per spec)."""
+        if not self.batched:
+            with reference_kernels():
+                return [_reference_build_overlay(spec) for spec in self.specs]
+        wirings: List[Optional[GlobalWiring]] = [None] * len(self.specs)
+        lockstep: List[Tuple[int, DeploymentSpec]] = []
+        for i, spec in enumerate(self.specs):
+            if isinstance(spec.policy, BestResponsePolicy):
+                lockstep.append((i, spec))
+            else:
+                wirings[i] = _structural_overlay(spec)
+        if lockstep:
+            for (i, _spec), wiring in zip(lockstep, self._build_lockstep(lockstep)):
+                wirings[i] = wiring
+        return [w for w in wirings if w is not None]
+
+    def _build_lockstep(
+        self, items: Sequence[Tuple[int, DeploymentSpec]]
+    ) -> List[GlobalWiring]:
+        """Best-response dynamics of many deployments, in lockstep.
+
+        Every loop iteration advances each live deployment by exactly one
+        re-wiring opportunity: residual matrices for the current nodes
+        (plus adaptive lookahead waves) come from one kernel call, and
+        the opportunities themselves — current-wiring evaluation, greedy
+        seeding, and local-search swap passes — are scored for all fused
+        deployments in shared broadcasts (:meth:`_fused_rewire_steps`).
+        """
+        states = [
+            _BRBuildState(i, spec, self.announced_fingerprint(spec.announced))
+            for i, spec in items
+        ]
+        # A zero-round deployment keeps its seed wiring (and, like the
+        # sequential path, never draws a round shuffle).
+        live = [st for st in states if int(st.spec.br_rounds) > 0]
+        for st in live:
+            st.start_round()
+        while live:
+            self._refill_waves(live)
+            # Fused groups must share the full objective convention —
+            # direction AND disconnection value — since the broadcast
+            # clamps use one value for the whole group.
+            groups: Dict[Tuple[bool, float], List[_BRBuildState]] = {}
+            for st in live:
+                if st.fusable:
+                    metric = st.spec.announced
+                    key = (bool(metric.maximize), float(metric.unreachable_value))
+                    groups.setdefault(key, []).append(st)
+            for group in groups.values():
+                self._fused_rewire_steps(group)
+            for st in live:
+                if not st.fusable:
+                    self._evaluator_rewire_step(st)
+            finished: List[_BRBuildState] = []
+            for st in live:
+                if st.round_finished():
+                    if st.converged():
+                        finished.append(st)
+                    else:
+                        st.start_round()
+            if finished:
+                live = [st for st in live if st not in finished]
+        return [st.wiring for st in states]
+
+    def _refill_waves(self, live: Sequence[_BRBuildState]) -> None:
+        """Precompute residual route matrices for each state's next wave."""
+        additive: List[Tuple[_BRBuildState, int]] = []
+        for st in live:
+            st.refresh_token()
+            missing = [
+                node
+                for node in st.order[st.pos : st.pos + st.wave]
+                if st.hops_key[node]
+                and st.cache.get(node, st.hops_key[node]) is None
+            ]
+            if not missing:
+                continue
+            if st.spec.announced.maximize:
+                self._refill_bandwidth(st, missing)
+            else:
+                additive.extend((st, node) for node in missing)
+        if not additive:
+            return
+        n = self.n
+        stack = np.empty((len(additive), n, n))
+        for j, (st, node) in enumerate(additive):
+            stack[j] = st.dense
+            stack[j, node, :] = np.nan
+        matrices = _batched_route_matrices(stack, maximize=False)
+        for j, (st, node) in enumerate(additive):
+            st.cache.put(
+                node, st.hops_key[node], matrices[j][st.hops_rows[node], :]
+            )
+
+    def _refill_bandwidth(self, st: _BRBuildState, missing: Sequence[int]) -> None:
+        """Residual bottleneck matrices for one bandwidth deployment.
+
+        Small waves close each node's residual adjacency directly
+        (Floyd-Warshall pivoting); once the wave says the overlay is
+        quiet, one divide-and-conquer :func:`bottleneck_avoid_one` pass
+        yields the residual matrices of *every* node of the current
+        overlay version at once, and the whole round is served from the
+        cache until the next re-wire.  Both produce bitwise-identical
+        slices (max-min values are selections, not arithmetic).
+        """
+        n = self.n
+        if n > CLOSURE_MAX_NODES:
+            # Dense closures (and the (n, n, n) avoid-one tensor) are
+            # O(n^3) in time/memory; past the cutoff run the per-source
+            # heap search on each residual graph — bitwise identical.
+            for node in missing:
+                residual = st.wiring.residual_graph(node, active=st.node_list)
+                rows = widest_path_bandwidths_multi(
+                    residual, st.candidates[node], batched=False
+                )
+                st.cache.put(node, st.hops_key[node], rows)
+            return
+        adjacency = np.where(np.isnan(st.dense), 0.0, st.dense)
+        np.fill_diagonal(adjacency, np.inf)
+        if len(missing) >= _AVOID_ONE_MIN_WAVE:
+            tensor = bottleneck_avoid_one(adjacency)
+            for node in st.node_list:
+                if st.hops_key[node]:
+                    st.cache.put(
+                        node, st.hops_key[node], tensor[node][st.hops_rows[node], :]
+                    )
+            return
+        for node in missing:
+            residual = adjacency.copy()
+            residual[node, :] = 0.0
+            residual[node, node] = np.inf
+            closure = bottleneck_closure_fw(residual)
+            st.cache.put(node, st.hops_key[node], closure[st.hops_rows[node], :])
+
+    def _evaluator_rewire_step(self, st: _BRBuildState) -> None:
+        """One re-wiring opportunity through a cache-fed evaluator.
+
+        Fallback for deployments the fused kernels do not cover (small
+        candidate pools that take the exact-enumeration branch, k = 0,
+        or interpreted-kernel policies): same step semantics, one
+        deployment at a time.
+        """
+        spec = st.spec
+        node = st.order[st.pos]
+        st.refresh_token()
+        evaluator = WiringEvaluator(
+            node=node,
+            metric=spec.announced,
+            residual_graph=_CACHE_ONLY_RESIDUAL,
+            candidates=st.candidates[node],
+            preferences=spec.preferences,
+            destinations=st.candidates[node],
+            route_cache=st.cache,
+        )
+        rewired = best_response_rewire_step(
+            spec.policy, spec.announced, spec.k, node, st.wiring, evaluator, st.rng
+        )
+        st.pos += 1
+        if rewired:
+            st.changed += 1
+            st.note_rewired(node)
+        else:
+            st.grow_wave()
+
+    def _fused_rewire_steps(self, group: Sequence[_BRBuildState]) -> None:
+        """One re-wiring opportunity per deployment, in shared broadcasts.
+
+        All deployments in ``group`` share the objective direction, so
+        their ``(hops x destinations)`` via matrices stack into one
+        ``(deployments x hops x destinations)`` tensor and every kernel of
+        the sequential step — scoring the node's current wiring, each
+        greedy-seed pass, and each local-search swap pass — becomes a
+        single broadcast over it.  Deployments are padded to common
+        widths with identity rows (a hop index ``H`` pointing at an
+        all-identity via row), which min/max reductions ignore, so the
+        per-deployment values are bitwise identical to running
+        :func:`~repro.core.policies.best_response_rewire_step` with a
+        per-deployment evaluator — including tie-breaking, which resolves
+        through the same argmin/argsort lanes.
+        """
+        D = len(group)
+        n = self.n
+        H = n - 1
+        metric0 = group[0].spec.announced
+        maximize = bool(metric0.maximize)
+        unreachable = metric0.unreachable_value
+        combine = np.maximum if maximize else np.minimum
+        identity = -np.inf if maximize else np.inf
+        sentinel = identity
+
+        # Largest budgets first: the deployments still seeding at greedy
+        # step s then form a prefix, so per-pass kernels slice views
+        # instead of masking lanes.  Order inside the group is free —
+        # deployments are independent and draw from their own streams.
+        group = sorted(group, key=lambda st: -min(int(st.spec.k), H))
+        nodes = [st.order[st.pos] for st in group]
+        via = np.empty((D, H + 1, H))
+        prefs = np.empty((D, H))
+        directs = np.empty((D, H))
+        resid_dest = np.empty((D, H, H))
+        ks = np.empty(D, dtype=int)
+        for d, (st, node) in enumerate(zip(group, nodes)):
+            resid = st.cache.get(node, st.hops_key[node])
+            if resid is None:  # pragma: no cover - refill guarantees this
+                raise ValidationError(
+                    "fused step expected the residual route matrix to be cached"
+                )
+            resid_dest[d] = resid[:, st.hops_rows[node]]
+            directs[d], prefs[d] = st.static_rows(node)
+            ks[d] = min(int(st.spec.k), H)
+        if maximize:
+            np.minimum(directs[:, :, None], resid_dest, out=via[:, :H, :])
+        else:
+            np.add(directs[:, :, None], resid_dest, out=via[:, :H, :])
+        via[:, H, :] = identity
+        d_idx = np.arange(D)
+        # Mirrors WiringEvaluator._via_clean: when every via value is
+        # reachable the clamp is an identity and the kernels skip it
+        # (the padded identity row is reachable by construction for the
+        # reductions that consult it, so it is excluded from the check).
+        if maximize:
+            via_clean = bool(
+                np.all(np.isfinite(via[:, :H, :]) & (via[:, :H, :] > 0))
+            )
+        else:
+            via_clean = bool(np.all(np.isfinite(via[:, :H, :])))
+
+        def objective(rows: np.ndarray) -> np.ndarray:
+            """Objective of one padded wiring per deployment (rows (D, R))."""
+            vals = via[d_idx[:, None], rows]
+            best = vals.max(axis=1) if maximize else vals.min(axis=1)
+            if maximize:
+                best = np.where(
+                    np.isfinite(best) & (best > 0), best, unreachable
+                )
+            else:
+                best = np.where(np.isfinite(best), best, unreachable)
+            return (prefs * best).sum(axis=1)
+
+        def clamp_(values: np.ndarray) -> np.ndarray:
+            if via_clean:
+                # Reductions over reachable values stay reachable, so
+                # the clamp is an identity (same rule as the scalar
+                # kernels' _via_clean gate).
+                return values
+            if maximize:
+                bad = ~(np.isfinite(values) & (values > 0))
+            else:
+                bad = ~np.isfinite(values)
+            values[bad] = unreachable
+            return values
+
+        # --- score each node's current wiring ------------------------- #
+        neighbor_rows = []
+        for st, node in zip(group, nodes):
+            wiring = st.wiring.wiring_of(node)
+            neighbors = wiring.neighbors if wiring is not None else frozenset()
+            neighbor_rows.append([c - (c > node) for c in neighbors])
+        width = max(1, max(len(rows) for rows in neighbor_rows))
+        existing = np.full((D, width), H, dtype=int)
+        for d, rows in enumerate(neighbor_rows):
+            existing[d, : len(rows)] = rows
+        existing_cost = objective(existing)
+
+        # --- greedy marginal-gain seeding ----------------------------- #
+        k_max = int(ks.max())
+        running = np.full((D, H), identity)
+        taken = np.zeros((D, H), dtype=bool)
+        chosen = np.full((D, k_max), H, dtype=int)
+        for step in range(k_max):
+            live = int(np.count_nonzero(step < ks))  # a prefix: ks sorted desc
+            trial = combine(running[:live, None, :], via[:live, :H, :])
+            clamp_(trial)
+            trial *= prefs[:live, None, :]
+            costs = trial.sum(axis=2)
+            costs[taken[:live]] = sentinel
+            pos = costs.argmax(axis=1) if maximize else costs.argmin(axis=1)
+            sel = d_idx[:live]
+            chosen[sel, step] = pos
+            taken[sel, pos] = True
+            running[:live] = combine(running[:live], via[sel, pos])
+        current_cost = objective(chosen)
+
+        # --- single-swap local search --------------------------------- #
+        current_rows = chosen
+        occupied = taken
+        caps = np.array([int(st.spec.policy.max_iterations) for st in group])
+        active = caps > 0
+        slot_range = np.arange(k_max)
+        iteration = 0
+        while active.any():
+            cur_vals = via[d_idx[:, None], current_rows]
+            if k_max == 1:
+                loo = np.full((D, 1, H), identity)
+            else:
+                order = np.argsort(cur_vals, axis=1)
+                ext_slot = order[:, -1, :] if maximize else order[:, 0, :]
+                second_slot = order[:, -2, :] if maximize else order[:, 1, :]
+                ext = np.take_along_axis(
+                    cur_vals, ext_slot[:, None, :], axis=1
+                )[:, 0, :]
+                second = np.take_along_axis(
+                    cur_vals, second_slot[:, None, :], axis=1
+                )[:, 0, :]
+                loo = np.where(
+                    slot_range[None, :, None] == ext_slot[:, None, :],
+                    second[:, None, :],
+                    ext[:, None, :],
+                )
+            trial = combine(loo[:, :, None, :], via[:, None, :H, :])
+            clamp_(trial)
+            trial *= prefs[:, None, None, :]
+            swap = trial.sum(axis=3)
+            swap = np.where(occupied[:, None, :], sentinel, swap)
+            if k_max > 1:
+                swap = np.where(
+                    slot_range[None, :, None] >= ks[:, None, None], sentinel, swap
+                )
+            flat = swap.reshape(D, k_max * H)
+            pos = flat.argmax(axis=1) if maximize else flat.argmin(axis=1)
+            val = flat[d_idx, pos]
+            improved = (val > current_cost) if maximize else (val < current_cost)
+            improved &= active
+            sel = d_idx[improved]
+            if len(sel):
+                out_slot = pos[sel] // H
+                in_pos = pos[sel] % H
+                occupied[sel, current_rows[sel, out_slot]] = False
+                occupied[sel, in_pos] = True
+                current_rows[sel, out_slot] = in_pos
+                current_cost[sel] = val[sel]
+            iteration += 1
+            active = improved & (iteration < caps)
+
+        # --- adopt per deployment ------------------------------------- #
+        for d, (st, node) in enumerate(zip(group, nodes)):
+            metric = st.spec.announced
+            rows = [int(r) for r in current_rows[d, : ks[d]]]
+            neighbors = frozenset(r + (r >= node) for r in rows)
+            current = st.wiring.wiring_of(node)
+            adopt = current is None or should_rewire(
+                metric,
+                float(existing_cost[d]),
+                float(current_cost[d]),
+                st.spec.policy.epsilon,
+            )
+            rewired = adopt and (
+                current is None or neighbors != set(current.neighbors)
+            )
+            if rewired:
+                direct = directs[d]
+                weights = {
+                    r + (r >= node): float(direct[r]) for r in rows
+                }
+                st.wiring.set_wiring(Wiring.of(node, neighbors), weights)
+            st.pos += 1
+            if rewired:
+                st.changed += 1
+                st.note_rewired(node)
+            else:
+                st.grow_wave()
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+    def route_value_tensor(self, graphs: Sequence) -> np.ndarray:
+        """``(deployments x hops x destinations)`` true route values.
+
+        Stacks each deployment graph's all-sources route-value matrix
+        (shortest-path costs, or bottleneck bandwidths for maximising
+        metrics) into one tensor, deduplicating members whose dense
+        weight matrix and objective direction fingerprint-match.
+        """
+        if len(graphs) != len(self.specs):
+            raise ValidationError("one graph per deployment expected")
+        n = self.n
+        tensor = np.empty((len(graphs), n, n))
+        slots: Dict[Tuple[bool, str], List[int]] = {}
+        denses: Dict[Tuple[bool, str], np.ndarray] = {}
+        representatives: Dict[Tuple[bool, str], object] = {}
+        for i, (spec, graph) in enumerate(zip(self.specs, graphs)):
+            dense = _graph_dense(graph)
+            key = (bool(spec.truth.maximize), array_fingerprint(dense))
+            slots.setdefault(key, []).append(i)
+            denses.setdefault(key, dense)
+            representatives.setdefault(key, graph)
+        for maximize in (False, True):
+            keys = [key for key in slots if key[0] == maximize]
+            if not keys:
+                continue
+            if maximize and n > CLOSURE_MAX_NODES:
+                # Past the dense-closure cutoff sweep the original
+                # graphs directly with the per-source search (bitwise
+                # identical) instead of round-tripping through dense.
+                matrices = [
+                    widest_path_bandwidths_multi(
+                        representatives[key], list(range(n)), batched=False
+                    )
+                    for key in keys
+                ]
+            else:
+                stack = np.stack([denses[key] for key in keys])
+                matrices = _batched_route_matrices(stack, maximize)
+            for key, matrix in zip(keys, matrices):
+                for i in slots[key]:
+                    tensor[i] = matrix
+        return tensor
+
+    def mean_true_costs(self, wirings: Sequence[GlobalWiring]) -> np.ndarray:
+        """Mean per-node cost of every deployment on its true metric.
+
+        The batched path computes the whole sweep in one
+        preference-weighted broadcast over :meth:`route_value_tensor`;
+        the sequential path is one ``all_node_costs`` call per
+        deployment.  Both are bitwise identical (same route values, same
+        elementwise clamp/multiply, same pairwise summation order).
+        """
+        if len(wirings) != len(self.specs):
+            raise ValidationError("one wiring per deployment expected")
+        graphs = [wiring.to_graph() for wiring in wirings]
+        if not self.batched:
+            means = np.empty(len(graphs))
+            with reference_kernels():
+                for i, (spec, graph) in enumerate(zip(self.specs, graphs)):
+                    costs = spec.truth.all_node_costs(graph, spec.preferences)
+                    means[i] = float(np.mean(list(costs.values())))
+            return means
+        values = self.route_value_tensor(graphs)
+        n = self.n
+        rows = np.arange(n)[:, None]
+        # Destination columns per node, in the ascending "everyone else"
+        # order Metric._weighted_cost iterates.
+        cols = np.array([[j for j in range(n) if j != i] for i in range(n)])
+        picked = values[:, rows, cols]  # (deployments, n, n - 1)
+        prefs = np.empty((len(self.specs), n, n - 1))
+        for i, spec in enumerate(self.specs):
+            matrix = (
+                spec.preferences
+                if spec.preferences is not None
+                else uniform_preferences(n)
+            )
+            prefs[i] = matrix[rows, cols]
+        costs = np.empty((len(self.specs), n))
+        # Group by the full objective convention (direction AND
+        # disconnection value), since the clamp applies one value per
+        # group; metrics overriding unreachable_value get their own.
+        groups: Dict[Tuple[bool, float], List[int]] = {}
+        for i, spec in enumerate(self.specs):
+            key = (bool(spec.truth.maximize), float(spec.truth.unreachable_value))
+            groups.setdefault(key, []).append(i)
+        for (maximize, unreachable_value), members in groups.items():
+            block = picked[members]
+            if maximize:
+                reachable = np.isfinite(block) & (block > 0)
+            else:
+                reachable = np.isfinite(block)
+            block = np.where(reachable, block, unreachable_value)
+            costs[members] = (prefs[members] * block).sum(axis=2)
+        return costs.mean(axis=1)
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> np.ndarray:
+        """Build every deployment and return the mean true-metric costs."""
+        return self.mean_true_costs(self.build())

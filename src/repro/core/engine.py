@@ -18,7 +18,6 @@ The engine ties everything together the way the PlanetLab prototype did:
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
@@ -33,7 +32,7 @@ from repro.core.cost import Metric, uniform_preferences
 from repro.core.node import EgoistNode, RewireMode
 from repro.core.policies import NeighborSelectionPolicy
 from repro.core.providers import MetricProvider
-from repro.core.route_cache import ResidualRouteCache
+from repro.core.route_cache import ResidualRouteCache, metric_fingerprint
 from repro.core.wiring import GlobalWiring, Wiring
 from repro.routing.linkstate import LinkStateProtocol
 from repro.util.rng import SeedLike, as_generator, spawn_generators
@@ -268,13 +267,7 @@ class EgoistEngine:
         # wiring, and the active membership; a token of the three keeps
         # cache entries valid exactly as long as nothing re-wires.
         metric_fp = (
-            # blake2b, not md5: non-cryptographic fingerprint that also
-            # works on FIPS-restricted Python builds.
-            hashlib.blake2b(
-                announced.link_weight_matrix().tobytes(), digest_size=16
-            ).hexdigest()
-            if self.route_cache is not None
-            else None
+            metric_fingerprint(announced) if self.route_cache is not None else None
         )
         active_key = tuple(active_list)
         for node_id in order:

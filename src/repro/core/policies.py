@@ -47,6 +47,14 @@ class NeighborSelectionPolicy(abc.ABC):
     #: Human-readable policy name (used in reports and figures).
     name: str = "abstract"
 
+    #: Whether :meth:`select` reads the residual graph.  Cost-driven
+    #: policies (Best-Response) do; structural policies (k-random,
+    #: k-regular, k-closest, full mesh) pick neighbours from ids or direct
+    #: link weights alone and are marked ``False`` so overlay builders can
+    #: skip constructing a residual graph per node.  Subclasses default to
+    #: ``True`` — the conservative assumption.
+    uses_residual: bool = True
+
     @abc.abstractmethod
     def select(
         self,
@@ -86,6 +94,7 @@ class KRandomPolicy(NeighborSelectionPolicy):
     """k-Random: uniform random neighbours."""
 
     name = "k-random"
+    uses_residual = False
 
     def select(
         self,
@@ -113,6 +122,7 @@ class KClosestPolicy(NeighborSelectionPolicy):
     """k-Closest: minimum link cost (or maximum link bandwidth) neighbours."""
 
     name = "k-closest"
+    uses_residual = False
 
     def select(
         self,
@@ -147,6 +157,7 @@ class KRegularPolicy(NeighborSelectionPolicy):
     """
 
     name = "k-regular"
+    uses_residual = False
 
     @staticmethod
     def offsets(n: int, k: int) -> List[int]:
@@ -205,6 +216,7 @@ class FullMeshPolicy(NeighborSelectionPolicy):
     """Full mesh: connect to every other node (the RON-like bound)."""
 
     name = "full-mesh"
+    uses_residual = False
 
     def select(
         self,
@@ -420,8 +432,15 @@ def build_overlay(
             rounds=br_rounds,
         )
 
+    # Structural policies never read the residual graph (see
+    # ``NeighborSelectionPolicy.uses_residual``); building one per node is
+    # pure overhead, so they all get a single empty placeholder.
+    needs_residual = getattr(policy, "uses_residual", True)
+    placeholder = OverlayGraph(n) if not needs_residual else None
     for node in node_list:
-        residual = wiring.to_graph(active=node_list)
+        residual = (
+            wiring.to_graph(active=node_list) if needs_residual else placeholder
+        )
         chosen = policy.select(
             node,
             k,
@@ -432,12 +451,83 @@ def build_overlay(
             preferences=preferences,
             destinations=[d for d in node_list if d != node],
         )
-        weights = {v: metric.link_weight(node, v) for v in chosen}
+        # One row lookup instead of len(chosen) link_weight calls; the
+        # row holds the same floats, so wirings are unchanged.
+        row = metric.link_weight_row(node)
+        weights = {v: float(row[v]) for v in chosen}
         wiring.set_wiring(Wiring.of(node, chosen), weights)
 
     if ensure_connected and not isinstance(policy, FullMeshPolicy):
         enforce_connectivity_cycle(wiring, metric, nodes=node_list)
     return wiring
+
+
+def seed_random_overlay(
+    metric: Metric,
+    k: int,
+    node_list: Sequence[int],
+    rng: np.random.Generator,
+) -> GlobalWiring:
+    """The k-Random starting wiring of best-response dynamics.
+
+    Shared by the sequential overlay builder and the batched
+    multi-deployment sweep (:mod:`repro.core.deployment_batch`) so that
+    both consume the deployment's RNG stream identically.
+    """
+    wiring = GlobalWiring(metric.size)
+    seed_policy = KRandomPolicy()
+    placeholder = OverlayGraph(metric.size)
+    for node in node_list:
+        chosen = seed_policy.select(
+            node,
+            k,
+            metric,
+            placeholder,
+            candidates=[c for c in node_list if c != node],
+            rng=rng,
+        )
+        row = metric.link_weight_row(node)
+        weights = {v: float(row[v]) for v in chosen}
+        wiring.set_wiring(Wiring.of(node, chosen), weights)
+    return wiring
+
+
+def best_response_rewire_step(
+    policy: "BestResponsePolicy",
+    metric: Metric,
+    k: int,
+    node: int,
+    wiring: GlobalWiring,
+    evaluator: WiringEvaluator,
+    rng: np.random.Generator,
+) -> bool:
+    """One re-wiring opportunity of best-response dynamics.
+
+    Scores the node's current wiring and its best response on the
+    supplied evaluator, adopts the new wiring under the BR(ε) rule, and
+    returns whether the node actually re-wired.  This is the unit of work
+    both the sequential builder and the batched lockstep share — byte
+    identity between the two paths reduces to feeding this step the same
+    evaluator values and RNG state.
+    """
+    current = wiring.wiring_of(node)
+    current_cost = evaluator.evaluate(current.neighbors if current else ())
+    result = best_response(
+        evaluator,
+        k,
+        exact_threshold=policy.exact_threshold,
+        rng=rng,
+        max_iterations=policy.max_iterations,
+        vectorized=policy.vectorized,
+    )
+    adopt = current is None or should_rewire(
+        metric, current_cost, result.cost, policy.epsilon
+    )
+    if adopt and (current is None or set(result.neighbors) != set(current.neighbors)):
+        weights = {v: metric.link_weight(node, v) for v in result.neighbors}
+        wiring.set_wiring(result.as_wiring(), weights)
+        return True
+    return False
 
 
 def _build_best_response_overlay(
@@ -451,27 +541,13 @@ def _build_best_response_overlay(
     rounds: int,
 ) -> GlobalWiring:
     """Best-response dynamics starting from a random wiring."""
-    wiring = GlobalWiring(metric.size)
-    seed_policy = KRandomPolicy()
-    for node in node_list:
-        chosen = seed_policy.select(
-            node,
-            k,
-            metric,
-            wiring.to_graph(active=node_list),
-            candidates=[c for c in node_list if c != node],
-            rng=rng,
-        )
-        weights = {v: metric.link_weight(node, v) for v in chosen}
-        wiring.set_wiring(Wiring.of(node, chosen), weights)
-
+    wiring = seed_random_overlay(metric, k, node_list, rng)
     order = list(node_list)
     for _round in range(int(rounds)):
         rng.shuffle(order)
         changed = 0
         for node in order:
             residual = wiring.residual_graph(node, active=node_list)
-            current = wiring.wiring_of(node)
             evaluator = WiringEvaluator(
                 node=node,
                 metric=metric,
@@ -480,22 +556,9 @@ def _build_best_response_overlay(
                 preferences=preferences,
                 destinations=[d for d in node_list if d != node],
             )
-            current_cost = evaluator.evaluate(current.neighbors if current else ())
-            result = best_response(
-                evaluator,
-                k,
-                exact_threshold=policy.exact_threshold,
-                rng=rng,
-                max_iterations=policy.max_iterations,
-                vectorized=policy.vectorized,
-            )
-            adopt = (
-                current is None
-                or should_rewire(metric, current_cost, result.cost, policy.epsilon)
-            )
-            if adopt and (current is None or set(result.neighbors) != set(current.neighbors)):
-                weights = {v: metric.link_weight(node, v) for v in result.neighbors}
-                wiring.set_wiring(result.as_wiring(), weights)
+            if best_response_rewire_step(
+                policy, metric, k, node, wiring, evaluator, rng
+            ):
                 changed += 1
         if changed == 0:
             break

@@ -25,12 +25,35 @@ wiring version) invalidates every stale entry implicitly.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from typing import Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
 from repro.util.validation import ValidationError
+
+
+def array_fingerprint(array: np.ndarray) -> str:
+    """Content digest of a dense array (weight matrices, graphs).
+
+    blake2b, not md5: a non-cryptographic fingerprint that also works on
+    FIPS-restricted Python builds.  Shared by every fingerprint in the
+    cache/batch machinery so the digest convention cannot drift between
+    call sites.
+    """
+    return hashlib.blake2b(array.tobytes(), digest_size=16).hexdigest()
+
+
+def metric_fingerprint(metric) -> str:
+    """Fingerprint of a metric's announced link-weight matrix.
+
+    The token the engine (and the multi-deployment batch kernels) stamp
+    residual route caches with includes this digest, so that two
+    deployments sharing one underlay snapshot — the same announced metric
+    object or an identical matrix — also share cache validity.
+    """
+    return array_fingerprint(metric.link_weight_matrix())
 
 
 class ResidualRouteCache:

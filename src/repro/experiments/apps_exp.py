@@ -9,19 +9,20 @@ and a target, as a function of k.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
 from repro.apps.multipath import MultipathTransferApp
 from repro.apps.realtime import RealTimeRedirectionApp
-from repro.core.cost import BandwidthMetric, DelayMetric
-from repro.core.policies import BestResponsePolicy, build_overlay
+from repro.core.cost import BandwidthMetric, DelayMetric, Metric
+from repro.core.deployment_batch import DeploymentBatch, DeploymentSpec
+from repro.core.policies import BestResponsePolicy
 from repro.experiments.harness import ExperimentResult, mean_finite
 from repro.netsim.autonomous_systems import ASTopology
 from repro.netsim.bandwidth import BandwidthModel
 from repro.netsim.planetlab import synthetic_planetlab
-from repro.util.rng import SeedLike, as_generator
+from repro.util.rng import SeedLike, as_generator, spawn_generators
 
 DEFAULT_K_VALUES = (2, 3, 4, 5, 6, 7, 8)
 
@@ -34,6 +35,36 @@ def _sample_pairs(n: int, count: int, rng) -> list:
     return [pairs[i] for i in idx]
 
 
+def _br_overlays_for_ks(
+    metric: Metric,
+    k_values: Sequence[int],
+    rng,
+    *,
+    br_rounds: int,
+    batched: bool,
+) -> List:
+    """One BR overlay per k, built as a single deployment batch.
+
+    All k values share the same announced metric (one underlay snapshot),
+    so the batch fingerprints it once and runs the best-response dynamics
+    of the whole sweep in lockstep.
+    """
+    specs = [
+        DeploymentSpec(
+            label=f"k={k}",
+            policy=BestResponsePolicy(),
+            k=int(k),
+            announced=metric,
+            truth=metric,
+            br_rounds=br_rounds,
+        )
+        for k in k_values
+    ]
+    for spec, stream in zip(specs, spawn_generators(rng, len(specs))):
+        spec.rng = stream
+    return DeploymentBatch(specs, batched=batched).build()
+
+
 def fig10_multipath_gain(
     n: int = 50,
     k_values: Sequence[int] = DEFAULT_K_VALUES,
@@ -41,6 +72,7 @@ def fig10_multipath_gain(
     seed: SeedLike = 0,
     br_rounds: int = 3,
     pairs_per_k: int = 100,
+    batched: bool = True,
 ) -> ExperimentResult:
     """Fig. 10: available-bandwidth gain of multipath transfer vs k."""
     rng = as_generator(seed)
@@ -55,10 +87,10 @@ def fig10_multipath_gain(
         metadata={"n": n, **as_topology.describe()},
     )
     pairs = _sample_pairs(n, pairs_per_k, rng)
-    for k in k_values:
-        overlay = build_overlay(
-            BestResponsePolicy(), metric, k, rng=rng, br_rounds=br_rounds
-        )
+    overlays = _br_overlays_for_ks(
+        metric, k_values, rng, br_rounds=br_rounds, batched=batched
+    )
+    for k, overlay in zip(k_values, overlays):
         app = MultipathTransferApp(overlay, bandwidth, as_topology)
         gains = []
         ceilings = []
@@ -80,6 +112,7 @@ def fig11_disjoint_paths(
     seed: SeedLike = 0,
     br_rounds: int = 3,
     pairs_per_k: int = 100,
+    batched: bool = True,
 ) -> ExperimentResult:
     """Fig. 11: number of disjoint overlay paths vs k (delay-based overlay)."""
     rng = as_generator(seed)
@@ -93,10 +126,10 @@ def fig11_disjoint_paths(
         metadata={"n": n},
     )
     pairs = _sample_pairs(n, pairs_per_k, rng)
-    for k in k_values:
-        overlay = build_overlay(
-            BestResponsePolicy(), metric, k, rng=rng, br_rounds=br_rounds
-        )
+    overlays = _br_overlays_for_ks(
+        metric, k_values, rng, br_rounds=br_rounds, batched=batched
+    )
+    for k, overlay in zip(k_values, overlays):
         app = RealTimeRedirectionApp(overlay)
         counts = [app.disjoint_path_count(s, t) for s, t in pairs]
         result.add_point("disjoint paths", k, mean_finite(counts))

@@ -9,15 +9,44 @@ budget ``k``:
 * bottom-left: node (CPU) load,
 * bottom-right: available bandwidth (there, the ratio of aggregate
   bandwidth to BR's — larger is better, so the ratios sit below 1).
+
+Performance
+-----------
+A k-sweep is a batch of independent deployments — one per (policy, k)
+pair — over one underlay, and :func:`policy_comparison` runs the whole
+batch through :class:`~repro.core.deployment_batch.DeploymentBatch`
+(``batched=True``, the default):
+
+* the per-k underlay snapshots (announced + true metrics) are taken up
+  front, every deployment gets its own spawned RNG stream, and the
+  best-response deployments of the whole sweep run their dynamics in
+  lockstep: each kernel call sweeps residual route values for a wave of
+  ``(deployment, node)`` re-wiring opportunities at once — a
+  block-diagonal CSR Dijkstra for delay/load, Floyd-Warshall max-min
+  closures (or one divide-and-conquer avoid-one pass per overlay
+  version) for bandwidth — and the re-wiring opportunities themselves
+  (current-wiring evaluation, greedy seeding, local-search swap passes)
+  are scored for all deployments in shared broadcasts;
+* scoring stacks the built overlays' per-deployment route-value matrices
+  into a single 3-D ``(deployments x hops x destinations)`` tensor —
+  axis 0 indexes deployments, axis 1 the route sources ("first hops"),
+  axis 2 the destinations — and reduces every node cost of every panel
+  point in one preference-weighted broadcast, deduplicating deployments
+  whose graphs fingerprint-identically (e.g. full-mesh over a drift-free
+  underlay).
+
+``batched=False`` preserves the sequential reference path (one
+:func:`~repro.core.policies.build_overlay` plus one ``all_node_costs``
+per deployment).  Both paths are bitwise identical series-for-series —
+parity is tested, and the wall-clock gate lives in
+``benchmarks/test_bench_deployment_batch.py``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
-from repro.core.cost import Metric
+from repro.core.deployment_batch import DeploymentBatch, DeploymentSpec
 from repro.core.policies import (
     BestResponsePolicy,
     FullMeshPolicy,
@@ -25,7 +54,6 @@ from repro.core.policies import (
     KRandomPolicy,
     KRegularPolicy,
     NeighborSelectionPolicy,
-    build_overlay,
 )
 from repro.core.providers import (
     BandwidthMetricProvider,
@@ -33,11 +61,11 @@ from repro.core.providers import (
     LoadMetricProvider,
     MetricProvider,
 )
-from repro.experiments.harness import ExperimentResult, normalize_against
+from repro.experiments.harness import ExperimentResult, add_normalized_sweep
 from repro.netsim.bandwidth import BandwidthModel
 from repro.netsim.load import NodeLoadModel
 from repro.netsim.planetlab import synthetic_planetlab
-from repro.util.rng import SeedLike, as_generator
+from repro.util.rng import SeedLike, as_generator, spawn_generators
 
 #: The policies compared in Fig. 1 (full mesh is added where the paper does).
 COMPARISON_POLICIES: Dict[str, NeighborSelectionPolicy] = {
@@ -50,26 +78,6 @@ COMPARISON_POLICIES: Dict[str, NeighborSelectionPolicy] = {
 DEFAULT_K_VALUES = (2, 3, 4, 5, 6, 7, 8)
 
 
-def _mean_cost_for_policy(
-    policy: NeighborSelectionPolicy,
-    announced: Metric,
-    truth: Metric,
-    k: int,
-    *,
-    rng,
-    br_rounds: int,
-) -> float:
-    """Mean per-node cost (on the true metric) of the overlay built by ``policy``.
-
-    Wirings are chosen from the *announced* metric (what nodes measured)
-    and evaluated on the *true* metric, as in a real deployment.
-    """
-    wiring = build_overlay(policy, announced, k, rng=rng, br_rounds=br_rounds)
-    graph = wiring.to_graph()
-    costs = truth.all_node_costs(graph)
-    return float(np.mean(list(costs.values())))
-
-
 def policy_comparison(
     provider: MetricProvider,
     k_values: Sequence[int],
@@ -78,8 +86,17 @@ def policy_comparison(
     seed: SeedLike = None,
     br_rounds: int = 4,
     policies: Optional[Dict[str, NeighborSelectionPolicy]] = None,
+    batched: bool = True,
 ) -> ExperimentResult:
-    """Generic Fig.-1-style comparison over one metric provider."""
+    """Generic Fig.-1-style comparison over one metric provider.
+
+    Wirings are chosen from the *announced* metric (what nodes measured)
+    and evaluated on the *true* metric, as in a real deployment.  The
+    whole (policy, k) grid is dispatched as one
+    :class:`~repro.core.deployment_batch.DeploymentBatch`; ``batched``
+    selects the stacked kernels or the bit-identical sequential
+    reference path (see the module docstring's Performance section).
+    """
     rng = as_generator(seed)
     policies = dict(policies) if policies is not None else dict(COMPARISON_POLICIES)
     if include_full_mesh:
@@ -91,20 +108,36 @@ def policy_comparison(
         y_label="individual cost / BR cost",
         metadata={"n": provider.size, "maximize": provider.true_metric().maximize},
     )
+    # Snapshot the underlay for every k up front (advancing the provider
+    # exactly as the sequential loop did), then give every deployment its
+    # own RNG stream so batched and sequential builds draw identically.
+    specs: List[DeploymentSpec] = []
     for k in k_values:
         announced = provider.announced_metric()
         truth = provider.true_metric()
-        raw: Dict[str, float] = {}
         for name, policy in policies.items():
-            raw[name] = _mean_cost_for_policy(
-                policy, announced, truth, k, rng=rng, br_rounds=br_rounds
+            specs.append(
+                DeploymentSpec(
+                    label=name,
+                    policy=policy,
+                    k=int(k),
+                    announced=announced,
+                    truth=truth,
+                    br_rounds=br_rounds,
+                )
             )
-        normalized = normalize_against(raw, "best-response")
-        for name, value in normalized.items():
-            result.add_point(name, k, value)
-        for name, value in raw.items():
-            result.add_point(f"{name} (raw)", k, value)
         provider.advance(1)
+    for spec, stream in zip(specs, spawn_generators(rng, len(specs))):
+        spec.rng = stream
+    means = DeploymentBatch(specs, batched=batched).run()
+    labels = list(policies)
+    for index, k in enumerate(k_values):
+        base = index * len(labels)
+        raw = {
+            label: float(means[base + offset])
+            for offset, label in enumerate(labels)
+        }
+        add_normalized_sweep(result, k, raw, "best-response")
     return result
 
 
@@ -115,6 +148,7 @@ def fig1_delay_ping(
     seed: SeedLike = 0,
     br_rounds: int = 4,
     include_full_mesh: bool = True,
+    batched: bool = True,
 ) -> ExperimentResult:
     """Fig. 1 top-left: delay via ping, including the full-mesh bound."""
     rng = as_generator(seed)
@@ -126,6 +160,7 @@ def fig1_delay_ping(
         include_full_mesh=include_full_mesh,
         seed=rng,
         br_rounds=br_rounds,
+        batched=batched,
     )
     result.figure = "fig1-delay-ping"
     result.description = "Delay (via ping): individual cost / BR cost vs k"
@@ -139,6 +174,7 @@ def fig1_delay_pyxida(
     seed: SeedLike = 0,
     br_rounds: int = 4,
     coordinate_rounds: int = 30,
+    batched: bool = True,
 ) -> ExperimentResult:
     """Fig. 1 top-right: delay estimated by the virtual coordinate system."""
     rng = as_generator(seed)
@@ -147,7 +183,12 @@ def fig1_delay_pyxida(
         space, estimator="pyxida", coordinate_rounds=coordinate_rounds, seed=rng
     )
     result = policy_comparison(
-        provider, k_values, include_full_mesh=False, seed=rng, br_rounds=br_rounds
+        provider,
+        k_values,
+        include_full_mesh=False,
+        seed=rng,
+        br_rounds=br_rounds,
+        batched=batched,
     )
     result.figure = "fig1-delay-pyxida"
     result.description = "Delay (via pyxida coordinates): individual cost / BR cost vs k"
@@ -160,6 +201,7 @@ def fig1_node_load(
     *,
     seed: SeedLike = 0,
     br_rounds: int = 4,
+    batched: bool = True,
 ) -> ExperimentResult:
     """Fig. 1 bottom-left: node (CPU) load as the cost metric."""
     rng = as_generator(seed)
@@ -167,7 +209,12 @@ def fig1_node_load(
     load_model.advance(5)
     provider = LoadMetricProvider(load_model)
     result = policy_comparison(
-        provider, k_values, include_full_mesh=False, seed=rng, br_rounds=br_rounds
+        provider,
+        k_values,
+        include_full_mesh=False,
+        seed=rng,
+        br_rounds=br_rounds,
+        batched=batched,
     )
     result.figure = "fig1-node-load"
     result.description = "Node load: individual cost / BR cost vs k"
@@ -180,6 +227,7 @@ def fig1_bandwidth(
     *,
     seed: SeedLike = 0,
     br_rounds: int = 4,
+    batched: bool = True,
 ) -> ExperimentResult:
     """Fig. 1 bottom-right: available bandwidth (larger is better).
 
@@ -190,7 +238,12 @@ def fig1_bandwidth(
     bw_model = BandwidthModel(n, seed=rng)
     provider = BandwidthMetricProvider(bw_model, seed=rng)
     result = policy_comparison(
-        provider, k_values, include_full_mesh=False, seed=rng, br_rounds=br_rounds
+        provider,
+        k_values,
+        include_full_mesh=False,
+        seed=rng,
+        br_rounds=br_rounds,
+        batched=batched,
     )
     result.figure = "fig1-bandwidth"
     result.description = "Available bandwidth: total policy bandwidth / BR bandwidth vs k"

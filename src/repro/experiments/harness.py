@@ -91,6 +91,28 @@ def normalize_against(
     return {k: v / reference for k, v in values.items()}
 
 
+def add_normalized_sweep(
+    result: ExperimentResult,
+    x: float,
+    raw: Dict[str, float],
+    reference_label: str,
+) -> None:
+    """Append one sweep step to ``result``: normalised plus raw series.
+
+    For every label in ``raw`` a point is added to its normalised series
+    (value divided by the reference label's, via
+    :func:`normalize_against`) and to a ``"<label> (raw)"`` companion
+    series carrying the unnormalised value.  The sweep drivers — whether
+    batched through a deployment batch or looping sequentially — share
+    this so their result layouts stay identical.
+    """
+    normalized = normalize_against(raw, reference_label)
+    for name, value in normalized.items():
+        result.add_point(name, x, value)
+    for name, value in raw.items():
+        result.add_point(f"{name} (raw)", x, value)
+
+
 def mean_finite(values: Sequence[float]) -> float:
     """Mean of the finite entries of ``values`` (NaN if none)."""
     arr = np.asarray(list(values), dtype=float)

@@ -36,7 +36,10 @@ class VivaldiCoordinate:
 
     def distance_to(self, other: "VivaldiCoordinate") -> float:
         """Predicted one-way delay (ms) to ``other``."""
-        euclid = float(np.linalg.norm(self.position - other.position))
+        diff = self.position - other.position
+        # sqrt of an explicit self-product, matching the broadcast form
+        # in VivaldiCoordinateSystem.estimate_matrix entry for entry.
+        euclid = float(np.sqrt((diff * diff).sum()))
         return euclid + self.height + other.height
 
     def copy(self) -> "VivaldiCoordinate":
@@ -142,12 +145,18 @@ class VivaldiCoordinateSystem:
         return self.coordinates[i].distance_to(self.coordinates[j])
 
     def estimate_matrix(self) -> np.ndarray:
-        """Full ``n x n`` matrix of predicted one-way delays (ms)."""
-        mat = np.zeros((self.n, self.n))
-        for i in range(self.n):
-            for j in range(self.n):
-                if i != j:
-                    mat[i, j] = self.estimate(i, j)
+        """Full ``n x n`` matrix of predicted one-way delays (ms).
+
+        One broadcast over the stacked positions instead of ``n^2``
+        pairwise queries; entries match :meth:`estimate` exactly (the
+        same products are summed in the same order).
+        """
+        positions = np.stack([c.position for c in self.coordinates])
+        heights = np.array([c.height for c in self.coordinates])
+        diff = positions[:, None, :] - positions[None, :, :]
+        euclid = np.sqrt((diff * diff).sum(axis=2))
+        mat = euclid + heights[:, None] + heights[None, :]
+        np.fill_diagonal(mat, 0.0)
         return mat
 
     def median_error(self, truth: DelaySpace) -> float:

@@ -5,17 +5,73 @@ path as the minimum available bandwidth over its edges, and the bandwidth
 between two nodes as the maximum over all connecting paths — the classic
 "Maximum Bottleneck Bandwidth" problem solved with a simple modification of
 Dijkstra's algorithm (Section 4.1).
+
+Two implementations coexist, mirroring the additive metrics:
+
+* a heap-based per-source search (:func:`widest_path_bandwidths_from`),
+  used for single-source queries and path extraction, and kept as the
+  reference path behind ``batched=False``;
+* batched dense max-min closures under the ``(max, min)`` semiring.
+  Bottleneck values are pure selections of edge weights — no
+  floating-point arithmetic is performed on them — so every closure
+  algorithm is *bitwise identical* to the per-source search while
+  replacing ``O(sources)`` interpreted Dijkstra runs with a handful of
+  NumPy broadcasts.  :func:`bottleneck_closure` is the definitional
+  repeated-squaring form (kept as the independent cross-check the
+  parity tests pin the others against); :func:`bottleneck_closure_fw`
+  (Floyd-Warshall pivoting) is the fast single-graph form behind
+  ``batched=True``; and :func:`bottleneck_avoid_one` closes the
+  residual graphs of *every* node of one overlay at once, which is what
+  the multi-deployment sweep kernels in
+  :mod:`repro.core.deployment_batch` build on.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.routing.graph import OverlayGraph
 from repro.util.validation import check_index
+
+#: Above this node count the dense closure's O(n^3) squarings stop paying
+#: for themselves against the heap search; auto mode falls back to the
+#: per-source loop.
+CLOSURE_MAX_NODES = 256
+
+#: Minimum source count for which the closure (which always computes every
+#: row) beats per-source heap runs in auto mode.
+_CLOSURE_MIN_SOURCES = 8
+
+#: Soft cap on temporary cells per closure squaring chunk (~64 MB float64).
+_CLOSURE_CHUNK_CELLS = 8_000_000
+
+#: When set, auto mode always picks the per-source reference loop.
+_REFERENCE_ONLY = False
+
+
+@contextmanager
+def reference_kernels() -> Iterator[None]:
+    """Make auto-mode widest-path queries use the per-source loop.
+
+    The sequential reference path of the multi-deployment sweep
+    (``DeploymentBatch(batched=False)``) represents the pre-batching
+    implementation end to end, so inside this context
+    :func:`widest_path_bandwidths_multi` resolves ``batched=None`` to the
+    heap loop.  Explicit ``batched=True``/``False`` arguments are
+    unaffected, and both implementations are bitwise identical — the
+    switch only moves wall-clock between the benchmark's two sides.
+    """
+    global _REFERENCE_ONLY
+    previous = _REFERENCE_ONLY
+    _REFERENCE_ONLY = True
+    try:
+        yield
+    finally:
+        _REFERENCE_ONLY = previous
 
 
 def widest_path_bandwidths_from(graph: OverlayGraph, src: int) -> np.ndarray:
@@ -44,8 +100,127 @@ def widest_path_bandwidths_from(graph: OverlayGraph, src: int) -> np.ndarray:
     return best
 
 
+def bandwidth_adjacency(graph: OverlayGraph) -> np.ndarray:
+    """Dense bottleneck-adjacency matrix of ``graph``.
+
+    Absent edges are 0 (unreachable in one hop — the identity of the
+    ``max`` reduction) and the diagonal is ``+inf`` (a node reaches itself
+    with unbounded bandwidth — the identity of the ``min`` reduction), so
+    the matrix is ready for :func:`bottleneck_closure`.
+    """
+    adjacency = np.zeros((graph.n, graph.n))
+    for u, v, w in graph.edges():
+        adjacency[u, v] = w
+    np.fill_diagonal(adjacency, np.inf)
+    return adjacency
+
+
+def bottleneck_closure(adjacency: np.ndarray) -> np.ndarray:
+    """Max-min transitive closure of a dense bottleneck-adjacency matrix.
+
+    ``adjacency`` must have 0 for absent edges and ``+inf`` on the
+    diagonal (see :func:`bandwidth_adjacency`).  The result's ``[i, j]``
+    entry is the maximum over all ``i -> j`` paths of the minimum edge
+    weight along the path — exactly what the per-source Dijkstra variant
+    computes, bit for bit, since both only ever *select* edge weights.
+
+    Repeated squaring under the ``(max, min)`` semiring doubles the
+    covered path length per pass (the ``+inf`` diagonal acts as the
+    multiplicative identity, letting shorter paths survive), so the loop
+    terminates after ``O(log diameter)`` passes.
+    """
+    closure = np.asarray(adjacency, dtype=float)
+    n = closure.shape[0]
+    if n <= 1:
+        return closure.copy()
+    rows_per_chunk = max(1, _CLOSURE_CHUNK_CELLS // (n * n))
+    for _ in range(max(1, int(np.ceil(np.log2(n))))):
+        squared = np.empty_like(closure)
+        for start in range(0, n, rows_per_chunk):
+            stop = min(start + rows_per_chunk, n)
+            # squared[i, j] = max_m min(closure[i, m], closure[m, j])
+            squared[start:stop] = np.minimum(
+                closure[start:stop, :, None], closure[None, :, :]
+            ).max(axis=1)
+        if np.array_equal(squared, closure):
+            return closure
+        closure = squared
+    return closure
+
+
+def _apply_bottleneck_pivot(matrix: np.ndarray, pivot: int) -> None:
+    """One Floyd-Warshall pivot under the ``(max, min)`` semiring.
+
+    After the update, ``matrix[i, j]`` also covers paths routing through
+    ``pivot``.  Valid in any application order (idempotent semiring), and
+    — since bottleneck values are pure selections of edge weights — the
+    result is bitwise identical to any other exact algorithm's.
+    """
+    cross = np.minimum(matrix[:, pivot][:, None], matrix[pivot, :][None, :])
+    np.maximum(matrix, cross, out=matrix)
+
+
+def bottleneck_closure_fw(adjacency: np.ndarray) -> np.ndarray:
+    """Max-min closure via Floyd-Warshall pivoting.
+
+    Same contract and bitwise-identical result as
+    :func:`bottleneck_closure`; ``n`` rank-1 pivot broadcasts
+    (``O(n^3)`` with tiny constants) instead of ``O(log diameter)``
+    full matrix squarings, which wins for the small dense matrices the
+    sweep kernels close per re-wiring opportunity.
+    """
+    closure = np.array(adjacency, dtype=float, copy=True)
+    for pivot in range(closure.shape[0]):
+        _apply_bottleneck_pivot(closure, pivot)
+    return closure
+
+
+def bottleneck_avoid_one(adjacency: np.ndarray) -> np.ndarray:
+    """Max-min closures avoiding each vertex as an intermediate, at once.
+
+    Returns a ``(n, n, n)`` tensor whose slice ``[i]`` equals the
+    closure of the graph in which ``i`` may start or end a path but
+    never relay one.  For row ``w != i`` this is exactly the closure of
+    the *residual* graph without ``i``'s outgoing links — a path from
+    ``w`` that uses an out-edge of ``i`` must first enter ``i``, making
+    ``i`` an intermediate — which is what a best-response sweep needs
+    for every re-wiring node of an unchanged overlay.  (Slice ``[i]``'s
+    own row ``i`` does allow ``i``'s out-edges; residual consumers must
+    take only rows ``w != i``.)
+
+    Divide-and-conquer over the pivot set: each half is applied to a
+    copy before recursing into the other half, so every leaf has seen
+    every pivot except its own vertex.  Total work is ``O(n^2 * n log
+    n)`` — asymptotically ``log n / n`` of closing the ``n`` residual
+    graphs one by one — and, being pure max-min selections, each slice
+    is bitwise identical to the per-residual closure.
+    """
+    base = np.array(adjacency, dtype=float, copy=True)
+    n = base.shape[0]
+    out = np.empty((n, n, n))
+    if n == 0:
+        return out
+
+    def recurse(pivots: List[int], matrix: np.ndarray) -> None:
+        if len(pivots) == 1:
+            out[pivots[0]] = matrix
+            return
+        half = len(pivots) // 2
+        left, right = pivots[:half], pivots[half:]
+        branch = matrix.copy()
+        for pivot in right:
+            _apply_bottleneck_pivot(branch, pivot)
+        recurse(left, branch)
+        for pivot in left:
+            _apply_bottleneck_pivot(matrix, pivot)
+        recurse(right, matrix)
+
+    recurse(list(range(n)), base)
+    return out
+
+
 def widest_path_bandwidths_multi(
-    graph: OverlayGraph, sources: List[int]
+    graph: OverlayGraph, sources: List[int], *, batched: Optional[bool] = None
 ) -> np.ndarray:
     """Maximum bottleneck bandwidths from each of ``sources`` to every node.
 
@@ -54,10 +229,31 @@ def widest_path_bandwidths_multi(
     needs bottleneck values from every candidate first hop at once (the
     bandwidth analogue of
     :func:`repro.routing.shortest_path.shortest_path_costs_multi`).
+
+    ``batched`` selects the implementation: ``True`` forces the dense
+    max-min closure, ``False`` the per-source heap reference loop, and
+    ``None`` (default) picks automatically — the closure whenever enough
+    sources are requested on a small-enough graph to amortise its
+    ``O(n^3)`` squarings.  Both paths return bitwise-identical matrices
+    (parity is property-tested), so the switch is purely a performance
+    choice.
     """
     if not sources:
         return np.zeros((0, graph.n))
-    return np.vstack([widest_path_bandwidths_from(graph, src) for src in sources])
+    for src in sources:
+        check_index(src, graph.n, "src")
+    if batched is None:
+        batched = (
+            not _REFERENCE_ONLY
+            and len(sources) >= _CLOSURE_MIN_SOURCES
+            and graph.n <= CLOSURE_MAX_NODES
+        )
+    if not batched:
+        return np.vstack(
+            [widest_path_bandwidths_from(graph, src) for src in sources]
+        )
+    closure = bottleneck_closure_fw(bandwidth_adjacency(graph))
+    return closure[np.asarray(sources, dtype=int), :]
 
 
 def widest_path_tree(
