@@ -1,0 +1,94 @@
+"""Benchmark: lockstep vs sequential multi-deployment epoch sweep.
+
+The acceptance gate for the engine batch: a Fig. 3-style epoch-loop sweep
+— 14 engine deployments (BR and BR(ε=0.1) across the k grid) advancing
+20 wiring epochs over a drifting ping-measured delay substrate — run
+through :class:`~repro.core.engine_batch.EngineBatch` in lockstep
+(``batched=True``: residual route-value sweeps stacked into shared
+block-diagonal Dijkstra calls with speculative weight-refresh chains,
+re-wiring opportunities fused into cross-engine broadcasts) against the
+sequential engines preserved verbatim behind ``batched=False``, with
+**byte-identical** figure series on both paths.
+
+The wall-clock gate is 2x (it measures ~2.3-2.6x on an idle machine; the
+drift keeps ~20% of the opportunities re-wiring, which is what bounds the
+speculative chains — quieter scenarios batch better, this one is the
+honest middle).  Each path is timed as the best of two interleaved
+rounds, so neither sustained load drift nor a single transient spike on
+a shared runner can tank the ratio.  The
+scenario routes through the unified Scenario API
+(``fig3_epsilon_comparison`` builds a ``ScenarioSpec`` and runs it via
+``SimulationSession``), so the gate also covers the facade's epoch-loop
+dispatch.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import fig3_epsilon_comparison
+
+N = 20
+K_VALUES = (2, 3, 4, 5, 6, 7, 8)
+EPOCHS = 20
+DRIFT = 0.01
+SEED = 2008
+REQUIRED_SPEEDUP = 2.0
+
+
+def _sweep(batched: bool):
+    return fig3_epsilon_comparison(
+        n=N,
+        k_values=K_VALUES,
+        epochs=EPOCHS,
+        drift_relative_std=DRIFT,
+        seed=SEED,
+        batched=batched,
+    )
+
+
+def _warmup():
+    """Prime NumPy/SciPy dispatch so neither timed path pays first-call
+    costs (the benchmark compares steady-state throughput)."""
+    for batched in (True, False):
+        fig3_epsilon_comparison(
+            n=12, k_values=(2,), epochs=2, seed=1, batched=batched
+        )
+
+
+def test_engine_batch_epoch_sweep_speedup(benchmark, report):
+    _warmup()
+    # The gate compares best-of-two *interleaved* rounds per path:
+    # interleaving means sustained machine load drifts both sides
+    # equally, and the min absorbs one-off spikes, so a single slow round
+    # cannot decide the gate.  A final pytest-benchmark round (outside
+    # the gate) keeps BENCH_*.json trajectories charting the fast path.
+    sequential_seconds = float("inf")
+    batched_seconds = float("inf")
+    for _round in range(2):
+        start = time.perf_counter()
+        sequential_result = _sweep(batched=False)
+        sequential_seconds = min(sequential_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        batched_result = _sweep(batched=True)
+        batched_seconds = min(batched_seconds, time.perf_counter() - start)
+    benchmark.pedantic(_sweep, kwargs={"batched": True}, rounds=1, iterations=1)
+
+    # Byte-identical epoch histories and series on both paths — the hard
+    # gate: the lockstep prefills and fused broadcasts must not change a
+    # single decision.
+    assert batched_result.as_dict() == sequential_result.as_dict(), (
+        "engine batch: batched and sequential series diverged"
+    )
+
+    speedup = sequential_seconds / batched_seconds
+    print(
+        f"\n=== engine epoch sweep (n={N}, {2 * len(K_VALUES)} deployments, "
+        f"{EPOCHS} epochs): sequential {sequential_seconds:.2f}s / "
+        f"batched {batched_seconds:.2f}s = {speedup:.2f}x ==="
+    )
+    report(batched_result)
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"lockstep engine sweep only {speedup:.2f}x faster "
+        f"(required >= {REQUIRED_SPEEDUP}x)"
+    )

@@ -18,7 +18,6 @@ import time
 
 import numpy as np
 
-from benchmarks.conftest import run_once
 from repro.core import BestResponsePolicy, DelayMetricProvider, EgoistEngine
 from repro.netsim.delayspace import DelaySpace
 
@@ -71,16 +70,33 @@ def _warmup():
 
 def test_wiring_epoch_vectorized_speedup(benchmark):
     _warmup()
-    # Scalar baseline, timed by hand (pytest-benchmark tracks the
-    # vectorised path so BENCH_*.json trajectories chart the fast path).
-    scalar_engine = _make_engine(vectorized=False)
-    start = time.perf_counter()
-    scalar_record = scalar_engine.run_epoch()
-    scalar_seconds = time.perf_counter() - start
-
-    vec_engine = _make_engine(vectorized=True)
-    vec_record = run_once(benchmark, vec_engine.run_epoch)
-    vec_seconds = benchmark.stats.stats.mean
+    # The gate compares best-of-two *interleaved* rounds per path (fresh
+    # engine each round — a second epoch on the same engine would be
+    # served from the route cache): interleaving means sustained machine
+    # load drifts both sides equally, and the min absorbs one-off spikes,
+    # so a single slow round cannot decide the gate.  A final
+    # pytest-benchmark round (outside the gate) keeps BENCH_*.json
+    # trajectories charting the fast path.
+    scalar_seconds = float("inf")
+    vec_seconds = float("inf")
+    scalar_engine = scalar_record = None
+    vec_engine = vec_record = None
+    for _round in range(2):
+        engine = _make_engine(vectorized=False)
+        start = time.perf_counter()
+        record = engine.run_epoch()
+        scalar_seconds = min(scalar_seconds, time.perf_counter() - start)
+        if scalar_engine is None:
+            scalar_engine, scalar_record = engine, record
+        engine = _make_engine(vectorized=True)
+        start = time.perf_counter()
+        record = engine.run_epoch()
+        vec_seconds = min(vec_seconds, time.perf_counter() - start)
+        if vec_engine is None:
+            vec_engine, vec_record = engine, record
+    benchmark.pedantic(
+        lambda: _make_engine(vectorized=True).run_epoch(), rounds=1, iterations=1
+    )
 
     # Byte-identical simulation output on both paths.
     assert _record_key(vec_record) == _record_key(scalar_record)

@@ -3,7 +3,8 @@
 
 Reproduces the question behind Fig. 2 (right): when is it worth donating
 k2 links to a connectivity backbone?  The example sweeps the churn rate,
-runs the engine for each policy, and prints the efficiency metric —
+runs every (churn rate, policy) engine deployment in lockstep through
+the :class:`EngineBatch` subsystem, and prints the efficiency metric —
 showing that at PlanetLab-like churn plain BR wins, while at very high
 churn HybridBR's backbone pays off.
 
@@ -18,27 +19,16 @@ import sys
 
 from repro.churn.metrics import expected_healing_time
 from repro.churn.models import parametrized_churn
-from repro.core.engine import EgoistEngine
+from repro.core.engine_batch import EngineBatch, EngineSpec
 from repro.core.hybrid import HybridBRPolicy
 from repro.core.policies import BestResponsePolicy, KRandomPolicy
 from repro.core.providers import DelayMetricProvider
 from repro.netsim.planetlab import synthetic_planetlab
+from repro.util.rng import spawn_generators
+
+import numpy as np
 
 CHURN_RATES = (1e-4, 1e-3, 1e-2, 1e-1)
-
-
-def efficiency_under_churn(space, policy, k, churn, epochs, seed):
-    provider = DelayMetricProvider(space, estimator="true", seed=seed)
-    engine = EgoistEngine(
-        provider,
-        policy,
-        k,
-        churn=churn,
-        compute_efficiency=True,
-        seed=seed,
-    )
-    history = engine.run(epochs)
-    return history.steady_state_efficiency(warmup_fraction=0.3)
 
 
 def main(n: int = 24, k: int = 5, epochs: int = 10, seed: int = 2008) -> None:
@@ -58,11 +48,35 @@ def main(n: int = 24, k: int = 5, epochs: int = 10, seed: int = 2008) -> None:
     header = f"{'churn rate':>12} " + " ".join(f"{name:>18}" for name in policies)
     print(header)
 
-    for rate in CHURN_RATES:
-        churn = parametrized_churn(n, horizon, rate, seed=seed)
+    # One engine deployment per (churn rate, policy); the whole grid
+    # advances epoch by epoch in one lockstep batch.
+    rng = np.random.default_rng(seed)
+    schedules = [parametrized_churn(n, horizon, rate, seed=seed) for rate in CHURN_RATES]
+    cells = [
+        (rate, churn, name)
+        for rate, churn in zip(CHURN_RATES, schedules)
+        for name in policies
+    ]
+    streams = spawn_generators(rng, len(cells))
+    specs = [
+        EngineSpec(
+            label=f"{name}@{rate:g}",
+            provider=DelayMetricProvider(space, estimator="true", seed=stream),
+            policy=policies[name],
+            k=k,
+            churn=churn,
+            compute_efficiency=True,
+            seed=stream,
+        )
+        for (rate, churn, name), stream in zip(cells, streams)
+    ]
+    histories = EngineBatch(specs).run(epochs)
+
+    for index, rate in enumerate(CHURN_RATES):
+        base = index * len(policies)
         row = [f"{rate:>12.0e}"]
-        for name, policy in policies.items():
-            eff = efficiency_under_churn(space, policy, k, churn, epochs, seed)
+        for offset in range(len(policies)):
+            eff = histories[base + offset].steady_state_efficiency(warmup_fraction=0.3)
             row.append(f"{eff:>18.4f}")
         print(" ".join(row))
 

@@ -4,7 +4,8 @@
 This example mirrors the paper's PlanetLab prototype more closely than the
 quickstart: it runs the epoch-driven engine with ping-based delay
 measurements that drift over time, shows how the re-wiring rate settles
-after start-up (Fig. 3), compares BR with the BR(eps) threshold variant,
+after start-up (Fig. 3), compares BR with the BR(eps) threshold variant —
+both deployments advancing in lockstep through :class:`EngineBatch` —
 and prints the Section 4.3 overhead accounting for the deployment.
 
 Run with::
@@ -18,27 +19,12 @@ import sys
 
 import numpy as np
 
-from repro.core.engine import EgoistEngine
+from repro.core.engine_batch import EngineBatch, EngineSpec
 from repro.core.overhead import overhead_report
 from repro.core.policies import BestResponsePolicy
 from repro.core.providers import DelayMetricProvider
 from repro.netsim.planetlab import synthetic_planetlab
-
-
-def run_engine(space, k: int, epochs: int, epsilon: float, seed: int):
-    provider = DelayMetricProvider(
-        space, estimator="ping", drift_relative_std=0.02, seed=seed
-    )
-    engine = EgoistEngine(
-        provider,
-        BestResponsePolicy(),
-        k,
-        epsilon=epsilon,
-        epoch_length=60.0,
-        announce_interval=20.0,
-        seed=seed,
-    )
-    return engine.run(epochs)
+from repro.util.rng import spawn_generators
 
 
 def main(n: int = 30, k: int = 4, epochs: int = 12, seed: int = 2008) -> None:
@@ -46,8 +32,24 @@ def main(n: int = 30, k: int = 4, epochs: int = 12, seed: int = 2008) -> None:
 
     print(f"Simulating an EGOIST deployment: n = {n}, k = {k}, T = 60 s, {epochs} epochs\n")
 
-    history_br = run_engine(space, k, epochs, epsilon=0.0, seed=seed)
-    history_eps = run_engine(space, k, epochs, epsilon=0.10, seed=seed)
+    # BR and BR(0.1) as two lockstep deployments of one engine batch.
+    streams = spawn_generators(np.random.default_rng(seed), 2)
+    specs = [
+        EngineSpec(
+            label=label,
+            provider=DelayMetricProvider(
+                space, estimator="ping", drift_relative_std=0.02, seed=stream
+            ),
+            policy=BestResponsePolicy(),
+            k=k,
+            epoch_length=60.0,
+            announce_interval=20.0,
+            epsilon=epsilon,
+            seed=stream,
+        )
+        for (label, epsilon), stream in zip((("BR", 0.0), ("BR(0.1)", 0.10)), streams)
+    ]
+    history_br, history_eps = EngineBatch(specs).run(epochs)
 
     print(f"{'epoch':>5} {'BR re-wirings':>15} {'BR(0.1) re-wirings':>20} {'BR mean cost (ms)':>19}")
     for record_br, record_eps in zip(history_br.records, history_eps.records):

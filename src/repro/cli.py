@@ -1,14 +1,21 @@
-"""Command-line interface: regenerate any of the paper's figures.
+"""Command-line interface: run any registered scenario.
 
 Usage::
 
     python -m repro.cli list
     python -m repro.cli run fig1-delay-ping --n 50 --k 2,3,4,5,6,7,8
     python -m repro.cli run fig2-churn-rate --n 24 --seed 7 --output fig2.json
+    python -m repro.cli run --spec scenario.json
+    python -m repro.cli spec fig3-epsilon --n 30 --output scenario.json
 
-``run`` executes the corresponding experiment driver, prints the
-regenerated series as a tab-separated table (the same rows the paper's
-figure plots), and optionally writes the full result as JSON.
+``run`` builds the named experiment's default
+:class:`~repro.scenario.spec.ScenarioSpec`, applies the command-line
+overrides, executes it through a
+:class:`~repro.scenario.session.SimulationSession`, prints the series as
+a tab-separated table, and optionally writes the full result as JSON.
+``--spec`` loads a previously saved spec instead — re-running a saved
+spec reproduces the exact same result.  ``spec`` writes the
+would-be-executed spec as JSON without running it.
 """
 
 from __future__ import annotations
@@ -16,26 +23,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Callable, Dict, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.experiments import (
-    fig1_bandwidth,
-    fig1_delay_ping,
-    fig1_delay_pyxida,
-    fig1_node_load,
-    fig2_churn_rate_sweep,
-    fig2_efficiency_vs_k,
-    fig3_epsilon_comparison,
-    fig3_rewirings_over_time,
-    fig4_many_free_riders,
-    fig4_one_free_rider,
-    fig5_to_8_sampling,
-    fig10_multipath_gain,
-    fig11_disjoint_paths,
-    overhead_table,
-)
-from repro.experiments.harness import ExperimentResult
-from repro.experiments.preferences_exp import preference_skew_ablation
+from repro.scenario.registry import resolve, scenario_names
+from repro.scenario.session import SimulationSession
+from repro.scenario.spec import ScenarioSpec
+from repro.util.validation import ValidationError
 
 
 def _parse_int_list(text: str) -> tuple:
@@ -46,115 +39,29 @@ def _parse_float_list(text: str) -> tuple:
     return tuple(float(part) for part in text.split(",") if part.strip())
 
 
-#: Registry of experiment names to (driver, description, accepted options).
-EXPERIMENTS: Dict[str, Dict[str, object]] = {
-    "fig1-delay-ping": {
-        "driver": lambda args: fig1_delay_ping(
-            n=args.n, k_values=args.k, seed=args.seed, br_rounds=args.br_rounds
-        ),
-        "help": "Fig. 1 top-left: delay via ping, cost/BR vs k (with full mesh)",
-    },
-    "fig1-delay-pyxida": {
-        "driver": lambda args: fig1_delay_pyxida(
-            n=args.n, k_values=args.k, seed=args.seed, br_rounds=args.br_rounds
-        ),
-        "help": "Fig. 1 top-right: delay via virtual coordinates",
-    },
-    "fig1-node-load": {
-        "driver": lambda args: fig1_node_load(
-            n=args.n, k_values=args.k, seed=args.seed, br_rounds=args.br_rounds
-        ),
-        "help": "Fig. 1 bottom-left: node CPU load",
-    },
-    "fig1-bandwidth": {
-        "driver": lambda args: fig1_bandwidth(
-            n=args.n, k_values=args.k, seed=args.seed, br_rounds=args.br_rounds
-        ),
-        "help": "Fig. 1 bottom-right: available bandwidth",
-    },
-    "fig2-efficiency-vs-k": {
-        "driver": lambda args: fig2_efficiency_vs_k(
-            n=args.n, k_values=args.k, seed=args.seed, epochs=args.epochs
-        ),
-        "help": "Fig. 2 left: efficiency under trace-driven churn vs k",
-    },
-    "fig2-churn-rate": {
-        "driver": lambda args: fig2_churn_rate_sweep(
-            n=args.n, churn_rates=args.churn_rates, k=args.k[0], seed=args.seed, epochs=args.epochs
-        ),
-        "help": "Fig. 2 right: efficiency vs churn rate at fixed k",
-    },
-    "fig3-rewirings": {
-        "driver": lambda args: fig3_rewirings_over_time(
-            n=args.n, k_values=args.k, epochs=args.epochs, seed=args.seed
-        ),
-        "help": "Fig. 3 left: re-wirings per epoch over time",
-    },
-    "fig3-epsilon": {
-        "driver": lambda args: fig3_epsilon_comparison(
-            n=args.n, k_values=args.k, epochs=args.epochs, seed=args.seed
-        ),
-        "help": "Fig. 3 center/right: BR vs BR(eps=0.1)",
-    },
-    "fig4-one-freerider": {
-        "driver": lambda args: fig4_one_free_rider(
-            n=args.n, k_values=args.k, seed=args.seed, br_rounds=args.br_rounds
-        ),
-        "help": "Fig. 4 left: one free rider",
-    },
-    "fig4-many-freeriders": {
-        "driver": lambda args: fig4_many_free_riders(
-            n=args.n, k=args.k[0], seed=args.seed, br_rounds=args.br_rounds
-        ),
-        "help": "Fig. 4 right: many free riders at k=2",
-    },
-    "fig5-sampling-br": {
-        "driver": lambda args: fig5_to_8_sampling(
-            "best-response", n=args.n, k=args.k[0], seed=args.seed, trials=args.trials
-        ),
-        "help": "Fig. 5: newcomer cost vs sample size on a BR graph",
-    },
-    "fig6-sampling-random": {
-        "driver": lambda args: fig5_to_8_sampling(
-            "k-random", n=args.n, k=args.k[0], seed=args.seed, trials=args.trials
-        ),
-        "help": "Fig. 6: sampling on a k-Random graph",
-    },
-    "fig7-sampling-regular": {
-        "driver": lambda args: fig5_to_8_sampling(
-            "k-regular", n=args.n, k=args.k[0], seed=args.seed, trials=args.trials
-        ),
-        "help": "Fig. 7: sampling on a k-Regular graph",
-    },
-    "fig8-sampling-closest": {
-        "driver": lambda args: fig5_to_8_sampling(
-            "k-closest", n=args.n, k=args.k[0], seed=args.seed, trials=args.trials
-        ),
-        "help": "Fig. 8: sampling on a k-Closest graph",
-    },
-    "fig10-multipath": {
-        "driver": lambda args: fig10_multipath_gain(
-            n=args.n, k_values=args.k, seed=args.seed, br_rounds=args.br_rounds
-        ),
-        "help": "Fig. 10: multipath available-bandwidth gain vs k",
-    },
-    "fig11-disjoint": {
-        "driver": lambda args: fig11_disjoint_paths(
-            n=args.n, k_values=args.k, seed=args.seed, br_rounds=args.br_rounds
-        ),
-        "help": "Fig. 11: disjoint overlay paths vs k",
-    },
-    "overheads": {
-        "driver": lambda args: overhead_table(n=args.n, k_values=args.k),
-        "help": "Section 4.3: measurement and link-state overheads",
-    },
-    "ablation-preferences": {
-        "driver": lambda args: preference_skew_ablation(
-            n=args.n, k=args.k[0], seed=args.seed, br_rounds=args.br_rounds
-        ),
-        "help": "Ablation: BR's advantage under skewed routing preferences",
-    },
-}
+def _parse_param_value(text: str):
+    """Best-effort literal parsing of a ``--param key=value`` value.
+
+    Comma-separated values become lists; each piece is tried as JSON
+    (numbers, booleans, null — with Python-style ``True``/``False``/
+    ``None`` capitalisation accepted too) and falls back to a plain
+    string.
+    """
+    _literals = {"true": True, "false": False, "none": None, "null": None}
+
+    def atom(piece: str):
+        lowered = piece.lower()
+        if lowered in _literals:
+            return _literals[lowered]
+        try:
+            return json.loads(piece)
+        except json.JSONDecodeError:
+            return piece
+
+    parts = [piece.strip() for piece in text.split(",")]
+    if len(parts) > 1:
+        return [atom(piece) for piece in parts if piece]
+    return atom(parts[0])
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -167,27 +74,134 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the available experiments")
 
+    def add_run_options(command: argparse.ArgumentParser, *, with_run_outputs: bool):
+        command.add_argument(
+            "experiment",
+            nargs="?",
+            default=None,
+            help="experiment to run (see 'repro list')",
+        )
+        command.add_argument("--n", type=int, default=None, help="number of overlay nodes")
+        command.add_argument(
+            "--k",
+            type=_parse_int_list,
+            default=None,
+            help="comma-separated neighbour budgets (single value for fixed-k experiments)",
+        )
+        command.add_argument("--seed", type=int, default=None, help="random seed")
+        command.add_argument(
+            "--epochs", type=int, default=None, help="engine epochs (time-driven experiments)"
+        )
+        command.add_argument(
+            "--trials", type=int, default=None, help="trials per point (sampling experiments)"
+        )
+        command.add_argument(
+            "--br-rounds", type=int, default=None, help="best-response dynamics rounds"
+        )
+        command.add_argument(
+            "--churn-rates",
+            type=_parse_float_list,
+            default=None,
+            help="comma-separated churn rates (fig2-churn-rate)",
+        )
+        command.add_argument(
+            "--param",
+            action="append",
+            default=[],
+            metavar="KEY=VALUE",
+            help="experiment-specific parameter override (repeatable)",
+        )
+        if with_run_outputs:
+            command.add_argument(
+                "--spec",
+                type=str,
+                default=None,
+                help=(
+                    "run a ScenarioSpec JSON file instead of a named experiment "
+                    "(other overrides still apply on top)"
+                ),
+            )
+            command.add_argument(
+                "--sequential",
+                action="store_true",
+                help="use the bit-identical sequential reference kernels",
+            )
+        command.add_argument(
+            "--output",
+            type=str,
+            default=None,
+            help="write the result (or, for 'spec', the spec) as JSON to this path",
+        )
+
     run = sub.add_parser("run", help="run one experiment and print its series")
-    run.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment to run")
-    run.add_argument("--n", type=int, default=50, help="number of overlay nodes")
-    run.add_argument(
-        "--k",
-        type=_parse_int_list,
-        default=(2, 3, 4, 5, 6, 7, 8),
-        help="comma-separated neighbour budgets (single value for fixed-k experiments)",
+    add_run_options(run, with_run_outputs=True)
+
+    spec_cmd = sub.add_parser(
+        "spec", help="print (or save) an experiment's ScenarioSpec as JSON"
     )
-    run.add_argument("--seed", type=int, default=2008, help="random seed")
-    run.add_argument("--epochs", type=int, default=10, help="engine epochs (time-driven experiments)")
-    run.add_argument("--trials", type=int, default=3, help="trials per point (sampling experiments)")
-    run.add_argument("--br-rounds", type=int, default=3, help="best-response dynamics rounds")
-    run.add_argument(
-        "--churn-rates",
-        type=_parse_float_list,
-        default=(1e-4, 1e-3, 1e-2, 1e-1),
-        help="comma-separated churn rates (fig2-churn-rate)",
-    )
-    run.add_argument("--output", type=str, default=None, help="write the result as JSON to this path")
+    add_run_options(spec_cmd, with_run_outputs=False)
+
     return parser
+
+
+def _apply_overrides(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSpec:
+    """Apply the CLI overrides the user actually passed onto ``spec``.
+
+    Shared by named-experiment runs (overriding the registered default
+    spec) and ``--spec`` runs (overriding the loaded file), so no flag is
+    ever silently dropped.
+    """
+    overrides = {}
+    if args.n is not None:
+        overrides["n"] = args.n
+    if args.k is not None:
+        overrides["k_grid"] = args.k
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.epochs is not None:
+        overrides["epochs"] = args.epochs
+    if args.br_rounds is not None:
+        overrides["br_rounds"] = args.br_rounds
+    params = {}
+    if args.trials is not None:
+        params["trials"] = args.trials
+    if args.churn_rates is not None:
+        params["churn_rates"] = list(args.churn_rates)
+    if args.k is not None and "k" in spec.params:
+        # Fixed-k experiments read params["k"]; keep it in sync with --k.
+        params["k"] = int(args.k[0])
+    for item in args.param:
+        if "=" not in item:
+            raise ValidationError(f"--param {item!r} must be KEY=VALUE")
+        key, value = item.split("=", 1)
+        params[key.strip()] = _parse_param_value(value)
+    if params:
+        overrides["params"] = params
+    spec = spec.override(**overrides)
+    spec.validate()
+    return spec
+
+
+def _spec_from_args(args: argparse.Namespace) -> ScenarioSpec:
+    """The scenario spec selected by the CLI arguments.
+
+    Starts from the registered default spec of the named experiment and
+    applies only the overrides the user actually passed, so every
+    experiment keeps its own defaults (sample sizes, churn rates, ...).
+    """
+    if args.experiment is None:
+        raise ValidationError("name an experiment (see 'repro list') or pass --spec")
+    return _apply_overrides(resolve(args.experiment).default_spec(), args)
+
+
+def _load_spec(path: str) -> ScenarioSpec:
+    """Load a spec file, folding I/O and parse failures into CLI errors."""
+    try:
+        return ScenarioSpec.load(path)
+    except OSError as error:
+        raise ValidationError(f"cannot read spec file {path!r}: {error}")
+    except json.JSONDecodeError as error:
+        raise ValidationError(f"spec file {path!r} is not valid JSON: {error}")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -196,13 +210,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "list":
-        width = max(len(name) for name in EXPERIMENTS)
-        for name in sorted(EXPERIMENTS):
-            print(f"{name:<{width}}  {EXPERIMENTS[name]['help']}")
+        names = scenario_names()
+        width = max(len(name) for name in names)
+        for name in names:
+            print(f"{name:<{width}}  {resolve(name).help}")
         return 0
 
-    driver = EXPERIMENTS[args.experiment]["driver"]
-    result: ExperimentResult = driver(args)
+    try:
+        if args.command == "spec":
+            spec = _spec_from_args(args)
+            text = spec.to_json()
+            if args.output:
+                with open(args.output, "w") as handle:
+                    handle.write(text + "\n")
+                print(f"# scenario spec written to {args.output}")
+            else:
+                print(text)
+            return 0
+
+        # run
+        if getattr(args, "spec", None):
+            if args.experiment is not None:
+                raise ValidationError("--spec replaces the experiment name; pass only one")
+            spec = _apply_overrides(_load_spec(args.spec), args)
+        else:
+            spec = _spec_from_args(args)
+        session = SimulationSession(spec, batched=not getattr(args, "sequential", False))
+        result = session.run()
+    except ValidationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
     print(f"# {result.figure}: {result.description}")
     print(result.table())
     if args.output:

@@ -111,7 +111,8 @@ from repro.core.providers import (
     LoadMetricProvider,
     MetricProvider,
 )
-from repro.core.engine import EgoistEngine, EngineHistory, EpochRecord
+from repro.core.engine import EgoistEngine, EngineHistory, EpochPlan, EpochRecord
+from repro.core.engine_batch import EngineBatch, EngineSpec
 from repro.core.overhead import (
     OverheadReport,
     coordinate_measurement_rate_bps,
@@ -172,7 +173,10 @@ __all__ = [
     "LoadMetricProvider",
     "MetricProvider",
     "EgoistEngine",
+    "EngineBatch",
     "EngineHistory",
+    "EngineSpec",
+    "EpochPlan",
     "EpochRecord",
     "OverheadReport",
     "coordinate_measurement_rate_bps",

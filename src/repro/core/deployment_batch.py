@@ -343,13 +343,16 @@ def _block_dijkstra(stack: np.ndarray) -> np.ndarray:
 
 
 def _batched_route_matrices(
-    stack: np.ndarray, maximize: bool
+    stack: np.ndarray, maximize: bool, *, block_nodes: int = _DIJKSTRA_BLOCK_NODES
 ) -> np.ndarray:
     """Route-value matrices of stacked deployments, chunked by memory.
 
     Additive metrics go through the block-diagonal Dijkstra; bandwidth
     through the max-min closure tensor (NaN-marked absences become the
-    closure's 0/``+inf`` conventions).
+    closure's 0/``+inf`` conventions).  ``block_nodes`` caps the stacked
+    node count per Dijkstra call (its dense distance output is quadratic
+    in it); callers batching many small members per round (the lockstep
+    engine batch) pass a lower cap than the sweep default.
     """
     members, n, _ = stack.shape
     out = np.empty_like(stack)
@@ -369,7 +372,7 @@ def _batched_route_matrices(
             for m in range(members):
                 out[m] = bottleneck_closure_fw(adjacency[m])
     else:
-        chunk = max(1, _DIJKSTRA_BLOCK_NODES // max(1, n))
+        chunk = max(1, int(block_nodes) // max(1, n))
         for start in range(0, members, chunk):
             stop = min(start + chunk, members)
             out[start:stop] = _block_dijkstra(stack[start:stop])

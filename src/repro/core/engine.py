@@ -19,7 +19,7 @@ The engine ties everything together the way the PlanetLab prototype did:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -38,6 +38,65 @@ from repro.routing.linkstate import LinkStateProtocol
 from repro.util.rng import SeedLike, as_generator, spawn_generators
 from repro.util.simclock import SimClock
 from repro.util.validation import ValidationError
+
+
+class _LazyResidualGraph:
+    """Residual graph built on first attribute access.
+
+    A re-wiring opportunity needs the node's residual graph only when its
+    route-value matrix misses the residual route cache; building the
+    :class:`~repro.routing.graph.OverlayGraph` eagerly would waste the
+    dominant share of a cache-hit step.  The proxy materialises the graph
+    via :meth:`GlobalWiring.residual_graph` on first use and delegates
+    every attribute to it, so consumers see exactly the graph the eager
+    construction would have produced.
+    """
+
+    __slots__ = ("_wiring", "_node", "_active", "_graph")
+
+    def __init__(self, wiring: GlobalWiring, node: int, active: Sequence[int]):
+        self._wiring = wiring
+        self._node = node
+        self._active = active
+        self._graph = None
+
+    def materialize(self):
+        """The real residual graph (built once)."""
+        if self._graph is None:
+            self._graph = self._wiring.residual_graph(self._node, active=self._active)
+        return self._graph
+
+    def __getattr__(self, name: str):
+        return getattr(self.materialize(), name)
+
+
+@dataclass
+class EpochPlan:
+    """Mutable state of one in-progress wiring epoch.
+
+    :meth:`EgoistEngine.begin_epoch` produces a plan; repeated
+    :meth:`EgoistEngine.step_node` calls consume ``order`` one re-wiring
+    opportunity at a time; :meth:`EgoistEngine.finish_epoch` scores the
+    epoch and advances the clock and substrate.  ``run_epoch`` chains the
+    three, and :class:`~repro.core.engine_batch.EngineBatch` interleaves
+    the steps of several engines to share residual route-value sweeps.
+    """
+
+    epoch: int
+    active_list: List[int]
+    active_key: Tuple[int, ...]
+    announced: Metric
+    truth: Metric
+    order: List[int]
+    bits_before: int
+    metric_fp: Optional[str]
+    pos: int = 0
+    rewirings: int = 0
+
+    @property
+    def done(self) -> bool:
+        """True once every re-wiring opportunity of the epoch ran."""
+        return self.pos >= len(self.order)
 
 
 @dataclass
@@ -250,8 +309,14 @@ class EgoistEngine:
     # ------------------------------------------------------------------ #
     # Simulation
     # ------------------------------------------------------------------ #
-    def run_epoch(self) -> EpochRecord:
-        """Simulate one wiring epoch and return its summary record."""
+    def begin_epoch(self) -> EpochPlan:
+        """Start a wiring epoch: membership, metrics, and re-wiring order.
+
+        Handles churn-driven membership changes, snapshots the announced
+        and true metrics, and shuffles the active nodes into this epoch's
+        re-wiring order.  The returned :class:`EpochPlan` is consumed by
+        :meth:`step_node` / :meth:`finish_epoch`.
+        """
         epoch = self.clock.epoch
         active = self._active_nodes()
         self._handle_membership_change(active)
@@ -259,7 +324,6 @@ class EgoistEngine:
         truth = self.provider.true_metric()
 
         active_list = sorted(active)
-        rewirings = 0
         order = list(active_list)
         self._rng.shuffle(order)
         bits_before = self.protocol.stats.announcement_bits
@@ -269,70 +333,99 @@ class EgoistEngine:
         metric_fp = (
             metric_fingerprint(announced) if self.route_cache is not None else None
         )
-        active_key = tuple(active_list)
-        for node_id in order:
-            node = self.nodes[node_id]
-            residual = self.wiring.residual_graph(node_id, active=active_list)
-            if self.route_cache is not None:
-                self.route_cache.set_token(
-                    (self.wiring.version, metric_fp, active_key)
-                )
-            candidates = [c for c in active_list if c != node_id]
-            evaluator = WiringEvaluator(
-                node=node_id,
-                metric=announced,
-                residual_graph=residual,
-                candidates=candidates,
-                preferences=self.preferences,
-                destinations=candidates,
-                route_cache=self.route_cache,
-            )
-            decision = node.consider_rewiring(
-                announced,
-                residual,
-                active_list,
-                preferences=self.preferences,
-                evaluator=evaluator,
-            )
-            if node.wiring is not None:
-                self._install_wiring(node_id, announced)
-                self.protocol.broadcast(
-                    node_id,
-                    self.wiring.weights_of(node_id),
-                    active=active_list,
-                    timestamp=self.clock.now,
-                )
-            if decision.rewired:
-                rewirings += 1
+        return EpochPlan(
+            epoch=epoch,
+            active_list=active_list,
+            active_key=tuple(active_list),
+            announced=announced,
+            truth=truth,
+            order=order,
+            bits_before=bits_before,
+            metric_fp=metric_fp,
+        )
 
-        graph = self.wiring.to_graph(active=active_list)
-        costs = truth.all_node_costs(
+    def step_node(self, plan: EpochPlan) -> bool:
+        """Run the next node's re-wiring opportunity of ``plan``.
+
+        Returns whether the node actually re-wired.  The residual graph is
+        lazy: on a route-cache hit (quiescent epochs, or matrices injected
+        by :class:`~repro.core.engine_batch.EngineBatch`) it is never
+        built.
+        """
+        node_id = plan.order[plan.pos]
+        plan.pos += 1
+        node = self.nodes[node_id]
+        residual = _LazyResidualGraph(self.wiring, node_id, plan.active_list)
+        if self.route_cache is not None:
+            self.route_cache.set_token(
+                (self.wiring.version, plan.metric_fp, plan.active_key)
+            )
+        candidates = [c for c in plan.active_list if c != node_id]
+        evaluator = WiringEvaluator(
+            node=node_id,
+            metric=plan.announced,
+            residual_graph=residual,
+            candidates=candidates,
+            preferences=self.preferences,
+            destinations=candidates,
+            route_cache=self.route_cache,
+        )
+        decision = node.consider_rewiring(
+            plan.announced,
+            residual,
+            plan.active_list,
+            preferences=self.preferences,
+            evaluator=evaluator,
+        )
+        if node.wiring is not None:
+            self._install_wiring(node_id, plan.announced)
+            self.protocol.broadcast(
+                node_id,
+                self.wiring.weights_of(node_id),
+                active=plan.active_list,
+                timestamp=self.clock.now,
+            )
+        if decision.rewired:
+            plan.rewirings += 1
+        return decision.rewired
+
+    def finish_epoch(self, plan: EpochPlan) -> EpochRecord:
+        """Score the finished epoch and advance the clock and substrate."""
+        graph = self.wiring.to_graph(active=plan.active_list)
+        costs = plan.truth.all_node_costs(
             graph,
             self.preferences,
-            nodes=active_list,
-            destinations=active_list,
+            nodes=plan.active_list,
+            destinations=plan.active_list,
         )
         mean_cost = float(np.mean(list(costs.values()))) if costs else float("nan")
         social = float(np.sum(list(costs.values()))) if costs else float("nan")
         efficiency = (
-            overlay_efficiency(graph, active=active_list)
+            overlay_efficiency(graph, active=plan.active_list)
             if self.compute_efficiency
             else float("nan")
         )
         record = EpochRecord(
-            epoch=epoch,
+            epoch=plan.epoch,
             time=self.clock.now,
-            active_nodes=len(active_list),
-            rewirings=rewirings,
+            active_nodes=len(plan.active_list),
+            rewirings=plan.rewirings,
             mean_cost=mean_cost,
             mean_efficiency=efficiency,
             social_cost=social,
-            linkstate_bits=self.protocol.stats.announcement_bits - bits_before,
+            linkstate_bits=self.protocol.stats.announcement_bits - plan.bits_before,
         )
         self.history.records.append(record)
         self.clock.advance(self.clock.epoch_length)
         self.provider.advance(1)
         return record
+
+    def run_epoch(self) -> EpochRecord:
+        """Simulate one wiring epoch and return its summary record."""
+        plan = self.begin_epoch()
+        while not plan.done:
+            self.step_node(plan)
+        return self.finish_epoch(plan)
 
     def run(self, epochs: int) -> EngineHistory:
         """Simulate ``epochs`` wiring epochs and return the history."""

@@ -1,0 +1,673 @@
+"""Lockstep execution of several epoch-driven engine deployments.
+
+The paper's epoch-loop experiments (Figures 2-4's engine runs) sweep many
+*independent* :class:`~repro.core.engine.EgoistEngine` deployments — one
+per (policy, k) pair, or per churn rate — over one underlay.  Running them
+one after another leaves the stacked route-value kernels from
+:mod:`repro.core.deployment_batch` idle: every re-wiring opportunity pays
+its own residual graph construction and its own multi-source sweep.
+
+:class:`EngineBatch` advances the deployments epoch by epoch in lockstep
+and *prefills* each engine's
+:class:`~repro.core.route_cache.ResidualRouteCache` with the residual
+route-value matrices its upcoming re-wiring opportunities will ask for:
+
+* additive metrics (delay, load) stack the ``(engine, node)`` residual
+  weight matrices of all engines' next waves into one block-diagonal CSR
+  Dijkstra call (:func:`repro.core.deployment_batch._batched_route_matrices`);
+* the bandwidth metric closes residual adjacencies with Floyd-Warshall
+  max-min pivoting, switching to one divide-and-conquer
+  :func:`~repro.routing.widest_path.bottleneck_avoid_one` pass (all
+  residual matrices of the overlay version at once) when a quiet streak
+  makes whole-round speculation worthwhile.
+
+Wave sizes adapt per engine exactly like the deployment batch: they grow
+while nothing re-wires and reset whenever the engine's wiring (topology
+*or* announced weights) changes, since a wiring-version bump invalidates
+the speculative entries through the cache token anyway.
+
+Byte identity
+-------------
+The engines themselves are untouched: every step runs
+:meth:`EgoistEngine.step_node`, which consumes the same RNG streams and
+applies the same decision rules whether its evaluator's matrices come from
+the cache or from a fresh sweep — and the injected matrices are bitwise
+identical to the sweeps they replace (selections and block-separated
+Dijkstra runs, no arithmetic reordering).  ``batched=False`` does not
+prefill at all: it runs each engine's ``run(epochs)`` sequentially, i.e.
+today's engine byte-for-byte, which is the parity anchor and the
+benchmark baseline (``benchmarks/test_bench_engine_batch.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.churn.models import ChurnSchedule
+from repro.core.best_response import should_rewire
+from repro.core.cheating import CheatingModel
+from repro.core.deployment_batch import (
+    _AVOID_ONE_MIN_WAVE,
+    _batched_route_matrices,
+)
+from repro.core.engine import EgoistEngine, EngineHistory, EpochPlan, EpochRecord
+from repro.core.hybrid import HybridBRPolicy
+from repro.core.node import RewireMode
+from repro.core.policies import BestResponsePolicy, NeighborSelectionPolicy
+from repro.core.providers import MetricProvider
+from repro.core.wiring import Wiring
+from repro.routing.widest_path import (
+    CLOSURE_MAX_NODES,
+    bottleneck_avoid_one,
+    bottleneck_closure_fw,
+)
+from repro.util.rng import SeedLike
+from repro.util.validation import ValidationError
+
+#: Stacked-node cap per block-diagonal Dijkstra call.  The engine batch
+#: stacks many *small* residual problems per round, where the call's dense
+#: ``(blocks*n)^2`` distance output — not the Dijkstra itself — dominates;
+#: a tighter cap than the deployment sweep's keeps that output near 8 MB.
+_ENGINE_BLOCK_NODES = 1024
+
+
+@dataclass
+class EngineSpec:
+    """One epoch-driven deployment of an engine sweep.
+
+    The fields mirror :class:`~repro.core.engine.EgoistEngine`'s
+    constructor.  Give every spec its own ``seed`` stream (e.g. via
+    :func:`repro.util.rng.spawn_generators`) and its own provider; the
+    batched and sequential paths then consume identical draws per
+    deployment regardless of epoch interleaving.
+    """
+
+    label: str
+    provider: MetricProvider
+    policy: NeighborSelectionPolicy
+    k: int
+    epoch_length: float = 60.0
+    announce_interval: float = 20.0
+    churn: Optional[ChurnSchedule] = None
+    cheating: Optional[CheatingModel] = None
+    epsilon: float = 0.0
+    rewire_mode: RewireMode = RewireMode.DELAYED
+    preferences: Optional[np.ndarray] = None
+    compute_efficiency: bool = False
+    route_cache_size: Optional[int] = None
+    seed: SeedLike = None
+
+    def build_engine(self) -> EgoistEngine:
+        """Construct the deployment's engine."""
+        return EgoistEngine(
+            self.provider,
+            self.policy,
+            self.k,
+            epoch_length=self.epoch_length,
+            announce_interval=self.announce_interval,
+            churn=self.churn,
+            cheating=self.cheating,
+            epsilon=self.epsilon,
+            rewire_mode=self.rewire_mode,
+            preferences=self.preferences,
+            compute_efficiency=self.compute_efficiency,
+            route_cache_size=self.route_cache_size,
+            seed=self.seed,
+        )
+
+
+class _LockstepState:
+    """Per-engine bookkeeping of one lockstep epoch."""
+
+    __slots__ = (
+        "engine",
+        "plan",
+        "wave",
+        "dense",
+        "hops_key",
+        "hops_rows",
+        "version",
+        "fusable",
+        "pending",
+    )
+
+    def __init__(self, engine: EgoistEngine):
+        self.engine = engine
+        self.plan: Optional[EpochPlan] = None
+        self.wave = 1
+        self.dense: Optional[np.ndarray] = None
+        self.hops_key: Dict[int, Tuple[int, ...]] = {}
+        self.hops_rows: Dict[int, np.ndarray] = {}
+        self.version = -1
+        self.fusable = False
+        #: Speculative cache entries not yet consumed: node -> entry token.
+        self.pending: Dict[int, Tuple] = {}
+
+    # ------------------------------------------------------------------ #
+    def begin_epoch(self) -> None:
+        self.plan = self.engine.begin_epoch()
+        self.hops_key.clear()
+        self.hops_rows.clear()
+        self.pending.clear()
+        self._rebuild_dense()
+        self.version = self.engine.wiring.version
+        self.wave = 1
+        # The fused broadcasts replicate the engine step's greedy-seeded
+        # local search at full membership; engines that would take another
+        # branch — churned-down membership, exact enumeration on small
+        # candidate pools, k = 0, interpreted kernels, HybridBR, or a
+        # disabled route cache — step through their own evaluator instead.
+        policy = self.engine.policy
+        self.fusable = (
+            isinstance(policy, BestResponsePolicy)
+            and not isinstance(policy, HybridBRPolicy)
+            and policy.vectorized
+            and int(self.engine.k) >= 1
+            and self.engine.route_cache is not None
+            and len(self.plan.active_list) == self.engine.n
+            and self.engine.n - 1 > int(policy.exact_threshold)
+        )
+
+    def _rebuild_dense(self) -> None:
+        """Dense announced-weight matrix of the active wiring (NaN absent)."""
+        n = self.engine.n
+        dense = np.full((n, n), np.nan)
+        active_set = set(self.plan.active_list)
+        for node in self.plan.active_list:
+            for v, w in self.engine.wiring.weights_of(node).items():
+                if v in active_set:
+                    dense[node, v] = w
+        self.dense = dense
+
+    def hops_of(self, node: int) -> Tuple[int, ...]:
+        """The node's candidate first hops, in evaluator (sorted) order."""
+        key = self.hops_key.get(node)
+        if key is None:
+            hops = [c for c in self.plan.active_list if c != node]
+            key = tuple(hops)
+            self.hops_key[node] = key
+            self.hops_rows[node] = np.array(hops, dtype=int)
+        return key
+
+    def token(self) -> Tuple:
+        """The cache token :meth:`EgoistEngine.step_node` will stamp."""
+        return (self.engine.wiring.version, self.plan.metric_fp, self.plan.active_key)
+
+    def step(self) -> None:
+        """Advance one re-wiring opportunity; adapt the wave to the outcome."""
+        node = self.plan.order[self.plan.pos]
+        rewired = self.engine.step_node(self.plan)
+        self.after_step(node, rewired)
+
+    def after_step(self, node: int, rewired: bool) -> None:
+        """Dense/wave/speculation bookkeeping after ``node``'s step ran."""
+        self.pending.pop(node, None)
+        if rewired:
+            # The speculative chain assumed no re-wire; every pending
+            # entry was computed from a now-wrong wiring (and, since the
+            # wiring version still advanced by one, its predicted token
+            # WILL match) — drop them before any step can consume one.
+            cache = self.engine.route_cache
+            if cache is not None:
+                for other in self.pending:
+                    cache.drop(other)
+            self.pending.clear()
+        version_changed = self.engine.wiring.version != self.version
+        if version_changed:
+            self.version = self.engine.wiring.version
+            row = self.dense[node]
+            row[:] = np.nan
+            active_set = set(self.plan.active_list)
+            for v, w in self.engine.wiring.weights_of(node).items():
+                if v in active_set:
+                    row[v] = w
+        if rewired or (version_changed and self.plan.announced.maximize):
+            # A re-wire breaks the speculative chain; for bandwidth even
+            # an in-place weight refresh does (its prefill does not
+            # speculate, and a wasted wave member costs a full n^3
+            # closure).
+            self.wave = 1
+        else:
+            # Additive in-place weight refreshes are predicted by the
+            # speculative prefill, so only a re-wire resets the streak.
+            cap = 8 if self.plan.announced.maximize else 16
+            self.wave = min(self.wave + 1, cap)
+
+
+class EngineBatch:
+    """A sweep of independent epoch-driven deployments over one underlay.
+
+    Parameters
+    ----------
+    specs:
+        The deployments, all over providers of the same size.  Mixed
+        metric families are allowed (prefills group by objective
+        direction).
+    batched:
+        ``True`` (default) advances the engines in lockstep with shared
+        residual route-value prefills; ``False`` runs each engine's
+        ``run(epochs)`` sequentially — today's engine byte-for-byte.
+        Both produce bit-identical epoch histories.
+    """
+
+    def __init__(self, specs: Sequence[EngineSpec], *, batched: bool = True):
+        specs = list(specs)
+        if not specs:
+            raise ValidationError("an EngineBatch needs at least one spec")
+        sizes = {spec.provider.size for spec in specs}
+        if len(sizes) != 1:
+            raise ValidationError(
+                f"all deployments must share one overlay size, got {sorted(sizes)}"
+            )
+        self.specs: List[EngineSpec] = specs
+        self.batched = bool(batched)
+        self.n = specs[0].provider.size
+        self.engines: List[EgoistEngine] = [spec.build_engine() for spec in specs]
+
+    # ------------------------------------------------------------------ #
+    def run(self, epochs: int) -> List[EngineHistory]:
+        """Simulate ``epochs`` wiring epochs per deployment."""
+        if not self.batched:
+            for engine in self.engines:
+                engine.run(epochs)
+            return [engine.history for engine in self.engines]
+        for _ in range(int(epochs)):
+            self.run_epoch()
+        return [engine.history for engine in self.engines]
+
+    def run_epoch(self) -> List[EpochRecord]:
+        """Advance every deployment by one wiring epoch, in lockstep."""
+        states = [_LockstepState(engine) for engine in self.engines]
+        for st in states:
+            st.begin_epoch()
+        live = [st for st in states if not st.plan.done]
+        while live:
+            self._prefill(live)
+            # Fused groups must share the full objective convention —
+            # direction AND disconnection value — since the broadcast
+            # clamps use one value for the whole group; a fusable engine
+            # whose matrix is somehow uncached falls back to its own step.
+            # The matrix fetched here is handed to the fused step, so the
+            # cache sees exactly one lookup per opportunity (its hit/miss
+            # stats stay comparable with the sequential path).
+            groups: Dict[Tuple[bool, float], List[Tuple[_LockstepState, np.ndarray]]] = {}
+            fallback: List[_LockstepState] = []
+            for st in live:
+                node = st.plan.order[st.plan.pos]
+                resid = (
+                    st.engine.route_cache.get(node, st.hops_of(node))
+                    if st.fusable
+                    else None
+                )
+                if resid is not None:
+                    metric = st.plan.announced
+                    key = (bool(metric.maximize), float(metric.unreachable_value))
+                    groups.setdefault(key, []).append((st, resid))
+                else:
+                    fallback.append(st)
+            for group in groups.values():
+                self._fused_engine_steps(group)
+            for st in fallback:
+                st.step()
+            live = [st for st in live if not st.plan.done]
+        return [st.engine.finish_epoch(st.plan) for st in states]
+
+    # ------------------------------------------------------------------ #
+    # Residual route-value prefills
+    # ------------------------------------------------------------------ #
+    def _prefill(self, live: Sequence[_LockstepState]) -> None:
+        """Inject residual matrices for each engine's next wave of nodes.
+
+        Bandwidth entries are computed from the engine's *current* wiring
+        and stamped with the current token, so a mid-wave wiring change
+        simply stops later entries from matching and the engine falls
+        back to its own (bitwise-identical) sweep.  Additive entries are
+        *speculative*: within an epoch the announced metric is fixed, so
+        the in-place weight refresh each step performs is predictable as
+        long as the node does not re-wire — the planner simulates those
+        refreshes (including the wiring-version bumps they cause) and
+        stamps each entry with the token of the state it will be valid
+        under.  A re-wire falsifies the chain; :meth:`_LockstepState.after_step`
+        then drops the not-yet-consumed entries before any step could
+        match one against a wrong wiring.
+        """
+        jobs: List[Tuple[_LockstepState, int, Tuple, np.ndarray]] = []
+        for st in live:
+            cache = st.engine.route_cache
+            if cache is None:
+                continue
+            cache.set_token(st.token())
+            plan = st.plan
+            if plan.announced.maximize:
+                missing = [
+                    node
+                    for node in plan.order[plan.pos : plan.pos + st.wave]
+                    if st.hops_of(node) and cache.get(node, st.hops_of(node)) is None
+                ]
+                if missing:
+                    self._prefill_bandwidth(st, missing)
+                continue
+            # Replan only when the speculative chain ran dry (or broke):
+            # while the next node's entry is valid, the earlier plan
+            # already covers this round and the walk would be pure
+            # overhead.
+            next_node = plan.order[plan.pos]
+            next_hops = st.hops_of(next_node)
+            if not next_hops or cache.get(next_node, next_hops) is not None:
+                continue
+            jobs.extend(self._plan_speculative_jobs(st))
+        if not jobs:
+            return
+        stack = np.stack([dense for (_st, _node, _token, dense) in jobs])
+        matrices = _batched_route_matrices(
+            stack, maximize=False, block_nodes=_ENGINE_BLOCK_NODES
+        )
+        for (st, node, token, _dense), matrix in zip(jobs, matrices):
+            st.engine.route_cache.put(
+                node, st.hops_of(node), matrix[st.hops_rows[node], :], token=token
+            )
+            st.pending[node] = token
+
+    def _plan_speculative_jobs(
+        self, st: _LockstepState
+    ) -> List[Tuple[_LockstepState, int, Tuple, np.ndarray]]:
+        """Residual jobs for ``st``'s next wave under predicted refreshes.
+
+        Walks the upcoming nodes simulating each step's weight re-install
+        against the epoch's announced metric: the wiring version advances
+        exactly when the refreshed weights differ (the same dict
+        comparison :meth:`GlobalWiring.set_wiring` performs), and the
+        predicted dense matrix tracks the refreshed rows.  Each returned
+        job carries the dense snapshot and cache token of its position in
+        the chain.
+        """
+        engine = st.engine
+        plan = st.plan
+        cache = engine.route_cache
+        fp = plan.metric_fp
+        key = plan.active_key
+        pred_version = engine.wiring.version
+        pred_dense: Optional[np.ndarray] = None
+        jobs: List[Tuple[_LockstepState, int, Tuple, np.ndarray]] = []
+        for node in plan.order[plan.pos : plan.pos + st.wave]:
+            hops = st.hops_of(node)
+            if hops:
+                token = (pred_version, fp, key)
+                have = st.pending.get(node) == token or (
+                    pred_version == engine.wiring.version
+                    and cache.get(node, hops) is not None
+                )
+                if not have:
+                    dense = (pred_dense if pred_dense is not None else st.dense).copy()
+                    dense[node, :] = np.nan
+                    jobs.append((st, node, token, dense))
+            # Simulate the node's in-place weight refresh (step_node
+            # re-installs the current neighbours at announced weights).
+            weights = engine.wiring.weights_of(node)
+            if weights:
+                row_weights = plan.announced.link_weight_row(node)
+                new_weights = {v: float(row_weights[v]) for v in weights}
+                if new_weights != weights:
+                    pred_version += 1
+                    if pred_dense is None:
+                        pred_dense = st.dense.copy()
+                    row = pred_dense[node]
+                    row[:] = np.nan
+                    for v, w in new_weights.items():
+                        row[v] = w
+        return jobs
+
+    def _fused_engine_steps(
+        self, group: Sequence[Tuple[_LockstepState, np.ndarray]]
+    ) -> None:
+        """One re-wiring opportunity per engine, in shared broadcasts.
+
+        ``group`` pairs each engine's lockstep state with the cached
+        residual route-value matrix of its next node (fetched once by the
+        grouping pass in :meth:`run_epoch`).
+
+        The engine analogue of
+        :meth:`repro.core.deployment_batch.DeploymentBatch._fused_rewire_steps`:
+        all engines in ``group`` share the objective direction, so their
+        ``(hops x destinations)`` via matrices stack into one
+        ``(engines x hops x destinations)`` tensor and every kernel of the
+        sequential step — scoring the node's current wiring, each
+        greedy-seed pass, and each local-search swap pass — becomes a
+        single broadcast over it.  The adoption rule is the engine's
+        (:meth:`~repro.core.node.EgoistNode.consider_rewiring`): BR(ε)
+        with the *node's* epsilon, empty-wiring nodes adopting any
+        different wiring, followed by the weight re-install and the
+        link-state broadcast of :meth:`EgoistEngine.step_node`.  Values
+        resolve through the same argmin/argsort lanes as the
+        per-engine evaluator path, so decisions — and with them the epoch
+        histories — are bitwise identical.
+        """
+        D = len(group)
+        n = self.n
+        H = n - 1
+        metric0 = group[0][0].plan.announced
+        maximize = bool(metric0.maximize)
+        unreachable = metric0.unreachable_value
+        combine = np.maximum if maximize else np.minimum
+        identity = -np.inf if maximize else np.inf
+        sentinel = identity
+
+        # Largest budgets first: the engines still seeding at greedy step s
+        # then form a prefix, so per-pass kernels slice views instead of
+        # masking lanes.  Order inside the group is free — engines are
+        # independent and draw from their own streams.
+        pairs = sorted(group, key=lambda pair: -min(int(pair[0].engine.k), H))
+        group = [st for st, _resid in pairs]
+        nodes = [st.plan.order[st.plan.pos] for st in group]
+        via = np.empty((D, H + 1, H))
+        prefs = np.empty((D, H))
+        directs = np.empty((D, H))
+        resid_dest = np.empty((D, H, H))
+        ks = np.empty(D, dtype=int)
+        for d, ((st, resid), node) in enumerate(zip(pairs, nodes)):
+            hops_rows = st.hops_rows[node]
+            resid_dest[d] = resid[:, hops_rows]
+            directs[d] = st.plan.announced.link_weight_row(node)[hops_rows]
+            prefs[d] = st.engine.preferences[node, hops_rows]
+            ks[d] = min(int(st.engine.k), H)
+        if maximize:
+            np.minimum(directs[:, :, None], resid_dest, out=via[:, :H, :])
+        else:
+            np.add(directs[:, :, None], resid_dest, out=via[:, :H, :])
+        via[:, H, :] = identity
+        d_idx = np.arange(D)
+        # Mirrors WiringEvaluator._via_clean: when every via value is
+        # reachable the clamp is an identity and the kernels skip it.
+        if maximize:
+            via_clean = bool(
+                np.all(np.isfinite(via[:, :H, :]) & (via[:, :H, :] > 0))
+            )
+        else:
+            via_clean = bool(np.all(np.isfinite(via[:, :H, :])))
+
+        def objective(rows: np.ndarray) -> np.ndarray:
+            """Objective of one padded wiring per engine (rows (D, R))."""
+            vals = via[d_idx[:, None], rows]
+            best = vals.max(axis=1) if maximize else vals.min(axis=1)
+            if maximize:
+                best = np.where(
+                    np.isfinite(best) & (best > 0), best, unreachable
+                )
+            else:
+                best = np.where(np.isfinite(best), best, unreachable)
+            return (prefs * best).sum(axis=1)
+
+        def clamp_(values: np.ndarray) -> np.ndarray:
+            if via_clean:
+                return values
+            if maximize:
+                bad = ~(np.isfinite(values) & (values > 0))
+            else:
+                bad = ~np.isfinite(values)
+            values[bad] = unreachable
+            return values
+
+        # --- score each node's current wiring ------------------------- #
+        neighbor_rows = []
+        for st, node in zip(group, nodes):
+            wiring = st.engine.nodes[node].wiring
+            neighbors = wiring.neighbors if wiring is not None else frozenset()
+            neighbor_rows.append([c - (c > node) for c in neighbors])
+        width = max(1, max(len(rows) for rows in neighbor_rows))
+        existing = np.full((D, width), H, dtype=int)
+        for d, rows in enumerate(neighbor_rows):
+            existing[d, : len(rows)] = rows
+        existing_cost = objective(existing)
+        for d, rows in enumerate(neighbor_rows):
+            if not rows:
+                # consider_rewiring charges an unwired node the evaluator's
+                # empty cost, which multiplies the *summed* preferences by
+                # the disconnection value — not bitwise the same as the
+                # padded reduction above.
+                existing_cost[d] = float(np.sum(prefs[d]) * unreachable)
+
+        # --- greedy marginal-gain seeding ----------------------------- #
+        k_max = int(ks.max())
+        running = np.full((D, H), identity)
+        taken = np.zeros((D, H), dtype=bool)
+        chosen = np.full((D, k_max), H, dtype=int)
+        for step in range(k_max):
+            live = int(np.count_nonzero(step < ks))  # a prefix: ks sorted desc
+            trial = combine(running[:live, None, :], via[:live, :H, :])
+            clamp_(trial)
+            trial *= prefs[:live, None, :]
+            costs = trial.sum(axis=2)
+            costs[taken[:live]] = sentinel
+            pos = costs.argmax(axis=1) if maximize else costs.argmin(axis=1)
+            sel = d_idx[:live]
+            chosen[sel, step] = pos
+            taken[sel, pos] = True
+            running[:live] = combine(running[:live], via[sel, pos])
+        current_cost = objective(chosen)
+
+        # --- single-swap local search --------------------------------- #
+        current_rows = chosen
+        occupied = taken
+        caps = np.array([int(st.engine.policy.max_iterations) for st in group])
+        active = caps > 0
+        slot_range = np.arange(k_max)
+        iteration = 0
+        while active.any():
+            cur_vals = via[d_idx[:, None], current_rows]
+            if k_max == 1:
+                loo = np.full((D, 1, H), identity)
+            else:
+                order = np.argsort(cur_vals, axis=1)
+                ext_slot = order[:, -1, :] if maximize else order[:, 0, :]
+                second_slot = order[:, -2, :] if maximize else order[:, 1, :]
+                ext = np.take_along_axis(
+                    cur_vals, ext_slot[:, None, :], axis=1
+                )[:, 0, :]
+                second = np.take_along_axis(
+                    cur_vals, second_slot[:, None, :], axis=1
+                )[:, 0, :]
+                loo = np.where(
+                    slot_range[None, :, None] == ext_slot[:, None, :],
+                    second[:, None, :],
+                    ext[:, None, :],
+                )
+            trial = combine(loo[:, :, None, :], via[:, None, :H, :])
+            clamp_(trial)
+            trial *= prefs[:, None, None, :]
+            swap = trial.sum(axis=3)
+            swap = np.where(occupied[:, None, :], sentinel, swap)
+            if k_max > 1:
+                swap = np.where(
+                    slot_range[None, :, None] >= ks[:, None, None], sentinel, swap
+                )
+            flat = swap.reshape(D, k_max * H)
+            pos = flat.argmax(axis=1) if maximize else flat.argmin(axis=1)
+            val = flat[d_idx, pos]
+            improved = (val > current_cost) if maximize else (val < current_cost)
+            improved &= active
+            sel = d_idx[improved]
+            if len(sel):
+                out_slot = pos[sel] // H
+                in_pos = pos[sel] % H
+                occupied[sel, current_rows[sel, out_slot]] = False
+                occupied[sel, in_pos] = True
+                current_rows[sel, out_slot] = in_pos
+                current_cost[sel] = val[sel]
+            iteration += 1
+            active = improved & (iteration < caps)
+
+        # --- adopt per engine (consider_rewiring semantics) ------------ #
+        for d, (st, node) in enumerate(zip(group, nodes)):
+            engine = st.engine
+            eng_node = engine.nodes[node]
+            metric = st.plan.announced
+            rows = [int(r) for r in current_rows[d, : ks[d]]]
+            new_neighbors = frozenset(r + (r >= node) for r in rows)
+            old = eng_node.wiring
+            old_neighbors = (
+                frozenset(old.neighbors) if old is not None else frozenset()
+            )
+            if old_neighbors:
+                adopt = should_rewire(
+                    metric,
+                    float(existing_cost[d]),
+                    float(current_cost[d]),
+                    eng_node.epsilon,
+                )
+            else:
+                adopt = new_neighbors != old_neighbors
+            rewired = bool(adopt and new_neighbors != old_neighbors)
+            if rewired:
+                eng_node.wiring = Wiring.of(node, new_neighbors)
+                eng_node.rewire_count += 1
+            plan = st.plan
+            plan.pos += 1
+            if eng_node.wiring is not None:
+                direct = directs[d]
+                weights = {
+                    v: float(direct[v - (v > node)])
+                    for v in eng_node.wiring.neighbors
+                }
+                engine.wiring.set_wiring(eng_node.wiring, weights)
+                engine.protocol.broadcast(
+                    node,
+                    engine.wiring.weights_of(node),
+                    active=plan.active_list,
+                    timestamp=engine.clock.now,
+                )
+            if rewired:
+                plan.rewirings += 1
+            st.after_step(node, rewired)
+
+    def _prefill_bandwidth(self, st: _LockstepState, missing: Sequence[int]) -> None:
+        """Residual bottleneck matrices for one bandwidth deployment.
+
+        Mirrors the deployment batch: small waves close each node's
+        residual adjacency directly; a quiet streak long enough to ask
+        for :data:`_AVOID_ONE_MIN_WAVE` nodes switches to one
+        divide-and-conquer pass serving every node of the overlay
+        version.  Past :data:`CLOSURE_MAX_NODES` nothing is prefilled
+        and the engine's own auto-mode sweep (bitwise identical) runs.
+        """
+        n = self.n
+        if n > CLOSURE_MAX_NODES:
+            return
+        cache = st.engine.route_cache
+        adjacency = np.where(np.isnan(st.dense), 0.0, st.dense)
+        np.fill_diagonal(adjacency, np.inf)
+        if len(missing) >= _AVOID_ONE_MIN_WAVE:
+            tensor = bottleneck_avoid_one(adjacency)
+            for node in st.plan.active_list:
+                hops = st.hops_of(node)
+                if hops:
+                    cache.put(node, hops, tensor[node][st.hops_rows[node], :])
+            return
+        for node in missing:
+            residual = adjacency.copy()
+            residual[node, :] = 0.0
+            residual[node, node] = np.inf
+            closure = bottleneck_closure_fw(residual)
+            cache.put(node, st.hops_of(node), closure[st.hops_rows[node], :])

@@ -116,12 +116,30 @@ class ResidualRouteCache:
         self.misses += 1
         return None
 
-    def put(self, node: int, hops: Tuple[int, ...], matrix: np.ndarray) -> None:
-        """Store ``matrix`` (``len(hops) x n``) for ``node`` under the token."""
-        self._store[node] = (self.token, tuple(hops), matrix)
+    def put(
+        self,
+        node: int,
+        hops: Tuple[int, ...],
+        matrix: np.ndarray,
+        *,
+        token: Optional[Hashable] = None,
+    ) -> None:
+        """Store ``matrix`` (``len(hops) x n``) for ``node`` under the token.
+
+        ``token`` overrides the cache's current token for this entry —
+        speculative producers (the lockstep engine batch) stamp entries
+        with the *predicted* residual-state fingerprint they will be
+        valid under, so the entry only ever matches once that state
+        materialises.
+        """
+        self._store[node] = (self.token if token is None else token, tuple(hops), matrix)
         self._store.move_to_end(node)
         while len(self._store) > self.max_entries:
             self._store.popitem(last=False)
+
+    def drop(self, node: int) -> None:
+        """Remove ``node``'s entry (mispredicted speculative state)."""
+        self._store.pop(node, None)
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -20,6 +20,7 @@ from repro.experiments.cheating_exp import fig4_many_free_riders, fig4_one_free_
 from repro.experiments.sampling_exp import fig5_to_8_sampling
 from repro.experiments.apps_exp import fig10_multipath_gain, fig11_disjoint_paths
 from repro.experiments.overhead_exp import overhead_table
+from repro.experiments.preferences_exp import preference_skew_ablation
 
 __all__ = [
     "ExperimentResult",
@@ -38,4 +39,5 @@ __all__ = [
     "fig10_multipath_gain",
     "fig11_disjoint_paths",
     "overhead_table",
+    "preference_skew_ablation",
 ]

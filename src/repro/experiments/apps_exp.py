@@ -5,6 +5,11 @@ first-hop neighbours (one session per neighbour), compared with the single
 direct IP path, and the ceiling when all peers allow redirection
 (max-flow).  Fig. 11: number of disjoint overlay paths between a source
 and a target, as a function of k.
+
+Both are build-only scenarios: the per-k BR overlays are constructed as
+one :class:`~repro.core.deployment_batch.DeploymentBatch` (shared
+announced-metric fingerprints, lockstep best-response dynamics), then
+the application layer analyses each overlay.
 """
 
 from __future__ import annotations
@@ -16,13 +21,16 @@ import numpy as np
 from repro.apps.multipath import MultipathTransferApp
 from repro.apps.realtime import RealTimeRedirectionApp
 from repro.core.cost import BandwidthMetric, DelayMetric, Metric
-from repro.core.deployment_batch import DeploymentBatch, DeploymentSpec
+from repro.core.deployment_batch import DeploymentSpec
 from repro.core.policies import BestResponsePolicy
 from repro.experiments.harness import ExperimentResult, mean_finite
 from repro.netsim.autonomous_systems import ASTopology
 from repro.netsim.bandwidth import BandwidthModel
 from repro.netsim.planetlab import synthetic_planetlab
-from repro.util.rng import SeedLike, as_generator, spawn_generators
+from repro.scenario.registry import register_scenario
+from repro.scenario.session import SimulationSession
+from repro.scenario.spec import ScenarioSpec, coerce_seed
+from repro.util.rng import SeedLike, as_generator
 
 DEFAULT_K_VALUES = (2, 3, 4, 5, 6, 7, 8)
 
@@ -36,12 +44,12 @@ def _sample_pairs(n: int, count: int, rng) -> list:
 
 
 def _br_overlays_for_ks(
+    session: SimulationSession,
     metric: Metric,
     k_values: Sequence[int],
     rng,
     *,
     br_rounds: int,
-    batched: bool,
 ) -> List:
     """One BR overlay per k, built as a single deployment batch.
 
@@ -49,8 +57,9 @@ def _br_overlays_for_ks(
     so the batch fingerprints it once and runs the best-response dynamics
     of the whole sweep in lockstep.
     """
-    specs = [
-        DeploymentSpec(
+
+    def build(k):
+        return DeploymentSpec(
             label=f"k={k}",
             policy=BestResponsePolicy(),
             k=int(k),
@@ -58,39 +67,28 @@ def _br_overlays_for_ks(
             truth=metric,
             br_rounds=br_rounds,
         )
-        for k in k_values
-    ]
-    for spec, stream in zip(specs, spawn_generators(rng, len(specs))):
-        spec.rng = stream
-    return DeploymentBatch(specs, batched=batched).build()
+
+    return session.build_deployments(session.deployment_grid(k_values, rng, build))
 
 
-def fig10_multipath_gain(
-    n: int = 50,
-    k_values: Sequence[int] = DEFAULT_K_VALUES,
-    *,
-    seed: SeedLike = 0,
-    br_rounds: int = 3,
-    pairs_per_k: int = 100,
-    batched: bool = True,
-) -> ExperimentResult:
-    """Fig. 10: available-bandwidth gain of multipath transfer vs k."""
-    rng = as_generator(seed)
-    bandwidth = BandwidthModel(n, seed=rng)
-    as_topology = ASTopology(n, seed=rng)
+def _run_fig10(session: SimulationSession) -> ExperimentResult:
+    spec = session.spec
+    rng = as_generator(spec.seed)
+    bandwidth = BandwidthModel(spec.n, seed=rng)
+    as_topology = ASTopology(spec.n, seed=rng)
     metric = BandwidthMetric(bandwidth.matrix())
     result = ExperimentResult(
         figure="fig10",
         description="Available bandwidth gain of multipath redirection vs k",
         x_label="k",
         y_label="available bandwidth gain",
-        metadata={"n": n, **as_topology.describe()},
+        metadata={"n": spec.n, **as_topology.describe()},
     )
-    pairs = _sample_pairs(n, pairs_per_k, rng)
+    pairs = _sample_pairs(spec.n, int(spec.param("pairs_per_k", 100)), rng)
     overlays = _br_overlays_for_ks(
-        metric, k_values, rng, br_rounds=br_rounds, batched=batched
+        session, metric, spec.k_grid, rng, br_rounds=spec.br_rounds
     )
-    for k, overlay in zip(k_values, overlays):
+    for k, overlay in zip(spec.k_grid, overlays):
         app = MultipathTransferApp(overlay, bandwidth, as_topology)
         gains = []
         ceilings = []
@@ -105,6 +103,73 @@ def fig10_multipath_gain(
     return result
 
 
+def _run_fig11(session: SimulationSession) -> ExperimentResult:
+    spec = session.spec
+    rng = as_generator(spec.seed)
+    space, _nodes = synthetic_planetlab(spec.n, seed=rng)
+    metric = DelayMetric(space.matrix)
+    result = ExperimentResult(
+        figure="fig11",
+        description="Number of disjoint overlay paths between node pairs vs k",
+        x_label="k",
+        y_label="number of disjoint paths",
+        metadata={"n": spec.n},
+    )
+    pairs = _sample_pairs(spec.n, int(spec.param("pairs_per_k", 100)), rng)
+    overlays = _br_overlays_for_ks(
+        session, metric, spec.k_grid, rng, br_rounds=spec.br_rounds
+    )
+    for k, overlay in zip(spec.k_grid, overlays):
+        app = RealTimeRedirectionApp(overlay)
+        counts = [app.disjoint_path_count(s, t) for s, t in pairs]
+        result.add_point("disjoint paths", k, mean_finite(counts))
+    return result
+
+
+def _fig10_spec(
+    n: int, k_values: Sequence[int], seed: SeedLike, br_rounds: int, pairs_per_k: int
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        experiment="fig10-multipath",
+        n=int(n),
+        k_grid=tuple(int(k) for k in k_values),
+        policies=("best-response",),
+        metric="bandwidth",
+        br_rounds=int(br_rounds),
+        seed=coerce_seed(seed),
+        params={"pairs_per_k": int(pairs_per_k)},
+    )
+
+
+def fig10_multipath_gain(
+    n: int = 50,
+    k_values: Sequence[int] = DEFAULT_K_VALUES,
+    *,
+    seed: SeedLike = 0,
+    br_rounds: int = 3,
+    pairs_per_k: int = 100,
+    batched: bool = True,
+) -> ExperimentResult:
+    """Fig. 10: available-bandwidth gain of multipath transfer vs k."""
+    spec = _fig10_spec(n, k_values, seed, br_rounds, pairs_per_k)
+    return SimulationSession(spec, batched=batched).run()
+
+
+def _fig11_spec(
+    n: int, k_values: Sequence[int], seed: SeedLike, br_rounds: int, pairs_per_k: int
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        experiment="fig11-disjoint",
+        n=int(n),
+        k_grid=tuple(int(k) for k in k_values),
+        policies=("best-response",),
+        metric="delay-true",
+        br_rounds=int(br_rounds),
+        seed=coerce_seed(seed),
+        params={"pairs_per_k": int(pairs_per_k)},
+    )
+
+
 def fig11_disjoint_paths(
     n: int = 50,
     k_values: Sequence[int] = DEFAULT_K_VALUES,
@@ -115,22 +180,22 @@ def fig11_disjoint_paths(
     batched: bool = True,
 ) -> ExperimentResult:
     """Fig. 11: number of disjoint overlay paths vs k (delay-based overlay)."""
-    rng = as_generator(seed)
-    space, _nodes = synthetic_planetlab(n, seed=rng)
-    metric = DelayMetric(space.matrix)
-    result = ExperimentResult(
-        figure="fig11",
-        description="Number of disjoint overlay paths between node pairs vs k",
-        x_label="k",
-        y_label="number of disjoint paths",
-        metadata={"n": n},
-    )
-    pairs = _sample_pairs(n, pairs_per_k, rng)
-    overlays = _br_overlays_for_ks(
-        metric, k_values, rng, br_rounds=br_rounds, batched=batched
-    )
-    for k, overlay in zip(k_values, overlays):
-        app = RealTimeRedirectionApp(overlay)
-        counts = [app.disjoint_path_count(s, t) for s, t in pairs]
-        result.add_point("disjoint paths", k, mean_finite(counts))
-    return result
+    spec = _fig11_spec(n, k_values, seed, br_rounds, pairs_per_k)
+    return SimulationSession(spec, batched=batched).run()
+
+
+register_scenario(
+    "fig10-multipath",
+    help="Fig. 10: multipath available-bandwidth gain vs k",
+    default_spec=lambda: _fig10_spec(50, DEFAULT_K_VALUES, 2008, 3, 100),
+    runner=_run_fig10,
+    smoke_args=("--n", "12", "--k", "2,3", "--br-rounds", "1", "--param", "pairs_per_k=10"),
+)
+
+register_scenario(
+    "fig11-disjoint",
+    help="Fig. 11: disjoint overlay paths vs k",
+    default_spec=lambda: _fig11_spec(50, DEFAULT_K_VALUES, 2008, 3, 100),
+    runner=_run_fig11,
+    smoke_args=("--n", "12", "--k", "2,3", "--br-rounds", "1", "--param", "pairs_per_k=10"),
+)

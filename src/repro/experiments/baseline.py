@@ -10,6 +10,12 @@ budget ``k``:
 * bottom-right: available bandwidth (there, the ratio of aggregate
   bandwidth to BR's — larger is better, so the ratios sit below 1).
 
+Every panel is a declarative :class:`~repro.scenario.spec.ScenarioSpec`
+(experiment names ``fig1-*``) realised through
+:class:`~repro.scenario.session.SimulationSession`; the public
+``fig1_*`` functions below are thin spec constructions kept for direct
+Python use.
+
 Performance
 -----------
 A k-sweep is a batch of independent deployments — one per (policy, k)
@@ -20,20 +26,12 @@ batch through :class:`~repro.core.deployment_batch.DeploymentBatch`
 * the per-k underlay snapshots (announced + true metrics) are taken up
   front, every deployment gets its own spawned RNG stream, and the
   best-response deployments of the whole sweep run their dynamics in
-  lockstep: each kernel call sweeps residual route values for a wave of
-  ``(deployment, node)`` re-wiring opportunities at once — a
-  block-diagonal CSR Dijkstra for delay/load, Floyd-Warshall max-min
-  closures (or one divide-and-conquer avoid-one pass per overlay
-  version) for bandwidth — and the re-wiring opportunities themselves
-  (current-wiring evaluation, greedy seeding, local-search swap passes)
-  are scored for all deployments in shared broadcasts;
+  lockstep with residual sweeps and re-wiring opportunities fused into
+  shared kernel calls;
 * scoring stacks the built overlays' per-deployment route-value matrices
-  into a single 3-D ``(deployments x hops x destinations)`` tensor —
-  axis 0 indexes deployments, axis 1 the route sources ("first hops"),
-  axis 2 the destinations — and reduces every node cost of every panel
-  point in one preference-weighted broadcast, deduplicating deployments
-  whose graphs fingerprint-identically (e.g. full-mesh over a drift-free
-  underlay).
+  into a single 3-D ``(deployments x hops x destinations)`` tensor and
+  reduces every node cost of every panel point in one
+  preference-weighted broadcast.
 
 ``batched=False`` preserves the sequential reference path (one
 :func:`~repro.core.policies.build_overlay` plus one ``all_node_costs``
@@ -55,16 +53,11 @@ from repro.core.policies import (
     KRegularPolicy,
     NeighborSelectionPolicy,
 )
-from repro.core.providers import (
-    BandwidthMetricProvider,
-    DelayMetricProvider,
-    LoadMetricProvider,
-    MetricProvider,
-)
+from repro.core.providers import MetricProvider
 from repro.experiments.harness import ExperimentResult, add_normalized_sweep
-from repro.netsim.bandwidth import BandwidthModel
-from repro.netsim.load import NodeLoadModel
-from repro.netsim.planetlab import synthetic_planetlab
+from repro.scenario.registry import register_scenario
+from repro.scenario.session import SimulationSession
+from repro.scenario.spec import ScenarioSpec, coerce_seed
 from repro.util.rng import SeedLike, as_generator, spawn_generators
 
 #: The policies compared in Fig. 1 (full mesh is added where the paper does).
@@ -76,6 +69,35 @@ COMPARISON_POLICIES: Dict[str, NeighborSelectionPolicy] = {
 }
 
 DEFAULT_K_VALUES = (2, 3, 4, 5, 6, 7, 8)
+
+#: Per-panel presentation of the generic comparison result.
+_FIG1_PANELS = {
+    "fig1-delay-ping": {
+        "metric": "delay-ping",
+        "description": "Delay (via ping): individual cost / BR cost vs k",
+        "help": "Fig. 1 top-left: delay via ping, cost/BR vs k (with full mesh)",
+        "include_full_mesh": True,
+    },
+    "fig1-delay-pyxida": {
+        "metric": "delay-pyxida",
+        "description": "Delay (via pyxida coordinates): individual cost / BR cost vs k",
+        "help": "Fig. 1 top-right: delay via virtual coordinates",
+        "include_full_mesh": False,
+    },
+    "fig1-node-load": {
+        "metric": "load",
+        "description": "Node load: individual cost / BR cost vs k",
+        "help": "Fig. 1 bottom-left: node CPU load",
+        "include_full_mesh": False,
+    },
+    "fig1-bandwidth": {
+        "metric": "bandwidth",
+        "description": "Available bandwidth: total policy bandwidth / BR bandwidth vs k",
+        "help": "Fig. 1 bottom-right: available bandwidth",
+        "include_full_mesh": False,
+        "y_label": "total avail. bw / BR avail. bw",
+    },
+}
 
 
 def policy_comparison(
@@ -141,6 +163,49 @@ def policy_comparison(
     return result
 
 
+def _run_fig1(session: SimulationSession) -> ExperimentResult:
+    """Registered runner shared by all four Fig. 1 panels."""
+    spec = session.spec
+    panel = _FIG1_PANELS[spec.experiment]
+    rng = as_generator(spec.seed)
+    provider = session.make_provider(rng)
+    result = policy_comparison(
+        provider,
+        spec.k_grid,
+        include_full_mesh=bool(spec.param("include_full_mesh", False)),
+        seed=rng,
+        br_rounds=spec.br_rounds,
+        policies=session.policy_map(),
+        batched=session.batched,
+    )
+    result.figure = spec.experiment
+    result.description = panel["description"]
+    if "y_label" in panel:
+        result.y_label = panel["y_label"]
+    return result
+
+
+def _fig1_spec(
+    experiment: str,
+    n: int,
+    k_values: Sequence[int],
+    seed: SeedLike,
+    br_rounds: int,
+    **params,
+) -> ScenarioSpec:
+    panel = _FIG1_PANELS[experiment]
+    merged = {"include_full_mesh": panel["include_full_mesh"], **params}
+    return ScenarioSpec(
+        experiment=experiment,
+        n=int(n),
+        k_grid=tuple(int(k) for k in k_values),
+        metric=panel["metric"],
+        br_rounds=int(br_rounds),
+        seed=coerce_seed(seed),
+        params=merged,
+    )
+
+
 def fig1_delay_ping(
     n: int = 50,
     k_values: Sequence[int] = DEFAULT_K_VALUES,
@@ -151,20 +216,11 @@ def fig1_delay_ping(
     batched: bool = True,
 ) -> ExperimentResult:
     """Fig. 1 top-left: delay via ping, including the full-mesh bound."""
-    rng = as_generator(seed)
-    space, _nodes = synthetic_planetlab(n, seed=rng)
-    provider = DelayMetricProvider(space, estimator="ping", seed=rng)
-    result = policy_comparison(
-        provider,
-        k_values,
-        include_full_mesh=include_full_mesh,
-        seed=rng,
-        br_rounds=br_rounds,
-        batched=batched,
+    spec = _fig1_spec(
+        "fig1-delay-ping", n, k_values, seed, br_rounds,
+        include_full_mesh=bool(include_full_mesh),
     )
-    result.figure = "fig1-delay-ping"
-    result.description = "Delay (via ping): individual cost / BR cost vs k"
-    return result
+    return SimulationSession(spec, batched=batched).run()
 
 
 def fig1_delay_pyxida(
@@ -177,22 +233,11 @@ def fig1_delay_pyxida(
     batched: bool = True,
 ) -> ExperimentResult:
     """Fig. 1 top-right: delay estimated by the virtual coordinate system."""
-    rng = as_generator(seed)
-    space, _nodes = synthetic_planetlab(n, seed=rng)
-    provider = DelayMetricProvider(
-        space, estimator="pyxida", coordinate_rounds=coordinate_rounds, seed=rng
+    spec = _fig1_spec(
+        "fig1-delay-pyxida", n, k_values, seed, br_rounds,
+        coordinate_rounds=int(coordinate_rounds),
     )
-    result = policy_comparison(
-        provider,
-        k_values,
-        include_full_mesh=False,
-        seed=rng,
-        br_rounds=br_rounds,
-        batched=batched,
-    )
-    result.figure = "fig1-delay-pyxida"
-    result.description = "Delay (via pyxida coordinates): individual cost / BR cost vs k"
-    return result
+    return SimulationSession(spec, batched=batched).run()
 
 
 def fig1_node_load(
@@ -204,21 +249,8 @@ def fig1_node_load(
     batched: bool = True,
 ) -> ExperimentResult:
     """Fig. 1 bottom-left: node (CPU) load as the cost metric."""
-    rng = as_generator(seed)
-    load_model = NodeLoadModel(n, seed=rng)
-    load_model.advance(5)
-    provider = LoadMetricProvider(load_model)
-    result = policy_comparison(
-        provider,
-        k_values,
-        include_full_mesh=False,
-        seed=rng,
-        br_rounds=br_rounds,
-        batched=batched,
-    )
-    result.figure = "fig1-node-load"
-    result.description = "Node load: individual cost / BR cost vs k"
-    return result
+    spec = _fig1_spec("fig1-node-load", n, k_values, seed, br_rounds)
+    return SimulationSession(spec, batched=batched).run()
 
 
 def fig1_bandwidth(
@@ -234,18 +266,22 @@ def fig1_bandwidth(
     The y-axis is the policy's aggregate available bandwidth divided by
     BR's, so values sit in (0, 1] with BR at 1.
     """
-    rng = as_generator(seed)
-    bw_model = BandwidthModel(n, seed=rng)
-    provider = BandwidthMetricProvider(bw_model, seed=rng)
-    result = policy_comparison(
-        provider,
-        k_values,
-        include_full_mesh=False,
-        seed=rng,
-        br_rounds=br_rounds,
-        batched=batched,
-    )
-    result.figure = "fig1-bandwidth"
-    result.description = "Available bandwidth: total policy bandwidth / BR bandwidth vs k"
-    result.y_label = "total avail. bw / BR avail. bw"
-    return result
+    spec = _fig1_spec("fig1-bandwidth", n, k_values, seed, br_rounds)
+    return SimulationSession(spec, batched=batched).run()
+
+
+def _register() -> None:
+    for name, panel in _FIG1_PANELS.items():
+        def default_spec(name=name):
+            return _fig1_spec(name, 50, DEFAULT_K_VALUES, 2008, 4)
+
+        register_scenario(
+            name,
+            help=panel["help"],
+            default_spec=default_spec,
+            runner=_run_fig1,
+            smoke_args=("--n", "12", "--k", "2,3", "--br-rounds", "1"),
+        )
+
+
+_register()

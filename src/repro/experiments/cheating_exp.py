@@ -8,73 +8,90 @@ even without audits.
 
 Left panel: one free rider, cost ratio vs k.  Right panel: many free
 riders (up to one third of the population) at k = 2.
+
+Both panels are build-only scenarios: every (k, cheated?) — or
+(population, cheated?) — pair is one BR deployment wired from the cheated
+announcements, and the whole grid builds in lockstep through
+:class:`~repro.core.deployment_batch.DeploymentBatch`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Dict, List, Sequence, Set
 
 from repro.core.cheating import CheatingModel
 from repro.core.cost import DelayMetric
-from repro.core.policies import BestResponsePolicy, build_overlay
+from repro.core.deployment_batch import DeploymentSpec
+from repro.core.policies import BestResponsePolicy
 from repro.experiments.harness import ExperimentResult, mean_finite
 from repro.netsim.planetlab import synthetic_planetlab
+from repro.scenario.registry import register_scenario
+from repro.scenario.session import SimulationSession
+from repro.scenario.spec import CheatingSpec, ScenarioSpec, coerce_seed
 from repro.util.rng import SeedLike, as_generator
 
 DEFAULT_K_VALUES = (2, 3, 4, 5, 6, 7, 8)
 DEFAULT_FREE_RIDER_COUNTS = (0, 2, 4, 6, 8, 10, 12, 14, 16)
 
 
-def _costs_with_free_riders(
+def _announced_for(truth: DelayMetric, riders: Set[int], inflation: float):
+    """The announced metric under ``riders``' inflated announcements."""
+    if not riders:
+        return truth
+    return CheatingModel(truth, riders, inflation).announced_metric()
+
+
+def _node_costs_grid(
+    session: SimulationSession,
     truth: DelayMetric,
-    free_riders: Iterable[int],
-    k: int,
-    *,
+    rider_sets: Sequence[Set[int]],
+    k_of: Sequence[int],
     inflation: float,
     rng,
-    br_rounds: int,
-) -> Dict[int, float]:
-    """Per-node true costs of the BR overlay built from cheated announcements."""
-    riders = set(free_riders)
-    if riders:
-        announced = CheatingModel(truth, riders, inflation).announced_metric()
-    else:
-        announced = truth
-    wiring = build_overlay(
-        BestResponsePolicy(), announced, k, rng=rng, br_rounds=br_rounds
-    )
-    return truth.all_node_costs(wiring.to_graph())
+) -> List[Dict[int, float]]:
+    """True per-node costs of one BR deployment per (riders, k) cell."""
+    spec = session.spec
+
+    def build(cell):
+        riders, k = cell
+        return DeploymentSpec(
+            label=f"riders={len(riders)}@k={k}",
+            policy=BestResponsePolicy(),
+            k=int(k),
+            announced=_announced_for(truth, riders, inflation),
+            truth=truth,
+            br_rounds=spec.br_rounds,
+        )
+
+    deployment_specs = session.deployment_grid(list(zip(rider_sets, k_of)), rng, build)
+    wirings = session.build_deployments(deployment_specs)
+    return [truth.all_node_costs(wiring.to_graph()) for wiring in wirings]
 
 
-def fig4_one_free_rider(
-    n: int = 50,
-    k_values: Sequence[int] = DEFAULT_K_VALUES,
-    *,
-    inflation: float = 2.0,
-    seed: SeedLike = 0,
-    br_rounds: int = 3,
-    free_rider: int = 0,
-) -> ExperimentResult:
-    """Fig. 4 left: one free rider inflating its outgoing costs by 2x."""
-    rng = as_generator(seed)
-    space, _nodes = synthetic_planetlab(n, seed=rng)
+def _run_fig4_one(session: SimulationSession) -> ExperimentResult:
+    spec = session.spec
+    cheating = spec.cheating or CheatingSpec(free_riders=(0,))
+    free_rider = int(cheating.free_riders[0]) if cheating.free_riders else 0
+    inflation = cheating.inflation
+    rng = as_generator(spec.seed)
+    space, _nodes = synthetic_planetlab(spec.n, seed=rng)
     truth = DelayMetric(space.matrix)
     result = ExperimentResult(
         figure="fig4-left",
         description="Individual cost with one free rider / cost without, vs k",
         x_label="k",
         y_label="individual cost / cost without free rider",
-        metadata={"n": n, "inflation": inflation, "free_rider": free_rider},
+        metadata={"n": spec.n, "inflation": inflation, "free_rider": free_rider},
     )
-    for k in k_values:
-        baseline = _costs_with_free_riders(
-            truth, (), k, inflation=inflation, rng=rng, br_rounds=br_rounds
-        )
-        cheated = _costs_with_free_riders(
-            truth, (free_rider,), k, inflation=inflation, rng=rng, br_rounds=br_rounds
-        )
+    rider_sets: List[Set[int]] = []
+    k_of: List[int] = []
+    for k in spec.k_grid:
+        rider_sets.extend([set(), {free_rider}])
+        k_of.extend([int(k), int(k)])
+    costs = _node_costs_grid(session, truth, rider_sets, k_of, inflation, rng)
+    for index, k in enumerate(spec.k_grid):
+        baseline = costs[2 * index]
+        cheated = costs[2 * index + 1]
         baseline_rider = baseline[free_rider]
         baseline_others = mean_finite(
             [v for node, v in baseline.items() if node != free_rider]
@@ -91,35 +108,27 @@ def fig4_one_free_rider(
     return result
 
 
-def fig4_many_free_riders(
-    n: int = 50,
-    free_rider_counts: Sequence[int] = DEFAULT_FREE_RIDER_COUNTS,
-    *,
-    k: int = 2,
-    inflation: float = 2.0,
-    seed: SeedLike = 0,
-    br_rounds: int = 3,
-) -> ExperimentResult:
-    """Fig. 4 right: a growing population of free riders at k = 2."""
-    rng = as_generator(seed)
-    space, _nodes = synthetic_planetlab(n, seed=rng)
+def _run_fig4_many(session: SimulationSession) -> ExperimentResult:
+    spec = session.spec
+    inflation = spec.cheating.inflation if spec.cheating else 2.0
+    k = int(spec.param("k", spec.k_grid[0]))
+    counts = [int(c) for c in spec.param("free_rider_counts", DEFAULT_FREE_RIDER_COUNTS)]
+    rng = as_generator(spec.seed)
+    space, _nodes = synthetic_planetlab(spec.n, seed=rng)
     truth = DelayMetric(space.matrix)
-    baseline = _costs_with_free_riders(
-        truth, (), k, inflation=inflation, rng=rng, br_rounds=br_rounds
-    )
-    baseline_mean = mean_finite(list(baseline.values()))
     result = ExperimentResult(
         figure="fig4-right",
-        description="Individual cost with many free riders / cost without, k=2",
+        description=f"Individual cost with many free riders / cost without, k={k}",
         x_label="population of free riders",
         y_label="individual cost / cost without free riders",
-        metadata={"n": n, "k": k, "inflation": inflation},
+        metadata={"n": spec.n, "k": k, "inflation": inflation},
     )
-    for count in free_rider_counts:
-        riders = set(range(int(count)))
-        cheated = _costs_with_free_riders(
-            truth, riders, k, inflation=inflation, rng=rng, br_rounds=br_rounds
-        )
+    rider_sets: List[Set[int]] = [set()] + [set(range(count)) for count in counts]
+    k_of = [k] * len(rider_sets)
+    costs = _node_costs_grid(session, truth, rider_sets, k_of, inflation, rng)
+    baseline = costs[0]
+    for count, cheated in zip(counts, costs[1:]):
+        riders = set(range(count))
         if riders:
             rider_baseline = mean_finite([baseline[r] for r in riders])
             rider_mean = mean_finite([cheated[r] for r in riders])
@@ -136,3 +145,94 @@ def fig4_many_free_riders(
         result.add_point("free riders", count, rider_ratio)
         result.add_point("non free riders", count, honest_ratio)
     return result
+
+
+def _fig4_one_spec(
+    n: int,
+    k_values: Sequence[int],
+    inflation: float,
+    seed: SeedLike,
+    br_rounds: int,
+    free_rider: int,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        experiment="fig4-one-freerider",
+        n=int(n),
+        k_grid=tuple(int(k) for k in k_values),
+        policies=("best-response",),
+        metric="delay-true",
+        br_rounds=int(br_rounds),
+        cheating=CheatingSpec(free_riders=(int(free_rider),), inflation=float(inflation)),
+        seed=coerce_seed(seed),
+    )
+
+
+def fig4_one_free_rider(
+    n: int = 50,
+    k_values: Sequence[int] = DEFAULT_K_VALUES,
+    *,
+    inflation: float = 2.0,
+    seed: SeedLike = 0,
+    br_rounds: int = 3,
+    free_rider: int = 0,
+    batched: bool = True,
+) -> ExperimentResult:
+    """Fig. 4 left: one free rider inflating its outgoing costs by 2x."""
+    spec = _fig4_one_spec(n, k_values, inflation, seed, br_rounds, free_rider)
+    return SimulationSession(spec, batched=batched).run()
+
+
+def _fig4_many_spec(
+    n: int,
+    free_rider_counts: Sequence[int],
+    k: int,
+    inflation: float,
+    seed: SeedLike,
+    br_rounds: int,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        experiment="fig4-many-freeriders",
+        n=int(n),
+        k_grid=(int(k),),
+        policies=("best-response",),
+        metric="delay-true",
+        br_rounds=int(br_rounds),
+        cheating=CheatingSpec(free_riders=(), inflation=float(inflation)),
+        seed=coerce_seed(seed),
+        params={
+            "free_rider_counts": [int(c) for c in free_rider_counts],
+            "k": int(k),
+        },
+    )
+
+
+def fig4_many_free_riders(
+    n: int = 50,
+    free_rider_counts: Sequence[int] = DEFAULT_FREE_RIDER_COUNTS,
+    *,
+    k: int = 2,
+    inflation: float = 2.0,
+    seed: SeedLike = 0,
+    br_rounds: int = 3,
+    batched: bool = True,
+) -> ExperimentResult:
+    """Fig. 4 right: a growing population of free riders at k = 2."""
+    spec = _fig4_many_spec(n, free_rider_counts, k, inflation, seed, br_rounds)
+    return SimulationSession(spec, batched=batched).run()
+
+
+register_scenario(
+    "fig4-one-freerider",
+    help="Fig. 4 left: one free rider",
+    default_spec=lambda: _fig4_one_spec(50, DEFAULT_K_VALUES, 2.0, 2008, 3, 0),
+    runner=_run_fig4_one,
+    smoke_args=("--n", "12", "--k", "2", "--br-rounds", "1"),
+)
+
+register_scenario(
+    "fig4-many-freeriders",
+    help="Fig. 4 right: many free riders at k=2",
+    default_spec=lambda: _fig4_many_spec(50, DEFAULT_FREE_RIDER_COUNTS, 2, 2.0, 2008, 3),
+    runner=_run_fig4_many,
+    smoke_args=("--n", "12", "--k", "2", "--br-rounds", "1", "--param", "free_rider_counts=0,2"),
+)

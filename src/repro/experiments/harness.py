@@ -48,20 +48,28 @@ class ExperimentResult:
         self.series_for(label).add(x, y)
 
     def table(self) -> str:
-        """A plain-text table of all series (one row per x value)."""
+        """A plain-text table of all series (one row per x value).
+
+        A series without a point at some x renders ``-`` there.  Lookups
+        go through an explicit per-series ``x -> y`` map (last point wins
+        for duplicate x values) rather than ``list.index`` inside a broad
+        ``try/except``, which used to swallow ragged-series bugs — a
+        series whose ``y`` ran shorter than its ``x`` would have raised
+        ``IndexError`` past the ``ValueError`` handler.
+        """
         labels = sorted(self.series)
         xs = sorted({x for s in self.series.values() for x in s.x})
+        value_maps = {
+            label: dict(zip(series.x, series.y))
+            for label, series in self.series.items()
+        }
         header = [self.x_label] + labels
         lines = ["\t".join(header)]
         for x in xs:
             row = [f"{x:g}"]
             for label in labels:
-                series = self.series[label]
-                try:
-                    idx = series.x.index(x)
-                    row.append(f"{series.y[idx]:.4g}")
-                except ValueError:
-                    row.append("-")
+                y = value_maps[label].get(x)
+                row.append("-" if y is None else f"{y:.4g}")
             lines.append("\t".join(row))
         return "\n".join(lines)
 

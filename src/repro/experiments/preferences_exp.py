@@ -6,28 +6,99 @@ other policies we considered, BR is capable of leveraging skew in
 preference to its advantage".  This ablation quantifies that claim by
 sweeping a Zipf exponent over the preference matrix and measuring the
 heuristics' cost relative to BR under each skew level.
+
+The (exponent, policy) grid is one build-only scenario: all deployments
+share the underlay and build in lockstep through
+:class:`~repro.core.deployment_batch.DeploymentBatch`, with each
+exponent's Zipf preference matrix riding on its deployments.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Sequence
 
-import numpy as np
-
-from repro.core.cost import DelayMetric, uniform_preferences, zipf_preferences
-from repro.core.policies import (
-    BestResponsePolicy,
-    KClosestPolicy,
-    KRandomPolicy,
-    KRegularPolicy,
-    NeighborSelectionPolicy,
-    build_overlay,
-)
+from repro.core.cost import DelayMetric, zipf_preferences
+from repro.core.deployment_batch import DeploymentSpec
 from repro.experiments.harness import ExperimentResult, normalize_against
 from repro.netsim.planetlab import synthetic_planetlab
+from repro.scenario.registry import register_scenario
+from repro.scenario.session import SimulationSession
+from repro.scenario.spec import ScenarioSpec, coerce_seed
 from repro.util.rng import SeedLike, as_generator
 
 DEFAULT_EXPONENTS = (0.0, 0.5, 1.0, 1.5)
+
+
+def _run_preferences(session: SimulationSession) -> ExperimentResult:
+    spec = session.spec
+    k = int(spec.param("k", spec.k_grid[0]))
+    exponents = [float(e) for e in spec.param("exponents", DEFAULT_EXPONENTS)]
+    rng = as_generator(spec.seed)
+    space, _nodes = synthetic_planetlab(spec.n, seed=rng)
+    metric = DelayMetric(space.matrix)
+    policies = session.policy_map()
+    result = ExperimentResult(
+        figure="ablation-preferences",
+        description="Policy cost / BR cost as routing-preference skew (Zipf exponent) grows",
+        x_label="zipf exponent",
+        y_label="mean cost / BR cost",
+        metadata={"n": spec.n, "k": k},
+    )
+    # Draw every preference matrix from the master stream first, then one
+    # spawned stream per deployment, so the grid builds in lockstep.
+    preference_of = {
+        exponent: (
+            None
+            if exponent == 0.0
+            else zipf_preferences(spec.n, exponent=exponent, seed=rng)
+        )
+        for exponent in exponents
+    }
+    cells = [(exponent, name) for exponent in exponents for name in policies]
+
+    def build(cell):
+        exponent, name = cell
+        return DeploymentSpec(
+            label=f"{name}@{exponent:g}",
+            policy=policies[name],
+            k=k,
+            announced=metric,
+            truth=metric,
+            br_rounds=spec.br_rounds,
+            preferences=preference_of[exponent],
+        )
+
+    means = session.deployment_means(session.deployment_grid(cells, rng, build))
+    labels = list(policies)
+    for index, exponent in enumerate(exponents):
+        base = index * len(labels)
+        raw: Dict[str, float] = {
+            label: float(means[base + offset])
+            for offset, label in enumerate(labels)
+        }
+        normalized = normalize_against(raw, "best-response")
+        for name, value in normalized.items():
+            result.add_point(name, exponent, value)
+    return result
+
+
+def _preferences_spec(
+    n: int,
+    exponents: Sequence[float],
+    k: int,
+    seed: SeedLike,
+    br_rounds: int,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        experiment="ablation-preferences",
+        n=int(n),
+        k_grid=(int(k),),
+        policies=("k-random", "k-regular", "k-closest", "best-response"),
+        metric="delay-true",
+        br_rounds=int(br_rounds),
+        seed=coerce_seed(seed),
+        params={"exponents": [float(e) for e in exponents], "k": int(k)},
+    )
 
 
 def preference_skew_ablation(
@@ -37,6 +108,7 @@ def preference_skew_ablation(
     k: int = 3,
     seed: SeedLike = 0,
     br_rounds: int = 3,
+    batched: bool = True,
 ) -> ExperimentResult:
     """Cost of each policy (normalised by BR) as preference skew grows.
 
@@ -44,40 +116,14 @@ def preference_skew_ablation(
     larger exponents concentrate each node's traffic on a few popular
     destinations, which BR can exploit but the oblivious policies cannot.
     """
-    rng = as_generator(seed)
-    space, _nodes = synthetic_planetlab(n, seed=rng)
-    metric = DelayMetric(space.matrix)
-    policies: Dict[str, NeighborSelectionPolicy] = {
-        "k-random": KRandomPolicy(),
-        "k-regular": KRegularPolicy(),
-        "k-closest": KClosestPolicy(),
-        "best-response": BestResponsePolicy(),
-    }
-    result = ExperimentResult(
-        figure="ablation-preferences",
-        description="Policy cost / BR cost as routing-preference skew (Zipf exponent) grows",
-        x_label="zipf exponent",
-        y_label="mean cost / BR cost",
-        metadata={"n": n, "k": k},
-    )
-    for exponent in exponents:
-        if exponent == 0.0:
-            preferences = uniform_preferences(n)
-        else:
-            preferences = zipf_preferences(n, exponent=exponent, seed=rng)
-        raw: Dict[str, float] = {}
-        for name, policy in policies.items():
-            wiring = build_overlay(
-                policy,
-                metric,
-                k,
-                preferences=preferences,
-                rng=rng,
-                br_rounds=br_rounds,
-            )
-            costs = metric.all_node_costs(wiring.to_graph(), preferences)
-            raw[name] = float(np.mean(list(costs.values())))
-        normalized = normalize_against(raw, "best-response")
-        for name, value in normalized.items():
-            result.add_point(name, exponent, value)
-    return result
+    spec = _preferences_spec(n, exponents, k, seed, br_rounds)
+    return SimulationSession(spec, batched=batched).run()
+
+
+register_scenario(
+    "ablation-preferences",
+    help="Ablation: BR's advantage under skewed routing preferences",
+    default_spec=lambda: _preferences_spec(40, DEFAULT_EXPONENTS, 3, 2008, 3),
+    runner=_run_preferences,
+    smoke_args=("--n", "12", "--k", "3", "--br-rounds", "1", "--param", "exponents=0.0,1.0"),
+)

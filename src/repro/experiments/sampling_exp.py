@@ -116,7 +116,24 @@ def _newcomer_cost(
     return evaluator.evaluate(neighbors)
 
 
-def fig5_to_8_sampling(
+def _run_sampling(session) -> ExperimentResult:
+    """Registered runner for the Figs. 5-8 sampling scenarios."""
+    spec = session.spec
+    return _sampling_experiment(
+        str(spec.param("base_policy", "best-response")),
+        n=spec.n,
+        k=int(spec.param("k", spec.k_grid[0])),
+        radius=int(spec.param("radius", 2)),
+        sample_sizes=tuple(
+            int(m) for m in spec.param("sample_sizes", DEFAULT_SAMPLE_SIZES)
+        ),
+        trials=int(spec.param("trials", 5)),
+        seed=spec.seed,
+        oversample=int(spec.param("oversample", 3)),
+    )
+
+
+def _sampling_experiment(
     base_policy: str = "best-response",
     *,
     n: int = 295,
@@ -233,3 +250,90 @@ def fig5_to_8_sampling(
             mean_cost = total / trials
             result.add_point(label, m, mean_cost / reference_cost)
     return result
+
+
+_SAMPLING_EXPERIMENTS = {
+    "fig5-sampling-br": ("best-response", "Fig. 5: newcomer cost vs sample size on a BR graph"),
+    "fig6-sampling-random": ("k-random", "Fig. 6: sampling on a k-Random graph"),
+    "fig7-sampling-regular": ("k-regular", "Fig. 7: sampling on a k-Regular graph"),
+    "fig8-sampling-closest": ("k-closest", "Fig. 8: sampling on a k-Closest graph"),
+}
+
+
+def _sampling_spec(
+    experiment: str,
+    base_policy: str,
+    n: int,
+    k: int,
+    seed: SeedLike,
+    **params,
+) -> "ScenarioSpec":
+    from repro.scenario.spec import ScenarioSpec, coerce_seed
+
+    return ScenarioSpec(
+        experiment=experiment,
+        n=int(n),
+        k_grid=(int(k),),
+        policies=(base_policy,),
+        metric="delay-true",
+        seed=coerce_seed(seed),
+        params={"base_policy": base_policy, "k": int(k), **params},
+    )
+
+
+def fig5_to_8_sampling(
+    base_policy: str = "best-response",
+    *,
+    n: int = 295,
+    k: int = 3,
+    radius: int = 2,
+    sample_sizes: Sequence[int] = DEFAULT_SAMPLE_SIZES,
+    trials: int = 5,
+    seed: SeedLike = 0,
+    oversample: int = 3,
+) -> ExperimentResult:
+    """Thin scenario front door for the Figs. 5-8 sampling experiments.
+
+    See :func:`_sampling_experiment` for parameter semantics; this
+    constructs the matching :class:`~repro.scenario.spec.ScenarioSpec`
+    and runs it through a session.
+    """
+    from repro.scenario.session import SimulationSession
+
+    experiment = {
+        policy: name for name, (policy, _help) in _SAMPLING_EXPERIMENTS.items()
+    }.get(base_policy, "fig5-sampling-br")
+    spec = _sampling_spec(
+        experiment,
+        base_policy,
+        n,
+        k,
+        seed,
+        radius=int(radius),
+        sample_sizes=[int(m) for m in sample_sizes],
+        trials=int(trials),
+        oversample=int(oversample),
+    )
+    return SimulationSession(spec).run()
+
+
+def _register() -> None:
+    from repro.scenario.registry import register_scenario
+
+    for name, (policy, help_text) in _SAMPLING_EXPERIMENTS.items():
+        def default_spec(name=name, policy=policy):
+            return _sampling_spec(name, policy, 295, 3, 2008)
+
+        register_scenario(
+            name,
+            help=help_text,
+            default_spec=default_spec,
+            runner=_run_sampling,
+            smoke_args=(
+                "--n", "24", "--k", "2", "--trials", "1",
+                "--param", "sample_sizes=4,6",
+            ),
+        )
+
+
+_register()

@@ -1,0 +1,56 @@
+"""Unified scenario API: declarative specs, a session facade, a registry.
+
+The three pieces:
+
+* :class:`~repro.scenario.spec.ScenarioSpec` — a declarative,
+  JSON-round-trippable description of one workload (topology/metric
+  family, n, k-grid, policy set, churn, cheating, preference skew,
+  epochs, seed);
+* :class:`~repro.scenario.session.SimulationSession` — the ``run()``
+  facade that plans execution, dispatching build-only sweeps to
+  :class:`~repro.core.deployment_batch.DeploymentBatch` and epoch-loop
+  scenarios to :class:`~repro.core.engine_batch.EngineBatch`;
+* the registry (:mod:`repro.scenario.registry`) — experiment names to
+  default specs and runners, shared by the CLI and the drivers.
+
+Quick use::
+
+    from repro.scenario import ScenarioSpec, SimulationSession
+
+    spec = ScenarioSpec(experiment="fig1-delay-ping", n=30, k_grid=(2, 4))
+    result = SimulationSession(spec).run()
+    print(result.table())
+"""
+
+from repro.scenario.spec import (
+    METRIC_FAMILIES,
+    CheatingSpec,
+    ChurnSpec,
+    ScenarioSpec,
+    parse_policy,
+    policy_label,
+)
+from repro.scenario.session import SimulationSession, run_spec
+from repro.scenario.registry import (
+    ScenarioDefinition,
+    default_spec,
+    register_scenario,
+    resolve,
+    scenario_names,
+)
+
+__all__ = [
+    "METRIC_FAMILIES",
+    "CheatingSpec",
+    "ChurnSpec",
+    "ScenarioSpec",
+    "ScenarioDefinition",
+    "SimulationSession",
+    "default_spec",
+    "parse_policy",
+    "policy_label",
+    "register_scenario",
+    "resolve",
+    "run_spec",
+    "scenario_names",
+]

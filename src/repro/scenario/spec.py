@@ -1,0 +1,332 @@
+"""Declarative scenario descriptions.
+
+A :class:`ScenarioSpec` is the single front door to the repository's
+workloads: one JSON-serialisable dataclass naming the topology/metric
+family, the overlay size, the k-grid, the policy set, the churn schedule,
+the cheating model, the preference skew, the epoch count, and the seed.
+:class:`~repro.scenario.session.SimulationSession` plans its execution —
+build-only sweeps through :class:`~repro.core.deployment_batch.DeploymentBatch`,
+epoch-loop scenarios through :class:`~repro.core.engine_batch.EngineBatch`
+— and every experiment driver in :mod:`repro.experiments` is a thin
+construction of one of these specs.
+
+The spec is *descriptive*, not executional: knobs that only change how a
+scenario is computed (the ``batched`` kernel switch) live on the session,
+so a spec's JSON form identifies the scenario regardless of which code
+path realises it.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.hybrid import HybridBRPolicy
+from repro.core.policies import (
+    BestResponsePolicy,
+    FullMeshPolicy,
+    KClosestPolicy,
+    KRandomPolicy,
+    KRegularPolicy,
+    NeighborSelectionPolicy,
+)
+from repro.util.validation import ValidationError
+
+#: Metric/topology families a scenario can name.
+METRIC_FAMILIES = (
+    "delay-ping",
+    "delay-pyxida",
+    "delay-true",
+    "load",
+    "bandwidth",
+)
+
+_POLICY_PATTERN = re.compile(r"^(?P<name>[a-z-]+)(?:\((?P<args>[^)]*)\))?$")
+
+_POLICY_BUILDERS = {
+    "k-random": KRandomPolicy,
+    "k-regular": KRegularPolicy,
+    "k-closest": KClosestPolicy,
+    "full-mesh": FullMeshPolicy,
+    "best-response": BestResponsePolicy,
+    "hybrid-br": HybridBRPolicy,
+}
+
+_POLICY_KWARGS = {
+    "k-random": (),
+    "k-regular": (),
+    "k-closest": (),
+    "full-mesh": (),
+    "best-response": ("eps",),
+    "hybrid-br": ("k2", "eps"),
+}
+
+
+def parse_policy(descriptor: str) -> NeighborSelectionPolicy:
+    """Build a policy object from its descriptor string.
+
+    Descriptors are the figure labels, optionally parameterised:
+    ``"k-random"``, ``"best-response"``, ``"best-response(eps=0.1)"``,
+    ``"hybrid-br(k2=2)"``.
+    """
+    match = _POLICY_PATTERN.match(descriptor.strip())
+    if not match:
+        raise ValidationError(f"malformed policy descriptor {descriptor!r}")
+    name = match.group("name")
+    builder = _POLICY_BUILDERS.get(name)
+    if builder is None:
+        raise ValidationError(
+            f"unknown policy {name!r}; expected one of {sorted(_POLICY_BUILDERS)}"
+        )
+    kwargs = {}
+    args_text = match.group("args")
+    if args_text:
+        allowed = _POLICY_KWARGS[name]
+        for part in args_text.split(","):
+            if "=" not in part:
+                raise ValidationError(
+                    f"policy argument {part!r} in {descriptor!r} must be key=value"
+                )
+            key, value = (piece.strip() for piece in part.split("=", 1))
+            if key not in allowed:
+                raise ValidationError(
+                    f"policy {name!r} does not accept argument {key!r}"
+                )
+            kwargs[key] = float(value)
+    if name == "best-response":
+        return builder(epsilon=kwargs.get("eps", 0.0))
+    if name == "hybrid-br":
+        return builder(k2=int(kwargs.get("k2", 2)), epsilon=kwargs.get("eps", 0.0))
+    return builder()
+
+
+def policy_label(descriptor: str) -> str:
+    """Series label of a policy descriptor (the part before ``(``)."""
+    return descriptor.split("(", 1)[0].strip()
+
+
+def coerce_seed(seed) -> Optional[int]:
+    """Normalise a driver seed into spec form (int or None).
+
+    Scenario specs must serialise, so generator objects — accepted by the
+    lower-level library APIs — are rejected here with a pointer at the
+    reproducible alternative.
+    """
+    if seed is None:
+        return None
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    raise ValidationError(
+        "experiment drivers route through ScenarioSpec and need an integer "
+        "seed (or None); pass a seed instead of a Generator for a "
+        "reproducible, serialisable scenario"
+    )
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Declarative churn schedule.
+
+    ``kind`` selects the generator: ``"trace"`` for the PlanetLab-like
+    heavy-tailed sessions (:func:`repro.churn.models.trace_driven_churn`)
+    or ``"parametrized"`` for schedules calibrated to ``rate``
+    (:func:`repro.churn.models.parametrized_churn`).  ``horizon`` defaults
+    to the scenario's ``epochs * epoch_length`` when omitted.
+    """
+
+    kind: str = "trace"
+    rate: Optional[float] = None
+    horizon: Optional[float] = None
+    mean_on: float = 1500.0
+    mean_off: float = 300.0
+    duty_cycle: float = 0.8
+
+    def validate(self) -> None:
+        if self.kind not in ("trace", "parametrized"):
+            raise ValidationError(f"unknown churn kind {self.kind!r}")
+        # rate may stay None for parametrized schedules whose experiment
+        # sweeps the rate (fig2-churn-rate passes it per point).
+        if self.kind == "parametrized" and self.rate is not None and self.rate <= 0:
+            raise ValidationError("parametrized churn needs a positive rate")
+
+
+@dataclass(frozen=True)
+class CheatingSpec:
+    """Declarative free-rider model (see :class:`repro.core.cheating.CheatingModel`)."""
+
+    free_riders: Tuple[int, ...] = ()
+    inflation: float = 2.0
+
+    def validate(self) -> None:
+        if self.inflation <= 0:
+            raise ValidationError("inflation must be positive")
+
+
+@dataclass
+class ScenarioSpec:
+    """One declarative scenario: everything a run needs except code paths.
+
+    Parameters
+    ----------
+    experiment:
+        Registry key of the experiment shape (``"fig1-delay-ping"``,
+        ``"fig2-churn-rate"``, ...) — see :mod:`repro.scenario.registry`.
+    n, k_grid, policies, metric:
+        Overlay size, neighbour budgets swept, policy descriptors (see
+        :func:`parse_policy`), and metric family.
+    epochs:
+        Engine epochs for epoch-loop scenarios; 0 means build-only.
+    br_rounds, epsilon, drift_relative_std, preference_skew:
+        Best-response dynamics rounds, engine-level BR(ε) threshold,
+        per-epoch substrate drift, and Zipf preference exponent
+        (0 = the paper's uniform preferences).
+    churn, cheating:
+        Optional churn schedule and free-rider model.
+    seed:
+        Master seed (must be an integer, or None, so the spec serialises).
+    params:
+        Experiment-specific extras (sample sizes, trials, churn-rate
+        sweeps, ...), restricted to JSON-representable values.
+    """
+
+    experiment: str
+    n: int = 50
+    k_grid: Tuple[int, ...] = (2, 3, 4, 5, 6, 7, 8)
+    policies: Tuple[str, ...] = (
+        "k-random",
+        "k-regular",
+        "k-closest",
+        "best-response",
+    )
+    metric: str = "delay-ping"
+    epochs: int = 0
+    br_rounds: int = 3
+    epsilon: float = 0.0
+    drift_relative_std: float = 0.0
+    preference_skew: float = 0.0
+    churn: Optional[ChurnSpec] = None
+    cheating: Optional[CheatingSpec] = None
+    epoch_length: float = 60.0
+    announce_interval: float = 20.0
+    compute_efficiency: bool = False
+    seed: Optional[int] = 0
+    params: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> "ScenarioSpec":
+        """Check the spec is well-formed; returns self for chaining."""
+        if not self.experiment:
+            raise ValidationError("a scenario needs an experiment name")
+        if self.n < 2:
+            raise ValidationError("n must be >= 2")
+        if not self.k_grid or any(int(k) < 0 for k in self.k_grid):
+            raise ValidationError("k_grid must be a non-empty tuple of k >= 0")
+        if self.metric not in METRIC_FAMILIES:
+            raise ValidationError(
+                f"unknown metric family {self.metric!r}; expected one of {METRIC_FAMILIES}"
+            )
+        if self.epochs < 0:
+            raise ValidationError("epochs must be >= 0")
+        if self.br_rounds < 0:
+            raise ValidationError("br_rounds must be >= 0")
+        if self.epsilon < 0:
+            raise ValidationError("epsilon must be non-negative")
+        if self.preference_skew < 0:
+            raise ValidationError("preference_skew must be non-negative")
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise ValidationError(
+                "scenario seeds must be plain integers (or None) so specs serialise"
+            )
+        for descriptor in self.policies:
+            parse_policy(descriptor)
+        if self.churn is not None:
+            self.churn.validate()
+        if self.cheating is not None:
+            self.cheating.validate()
+            for rider in self.cheating.free_riders:
+                if not 0 <= int(rider) < self.n:
+                    raise ValidationError(f"free rider {rider} out of range")
+        try:
+            json.dumps(self.params)
+        except TypeError as error:
+            raise ValidationError(f"params must be JSON-representable: {error}")
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical (JSON-ready) dictionary form: tuples become lists."""
+        self.validate()
+        data = asdict(self)
+        data["k_grid"] = [int(k) for k in self.k_grid]
+        data["policies"] = list(self.policies)
+        if self.churn is not None:
+            data["churn"] = asdict(self.churn)
+        if self.cheating is not None:
+            data["cheating"] = asdict(self.cheating)
+            data["cheating"]["free_riders"] = [int(v) for v in self.cheating.free_riders]
+        data["params"] = json.loads(json.dumps(self.params))
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
+        """Inverse of :meth:`to_dict` (lists back to tuples)."""
+        data = dict(data)
+        unknown = set(data) - {f.name for f in cls.__dataclass_fields__.values()}
+        if unknown:
+            raise ValidationError(f"unknown scenario fields {sorted(unknown)}")
+        if "k_grid" in data:
+            data["k_grid"] = tuple(int(k) for k in data["k_grid"])
+        if "policies" in data:
+            data["policies"] = tuple(str(p) for p in data["policies"])
+        if data.get("churn") is not None:
+            data["churn"] = ChurnSpec(**data["churn"])
+        if data.get("cheating") is not None:
+            cheating = dict(data["cheating"])
+            cheating["free_riders"] = tuple(int(v) for v in cheating.get("free_riders", ()))
+            data["cheating"] = CheatingSpec(**cheating)
+        spec = cls(**data)
+        spec.validate()
+        return spec
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """JSON text of the spec (round-trips via :meth:`from_json`)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Parse a spec from JSON text."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        """Write the spec as JSON to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ScenarioSpec":
+        """Read a spec from a JSON file."""
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def override(self, **changes) -> "ScenarioSpec":
+        """A copy with the given fields replaced (``params`` is merged)."""
+        params = changes.pop("params", None)
+        spec = replace(self, **changes)
+        if params:
+            spec.params = {**self.params, **params}
+        return spec
+
+    def param(self, key: str, default=None):
+        """Experiment-specific parameter lookup."""
+        return self.params.get(key, default)

@@ -1,0 +1,265 @@
+"""Tests for the lockstep engine batch.
+
+The heart of the suite is bitwise parity: a seeded sweep of epoch-driven
+deployments must produce byte-identical epoch histories under
+``batched=True`` (lockstep stepping with shared residual route-value
+prefills) and ``batched=False`` (each engine's ``run()``, i.e. the plain
+sequential :class:`EgoistEngine`), for every metric family, with and
+without churn, cheating, and BR(eps).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.churn.models import parametrized_churn, trace_driven_churn
+from repro.core.cheating import CheatingModel
+from repro.core.cost import DelayMetric
+from repro.core.engine import EgoistEngine, EpochRecord
+from repro.core.engine_batch import EngineBatch, EngineSpec
+from repro.core.hybrid import HybridBRPolicy
+from repro.core.policies import (
+    BestResponsePolicy,
+    KClosestPolicy,
+    KRandomPolicy,
+    KRegularPolicy,
+)
+from repro.core.providers import (
+    BandwidthMetricProvider,
+    DelayMetricProvider,
+    LoadMetricProvider,
+)
+from repro.netsim.bandwidth import BandwidthModel
+from repro.netsim.delayspace import DelaySpace
+from repro.netsim.load import NodeLoadModel
+from repro.util.rng import spawn_generators
+from repro.util.validation import ValidationError
+
+
+def assert_records_identical(a: EpochRecord, b: EpochRecord) -> None:
+    for field in dataclasses.fields(EpochRecord):
+        va = getattr(a, field.name)
+        vb = getattr(b, field.name)
+        if isinstance(va, float) and np.isnan(va):
+            assert np.isnan(vb), field.name
+        else:
+            assert va == vb, field.name
+
+
+def assert_histories_identical(histories_a, histories_b) -> None:
+    assert len(histories_a) == len(histories_b)
+    for ha, hb in zip(histories_a, histories_b):
+        assert len(ha.records) == len(hb.records)
+        for ra, rb in zip(ha.records, hb.records):
+            assert_records_identical(ra, rb)
+
+
+def _delay_space(n, seed):
+    rng = np.random.default_rng(seed)
+    matrix = rng.uniform(5.0, 150.0, size=(n, n))
+    np.fill_diagonal(matrix, 0.0)
+    return DelaySpace(matrix, jitter_std=1.0)
+
+
+def _policy_grid():
+    return {
+        "k-random": KRandomPolicy(),
+        "k-regular": KRegularPolicy(),
+        "k-closest": KClosestPolicy(),
+        "best-response": BestResponsePolicy(),
+    }
+
+
+def _delay_specs(
+    n,
+    seed,
+    *,
+    estimator="ping",
+    drift=0.0,
+    churn=None,
+    cheating=None,
+    policies=None,
+    k_values=(2, 3),
+    compute_efficiency=False,
+    epsilon=0.0,
+):
+    """One EngineSpec per (policy, k); each deployment owns one stream."""
+    space = _delay_space(n, seed)
+    policies = policies if policies is not None else _policy_grid()
+    pairs = [(name, policy, k) for k in k_values for name, policy in policies.items()]
+    streams = spawn_generators(np.random.default_rng(seed + 1), len(pairs))
+    specs = []
+    for (name, policy, k), stream in zip(pairs, streams):
+        provider = DelayMetricProvider(
+            space, estimator=estimator, drift_relative_std=drift, seed=stream
+        )
+        specs.append(
+            EngineSpec(
+                label=f"{name}@k={k}",
+                provider=provider,
+                policy=policy,
+                k=k,
+                churn=churn,
+                cheating=cheating,
+                epsilon=epsilon,
+                compute_efficiency=compute_efficiency,
+                seed=stream,
+            )
+        )
+    return specs
+
+
+def _bandwidth_specs(n, seed, *, k_values=(2, 3)):
+    pairs = [(name, policy, k) for k in k_values for name, policy in _policy_grid().items()]
+    streams = spawn_generators(np.random.default_rng(seed + 1), len(pairs))
+    specs = []
+    for (name, policy, k), stream in zip(pairs, streams):
+        provider = BandwidthMetricProvider(BandwidthModel(n, seed=seed), seed=stream)
+        specs.append(
+            EngineSpec(
+                label=f"{name}@k={k}",
+                provider=provider,
+                policy=policy,
+                k=k,
+                seed=stream,
+            )
+        )
+    return specs
+
+
+def _load_specs(n, seed, *, k_values=(2, 3)):
+    pairs = [(name, policy, k) for k in k_values for name, policy in _policy_grid().items()]
+    streams = spawn_generators(np.random.default_rng(seed + 1), len(pairs))
+    specs = []
+    for (name, policy, k), stream in zip(pairs, streams):
+        model = NodeLoadModel(n, seed=seed)
+        model.advance(3)
+        specs.append(
+            EngineSpec(
+                label=f"{name}@k={k}",
+                provider=LoadMetricProvider(model),
+                policy=policy,
+                k=k,
+                seed=stream,
+            )
+        )
+    return specs
+
+
+class TestBatchedSequentialParity:
+    """batched=True and batched=False must agree bit for bit."""
+
+    def test_delay_ping_drift(self):
+        batched = EngineBatch(_delay_specs(16, 3, drift=0.02), batched=True).run(4)
+        sequential = EngineBatch(_delay_specs(16, 3, drift=0.02), batched=False).run(4)
+        assert_histories_identical(batched, sequential)
+
+    def test_delay_true_with_churn(self):
+        def specs():
+            churn = trace_driven_churn(
+                14, 6 * 60.0, mean_on=600.0, mean_off=120.0, seed=9
+            )
+            return _delay_specs(
+                14,
+                5,
+                estimator="true",
+                churn=churn,
+                compute_efficiency=True,
+            )
+
+        batched = EngineBatch(specs(), batched=True).run(6)
+        sequential = EngineBatch(specs(), batched=False).run(6)
+        assert_histories_identical(batched, sequential)
+
+    def test_parametrized_churn_with_hybrid(self):
+        def specs():
+            churn = parametrized_churn(15, 5 * 60.0, 5e-3, seed=4)
+            policies = {
+                "best-response": BestResponsePolicy(),
+                "hybrid-br": HybridBRPolicy(k2=2),
+            }
+            return _delay_specs(
+                15,
+                8,
+                estimator="true",
+                churn=churn,
+                policies=policies,
+                k_values=(4,),
+                compute_efficiency=True,
+            )
+
+        batched = EngineBatch(specs(), batched=True).run(5)
+        sequential = EngineBatch(specs(), batched=False).run(5)
+        assert_histories_identical(batched, sequential)
+
+    def test_bandwidth_family(self):
+        batched = EngineBatch(_bandwidth_specs(15, 7), batched=True).run(4)
+        sequential = EngineBatch(_bandwidth_specs(15, 7), batched=False).run(4)
+        assert_histories_identical(batched, sequential)
+
+    def test_load_family(self):
+        batched = EngineBatch(_load_specs(15, 11), batched=True).run(4)
+        sequential = EngineBatch(_load_specs(15, 11), batched=False).run(4)
+        assert_histories_identical(batched, sequential)
+
+    def test_epsilon_and_cheating(self):
+        def specs():
+            cheating = CheatingModel(
+                DelayMetric(_delay_space(14, 2).matrix), {0, 1}, 2.0
+            )
+            return _delay_specs(
+                14,
+                2,
+                policies={"best-response": BestResponsePolicy()},
+                k_values=(2, 4),
+                cheating=cheating,
+                epsilon=0.1,
+            )
+
+        batched = EngineBatch(specs(), batched=True).run(4)
+        sequential = EngineBatch(specs(), batched=False).run(4)
+        assert_histories_identical(batched, sequential)
+
+    def test_final_wirings_identical(self):
+        batch_a = EngineBatch(_delay_specs(14, 6, drift=0.02), batched=True)
+        batch_b = EngineBatch(_delay_specs(14, 6, drift=0.02), batched=False)
+        batch_a.run(3)
+        batch_b.run(3)
+        for engine_a, engine_b in zip(batch_a.engines, batch_b.engines):
+            for node in range(engine_a.n):
+                wa = engine_a.wiring.wiring_of(node)
+                wb = engine_b.wiring.wiring_of(node)
+                assert (wa.neighbors if wa else None) == (wb.neighbors if wb else None)
+                assert engine_a.wiring.weights_of(node) == engine_b.wiring.weights_of(node)
+
+
+class TestAgainstPlainEngine:
+    """The lockstep batch must match direct EgoistEngine runs."""
+
+    def test_matches_direct_engine_runs(self):
+        batched = EngineBatch(_delay_specs(15, 13, drift=0.02), batched=True).run(4)
+        direct = []
+        for spec in _delay_specs(15, 13, drift=0.02):
+            direct.append(spec.build_engine().run(4))
+        assert_histories_identical(batched, direct)
+
+
+class TestValidation:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValidationError):
+            EngineBatch([])
+
+    def test_mismatched_sizes_rejected(self):
+        specs = _delay_specs(10, 1, k_values=(2,)) + _delay_specs(12, 1, k_values=(2,))
+        with pytest.raises(ValidationError):
+            EngineBatch(specs)
+
+    def test_disabled_route_cache_still_runs(self):
+        specs = _delay_specs(
+            12, 3, policies={"best-response": BestResponsePolicy()}, k_values=(2,)
+        )
+        for spec in specs:
+            spec.route_cache_size = 0
+        histories = EngineBatch(specs, batched=True).run(2)
+        assert len(histories[0].records) == 2

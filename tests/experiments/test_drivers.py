@@ -44,6 +44,28 @@ class TestHarness:
         normalized = normalize_against(values, "br")
         assert normalized == {"br": 1.0, "rnd": 3.0}
 
+    def test_table_renders_missing_x_values_as_dash(self):
+        """Series without a point at some x deterministically render '-'."""
+        result = ExperimentResult("figX", "demo", "k", "cost")
+        result.add_point("a", 1, 2.0)
+        result.add_point("a", 2, 3.0)
+        result.add_point("b", 2, 4.0)  # no point at x=1
+        lines = result.table().splitlines()
+        assert lines[0] == "k\ta\tb"
+        assert lines[1] == "1\t2\t-"
+        assert lines[2] == "2\t3\t4"
+
+    def test_table_tolerates_ragged_series(self):
+        """A y-list shorter than its x-list renders '-' instead of raising."""
+        result = ExperimentResult("figX", "demo", "k", "cost")
+        result.add_point("a", 1, 2.0)
+        ragged = result.series_for("b")
+        ragged.x.extend([1.0, 2.0])
+        ragged.y.append(5.0)  # second point lost its y
+        lines = result.table().splitlines()
+        assert lines[1] == "1\t2\t5"
+        assert lines[2] == "2\t-\t-"
+
 
 class TestFig1:
     @pytest.fixture(scope="class")

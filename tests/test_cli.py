@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import build_parser, main
+from repro.scenario import ScenarioSpec, default_spec, resolve, scenario_names
 
 
 class TestParser:
@@ -15,13 +16,16 @@ class TestParser:
             assert name in out
 
     def test_every_registered_experiment_has_help(self):
-        for name, spec in EXPERIMENTS.items():
-            assert spec["help"], name
+        for name in scenario_names():
+            assert resolve(name).help, name
 
-    def test_unknown_experiment_rejected(self):
-        parser = build_parser()
-        with pytest.raises(SystemExit):
-            parser.parse_args(["run", "fig99-unknown"])
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["run", "fig99-unknown"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_missing_experiment_rejected(self, capsys):
+        assert main(["run"]) == 2
+        assert "repro list" in capsys.readouterr().err
 
     def test_k_list_parsing(self):
         parser = build_parser()
@@ -32,6 +36,10 @@ class TestParser:
         parser = build_parser()
         args = parser.parse_args(["run", "fig2-churn-rate", "--churn-rates", "0.001,0.1"])
         assert args.churn_rates == (0.001, 0.1)
+
+    def test_malformed_param_rejected(self, capsys):
+        assert main(["run", "fig1-delay-ping", "--param", "oops"]) == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
 
 
 class TestRun:
@@ -64,24 +72,78 @@ class TestRun:
         data = json.loads(output.read_text())
         assert data["figure"] == "fig1-delay-ping"
         assert "best-response" in data["series"]
+        assert data["metadata"]["scenario"]["experiment"] == "fig1-delay-ping"
         out = capsys.readouterr().out
         assert "best-response" in out
 
-    def test_run_ablation_preferences(self, capsys):
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_every_registered_experiment_smokes(self, name, capsys):
+        """``repro run`` succeeds for every experiment at tiny scale."""
+        args = ["run", name, "--seed", "5", *resolve(name).smoke_args]
+        assert main(args) == 0, name
+        out = capsys.readouterr().out
+        assert "\t" in out, name  # a table was printed
+
+
+class TestSpecRoundTrip:
+    def test_spec_subcommand_writes_loadable_spec(self, tmp_path, capsys):
+        path = tmp_path / "scenario.json"
+        code = main(
+            ["spec", "fig1-node-load", "--n", "14", "--k", "2,3", "--output", str(path)]
+        )
+        assert code == 0
+        spec = ScenarioSpec.load(str(path))
+        assert spec.experiment == "fig1-node-load"
+        assert spec.n == 14
+        assert spec.k_grid == (2, 3)
+
+    def test_run_from_spec_reproduces_named_run(self, tmp_path, capsys):
+        """A spec saved to JSON reruns to the byte-identical result."""
+        spec_path = tmp_path / "scenario.json"
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        common = ["--n", "12", "--k", "2,3", "--br-rounds", "1", "--seed", "9"]
+        assert main(["spec", "fig1-delay-ping", *common, "--output", str(spec_path)]) == 0
+        assert main(["run", "fig1-delay-ping", *common, "--output", str(out_a)]) == 0
+        assert main(["run", "--spec", str(spec_path), "--output", str(out_b)]) == 0
+        assert json.loads(out_a.read_text()) == json.loads(out_b.read_text())
+
+    def test_spec_json_round_trip_is_stable(self):
+        spec = default_spec("fig2-churn-rate")
+        clone = ScenarioSpec.from_json(spec.to_json())
+        assert clone.to_dict() == spec.to_dict()
+
+    def test_spec_and_experiment_name_conflict(self, tmp_path, capsys):
+        path = tmp_path / "scenario.json"
+        default_spec("overheads").save(str(path))
+        assert main(["run", "overheads", "--spec", str(path)]) == 2
+        assert "only one" in capsys.readouterr().err
+
+    def test_missing_spec_file_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["run", "--spec", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read spec file" in capsys.readouterr().err
+
+    def test_invalid_spec_json_is_a_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["run", "--spec", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_overrides_apply_on_top_of_spec_file(self, tmp_path):
+        """--spec composes with the other flags instead of dropping them."""
+        path = tmp_path / "scenario.json"
+        out = tmp_path / "out.json"
+        default_spec("overheads").override(n=20, k_grid=(2,)).save(str(path))
+        assert main(["run", "--spec", str(path), "--n", "14", "--output", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert data["metadata"]["scenario"]["n"] == 14
+
+    def test_validate_with_engine_param_runs_engine_rows(self, tmp_path, capsys):
         code = main(
             [
-                "run",
-                "ablation-preferences",
-                "--n",
-                "12",
-                "--k",
-                "3",
-                "--br-rounds",
-                "2",
-                "--seed",
-                "1",
+                "run", "overheads", "--n", "10", "--k", "2",
+                "--param", "validate_with_engine=true",
             ]
         )
         assert code == 0
-        out = capsys.readouterr().out
-        assert "ablation-preferences" in out
+        assert "link-state measured (bps, simulated)" in capsys.readouterr().out
