@@ -2,11 +2,12 @@
 
 Usage::
 
-    python -m repro.cli list
+    python -m repro.cli list [--json]
     python -m repro.cli run fig1-delay-ping --n 50 --k 2,3,4,5,6,7,8
     python -m repro.cli run fig2-churn-rate --n 24 --seed 7 --output fig2.json
     python -m repro.cli run --spec scenario.json
     python -m repro.cli spec fig3-epsilon --n 30 --output scenario.json
+    python -m repro.cli sweep scenarios/fig_all.json --workers 4 --resume
 
 ``run`` builds the named experiment's default
 :class:`~repro.scenario.spec.ScenarioSpec`, applies the command-line
@@ -16,18 +17,35 @@ a tab-separated table, and optionally writes the full result as JSON.
 ``--spec`` loads a previously saved spec instead — re-running a saved
 spec reproduces the exact same result.  ``spec`` writes the
 would-be-executed spec as JSON without running it.
+
+``sweep`` expands a :class:`~repro.sweep.template.SweepTemplate` (or an
+``include`` corpus like ``scenarios/fig_all.json``) into its cell grid,
+executes the cells across a worker pool into a content-addressed
+:class:`~repro.sweep.store.SweepStore` (``--resume`` skips completed
+cells, so an interrupted sweep picks up where it died), and prints the
+aggregated per-experiment tables.  ``--dry-run`` prints the plan —
+which cells exist, their spec hashes, and which are already complete —
+without running anything.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional, Sequence
 
 from repro.scenario.registry import resolve, scenario_names
 from repro.scenario.session import SimulationSession
 from repro.scenario.spec import ScenarioSpec
+from repro.sweep import (
+    SweepStore,
+    aggregate_cells,
+    expand_corpus,
+    load_templates,
+    run_sweep,
+)
 from repro.util.validation import ValidationError
 
 
@@ -72,7 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list the available experiments")
+    list_cmd = sub.add_parser("list", help="list the available experiments")
+    list_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "machine-readable registry dump (name, help, default spec, "
+            "smoke args), deterministically ordered by name"
+        ),
+    )
 
     def add_run_options(command: argparse.ArgumentParser, *, with_run_outputs: bool):
         command.add_argument(
@@ -141,6 +167,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_run_options(spec_cmd, with_run_outputs=False)
 
+    sweep_cmd = sub.add_parser(
+        "sweep",
+        help="expand a sweep template over its axes and run the cells in parallel",
+    )
+    sweep_cmd.add_argument(
+        "template", help="sweep template (or corpus 'include') JSON file"
+    )
+    sweep_cmd.add_argument(
+        "--workers", type=int, default=1, help="worker-pool size (1 = inline)"
+    )
+    sweep_cmd.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already completed in the store",
+    )
+    sweep_cmd.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the expanded cell plan (and completion state) without running",
+    )
+    sweep_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the --dry-run plan as JSON (for tooling)",
+    )
+    sweep_cmd.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        help="sweep store directory (default: sweep-store/<template-name>)",
+    )
+    sweep_cmd.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="directory for the aggregated per-experiment result JSON files",
+    )
+    sweep_cmd.add_argument(
+        "--sequential",
+        action="store_true",
+        help="use the bit-identical sequential reference kernels in every cell",
+    )
+
     return parser
 
 
@@ -195,13 +264,102 @@ def _spec_from_args(args: argparse.Namespace) -> ScenarioSpec:
 
 
 def _load_spec(path: str) -> ScenarioSpec:
-    """Load a spec file, folding I/O and parse failures into CLI errors."""
+    """Load a spec file, folding I/O and parse failures into CLI errors.
+
+    Validation failures keep the spec's field-level message (which names
+    the offending field) and gain the file path, so the exit-2 line says
+    exactly which field of which file to fix.
+    """
     try:
         return ScenarioSpec.load(path)
     except OSError as error:
         raise ValidationError(f"cannot read spec file {path!r}: {error}")
     except json.JSONDecodeError as error:
         raise ValidationError(f"spec file {path!r} is not valid JSON: {error}")
+    except ValidationError as error:
+        raise ValidationError(f"spec file {path!r}: {error}")
+
+
+def _sweep(args: argparse.Namespace) -> int:
+    """The ``sweep`` subcommand: expand, (dry-)run, aggregate."""
+    if args.json and not args.dry_run:
+        raise ValidationError("--json is the machine-readable plan: pass --dry-run with it")
+    templates = load_templates(args.template)
+    cells = expand_corpus(templates)
+    corpus = os.path.splitext(os.path.basename(args.template))[0]
+    store_dir = args.store or os.path.join("sweep-store", corpus)
+    store = SweepStore(store_dir)
+
+    if args.dry_run:
+        complete = sum(1 for cell in cells if store.has(cell.key))
+        if args.json:
+            plan = {
+                "corpus": corpus,
+                "template": args.template,
+                "store": store_dir,
+                "total": len(cells),
+                "complete": complete,
+                "cells": [
+                    {
+                        "template": cell.template,
+                        "index": cell.index,
+                        "key": cell.key,
+                        "experiment": cell.spec.experiment,
+                        "assignment": dict(cell.assignment),
+                        "complete": store.has(cell.key),
+                    }
+                    for cell in cells
+                ],
+            }
+            print(json.dumps(plan, indent=2))
+        else:
+            print(
+                f"# sweep plan {corpus}: {len(cells)} cells "
+                f"({complete} complete) -> {store_dir}"
+            )
+            for cell in cells:
+                status = "done" if store.has(cell.key) else "pending"
+                print(
+                    f"{cell.key[:12]}  {status:>7}  {cell.spec.experiment}  "
+                    f"{cell.describe()}"
+                )
+        return 0
+
+    report = run_sweep(
+        cells,
+        store,
+        workers=args.workers,
+        batched=not args.sequential,
+        resume=args.resume,
+        on_cell=lambda cell: print(
+            f"# cell {cell.key[:12]} done: {cell.spec.experiment} ({cell.describe()})"
+        ),
+    )
+    print(f"# {report.summary()} store={store_dir}")
+    merged = aggregate_cells(cells, store)
+    for result in merged.values():
+        print(f"# {result.figure}: {result.description}")
+        print(result.table())
+    if args.output:
+        os.makedirs(args.output, exist_ok=True)
+        for experiment, result in merged.items():
+            with open(os.path.join(args.output, f"{experiment}.json"), "w") as handle:
+                json.dump(result.as_dict(), handle, indent=2)
+        summary = {
+            "corpus": corpus,
+            "store": store_dir,
+            "report": {
+                "total": report.total,
+                "workers": report.workers,
+                "executed": report.executed,
+                "skipped": report.skipped,
+            },
+            "experiments": sorted(merged),
+        }
+        with open(os.path.join(args.output, "summary.json"), "w") as handle:
+            json.dump(summary, handle, indent=2)
+        print(f"# aggregated results written to {args.output}")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -209,14 +367,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    if args.command == "list":
-        names = scenario_names()
-        width = max(len(name) for name in names)
-        for name in names:
-            print(f"{name:<{width}}  {resolve(name).help}")
-        return 0
-
     try:
+        if args.command == "list":
+            names = scenario_names()
+            if args.json:
+                entries = []
+                for name in names:
+                    definition = resolve(name)
+                    entries.append(
+                        {
+                            "name": name,
+                            "help": definition.help,
+                            "default_spec": definition.default_spec().to_dict(),
+                            "smoke_args": list(definition.smoke_args),
+                        }
+                    )
+                print(json.dumps(entries, indent=2))
+                return 0
+            width = max(len(name) for name in names)
+            for name in names:
+                print(f"{name:<{width}}  {resolve(name).help}")
+            return 0
+
+        if args.command == "sweep":
+            return _sweep(args)
+
         if args.command == "spec":
             spec = _spec_from_args(args)
             text = spec.to_json()

@@ -420,11 +420,30 @@ class EgoistEngine:
         self.provider.advance(1)
         return record
 
+    def step_span(self, plan: EpochPlan, count: Optional[int] = None) -> int:
+        """Consume up to ``count`` re-wiring opportunities of ``plan``.
+
+        The shardable unit of an epoch: a worker holding the engine can
+        run a contiguous span of the plan's opportunity order and hand
+        the plan back (``plan.pos`` tracks progress), so an epoch can be
+        cut into spans without changing a single decision —
+        ``step_span(plan)`` with no count drains the epoch exactly as
+        ``run_epoch`` does.  Returns the number of re-wirings the span
+        performed.
+        """
+        if count is not None and count < 0:
+            raise ValidationError("span count must be >= 0")
+        before = plan.rewirings
+        remaining = len(plan.order) - plan.pos if count is None else count
+        while remaining > 0 and not plan.done:
+            self.step_node(plan)
+            remaining -= 1
+        return plan.rewirings - before
+
     def run_epoch(self) -> EpochRecord:
         """Simulate one wiring epoch and return its summary record."""
         plan = self.begin_epoch()
-        while not plan.done:
-            self.step_node(plan)
+        self.step_span(plan)
         return self.finish_epoch(plan)
 
     def run(self, epochs: int) -> EngineHistory:

@@ -219,43 +219,91 @@ class ScenarioSpec:
     # ------------------------------------------------------------------ #
     # Validation
     # ------------------------------------------------------------------ #
-    def validate(self) -> "ScenarioSpec":
-        """Check the spec is well-formed; returns self for chaining."""
-        if not self.experiment:
-            raise ValidationError("a scenario needs an experiment name")
-        if self.n < 2:
-            raise ValidationError("n must be >= 2")
-        if not self.k_grid or any(int(k) < 0 for k in self.k_grid):
-            raise ValidationError("k_grid must be a non-empty tuple of k >= 0")
-        if self.metric not in METRIC_FAMILIES:
-            raise ValidationError(
-                f"unknown metric family {self.metric!r}; expected one of {METRIC_FAMILIES}"
-            )
-        if self.epochs < 0:
-            raise ValidationError("epochs must be >= 0")
-        if self.br_rounds < 0:
-            raise ValidationError("br_rounds must be >= 0")
-        if self.epsilon < 0:
-            raise ValidationError("epsilon must be non-negative")
-        if self.preference_skew < 0:
-            raise ValidationError("preference_skew must be non-negative")
-        if self.seed is not None and not isinstance(self.seed, int):
-            raise ValidationError(
-                "scenario seeds must be plain integers (or None) so specs serialise"
-            )
+    def _field_errors(self) -> list:
+        """``(field, message)`` pairs for every invalid field of the spec.
+
+        Checks never abort each other: a wrong *type* (which would make
+        the comparison itself raise) is reported as that field's error,
+        and all failing fields are collected so one round-trip through
+        the error message fixes the whole file.
+        """
+        errors = []
+
+        def require(name: str, predicate, message: str) -> None:
+            try:
+                ok = bool(predicate())
+            except (TypeError, ValueError):
+                value = getattr(self, name)
+                ok = False
+                message = f"has the wrong type ({type(value).__name__}: {value!r})"
+            if not ok:
+                errors.append((name, message))
+
+        require("experiment", lambda: self.experiment, "a scenario needs an experiment name")
+        require("n", lambda: self.n >= 2, "must be >= 2")
+        require(
+            "k_grid",
+            lambda: self.k_grid and all(int(k) >= 0 for k in self.k_grid),
+            "must be a non-empty tuple of k >= 0",
+        )
+        require(
+            "metric",
+            lambda: self.metric in METRIC_FAMILIES,
+            f"unknown metric family {self.metric!r}; expected one of {METRIC_FAMILIES}",
+        )
+        require("epochs", lambda: self.epochs >= 0, "must be >= 0")
+        require("br_rounds", lambda: self.br_rounds >= 0, "must be >= 0")
+        require("epsilon", lambda: self.epsilon >= 0, "must be non-negative")
+        require(
+            "preference_skew", lambda: self.preference_skew >= 0, "must be non-negative"
+        )
+        require(
+            "seed",
+            lambda: self.seed is None or isinstance(self.seed, int),
+            "must be a plain integer (or None) so specs serialise",
+        )
         for descriptor in self.policies:
-            parse_policy(descriptor)
+            try:
+                parse_policy(descriptor)
+            except ValidationError as error:
+                errors.append(("policies", str(error)))
         if self.churn is not None:
-            self.churn.validate()
+            try:
+                self.churn.validate()
+            except ValidationError as error:
+                errors.append(("churn", str(error)))
         if self.cheating is not None:
-            self.cheating.validate()
-            for rider in self.cheating.free_riders:
-                if not 0 <= int(rider) < self.n:
-                    raise ValidationError(f"free rider {rider} out of range")
+            try:
+                self.cheating.validate()
+                for rider in self.cheating.free_riders:
+                    if not 0 <= int(rider) < self.n:
+                        errors.append(("cheating", f"free rider {rider} out of range"))
+            except ValidationError as error:
+                errors.append(("cheating", str(error)))
+            except (TypeError, ValueError):
+                errors.append(
+                    ("cheating", f"free riders must be integers, got {self.cheating.free_riders!r}")
+                )
         try:
             json.dumps(self.params)
         except TypeError as error:
-            raise ValidationError(f"params must be JSON-representable: {error}")
+            errors.append(("params", f"must be JSON-representable: {error}"))
+        return errors
+
+    def validate(self) -> "ScenarioSpec":
+        """Check the spec is well-formed; returns self for chaining.
+
+        Every invalid field is reported, each tagged with its field name
+        — ``invalid scenario field 'n': must be >= 2`` — so a rejected
+        ``--spec`` file says exactly what to fix.
+        """
+        errors = self._field_errors()
+        if errors:
+            if len(errors) == 1:
+                name, message = errors[0]
+                raise ValidationError(f"invalid scenario field {name!r}: {message}")
+            joined = "; ".join(f"{name!r}: {message}" for name, message in errors)
+            raise ValidationError(f"invalid scenario fields: {joined}")
         return self
 
     # ------------------------------------------------------------------ #
@@ -282,16 +330,32 @@ class ScenarioSpec:
         unknown = set(data) - {f.name for f in cls.__dataclass_fields__.values()}
         if unknown:
             raise ValidationError(f"unknown scenario fields {sorted(unknown)}")
+        if "experiment" not in data:
+            raise ValidationError("invalid scenario field 'experiment': missing")
         if "k_grid" in data:
-            data["k_grid"] = tuple(int(k) for k in data["k_grid"])
+            try:
+                data["k_grid"] = tuple(int(k) for k in data["k_grid"])
+            except (TypeError, ValueError) as error:
+                raise ValidationError(f"invalid scenario field 'k_grid': {error}")
         if "policies" in data:
-            data["policies"] = tuple(str(p) for p in data["policies"])
+            try:
+                data["policies"] = tuple(str(p) for p in data["policies"])
+            except TypeError as error:
+                raise ValidationError(f"invalid scenario field 'policies': {error}")
         if data.get("churn") is not None:
-            data["churn"] = ChurnSpec(**data["churn"])
+            try:
+                data["churn"] = ChurnSpec(**data["churn"])
+            except TypeError as error:
+                raise ValidationError(f"invalid scenario field 'churn': {error}")
         if data.get("cheating") is not None:
-            cheating = dict(data["cheating"])
-            cheating["free_riders"] = tuple(int(v) for v in cheating.get("free_riders", ()))
-            data["cheating"] = CheatingSpec(**cheating)
+            try:
+                cheating = dict(data["cheating"])
+                cheating["free_riders"] = tuple(
+                    int(v) for v in cheating.get("free_riders", ())
+                )
+                data["cheating"] = CheatingSpec(**cheating)
+            except (TypeError, ValueError) as error:
+                raise ValidationError(f"invalid scenario field 'cheating': {error}")
         spec = cls(**data)
         spec.validate()
         return spec

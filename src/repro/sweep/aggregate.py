@@ -1,0 +1,103 @@
+"""Join finished sweep cells back into experiment-result tables.
+
+Aggregation is the inverse of expansion: cells are grouped by the
+experiment their spec names, and each group merges into one
+:class:`~repro.experiments.harness.ExperimentResult` whose series carry
+the sweep coordinates:
+
+* an axis whose display value is constant across the group contributes
+  nothing (it only distinguished *other* groups, e.g. the panel axis of
+  a four-panel template);
+* an axis named ``k_grid`` is folded into the series itself — ``k`` is
+  already the x-axis of every k-sweep result, so cells sharded per-k
+  join back into the same series at different x;
+* every other varying axis suffixes the series label with its
+  coordinates (``"best-response [churn_rate=0.01]"``, including an
+  explicit ``seed`` axis — replicates are a result dimension), keeping
+  the merged table unambiguous;
+* when one experiment group spans several templates, the template name
+  acts as an implicit coordinate too, so two templates that reach the
+  same experiment through different base fields never silently merge.
+
+The merged result's metadata records the template names, the cell keys,
+and each cell's coordinates, so an aggregated table is traceable back to
+the exact store entries (and thus the exact specs) that produced it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.harness import ExperimentResult
+from repro.sweep.store import SweepStore
+from repro.sweep.template import SweepCell
+from repro.util.validation import ValidationError
+
+#: Axes folded into the series instead of suffixing its label.
+_JOINED_AXES = ("k_grid",)
+
+
+def _suffix(cell: SweepCell, varying: Sequence[str]) -> str:
+    coords = [
+        f"{axis}={value}"
+        for axis, value in (*cell.assignment, ("template", cell.template))
+        if axis in varying
+    ]
+    return f" [{', '.join(coords)}]" if coords else ""
+
+
+def aggregate_cells(
+    cells: Sequence[SweepCell], store: SweepStore
+) -> Dict[str, ExperimentResult]:
+    """Merge stored results of ``cells``, one result per experiment group.
+
+    Raises :class:`ValidationError` when any cell is missing from the
+    store — aggregation is only meaningful over a completed sweep (run
+    with ``--resume`` to fill the gaps first).
+    """
+    missing = [cell.key for cell in cells if not store.has(cell.key)]
+    if missing:
+        raise ValidationError(
+            f"sweep store is missing {len(missing)} of {len(cells)} cells "
+            f"(first missing key {missing[0]}); run the sweep (with --resume) "
+            "before aggregating"
+        )
+    groups: Dict[str, List[SweepCell]] = {}
+    for cell in cells:
+        groups.setdefault(cell.spec.experiment, []).append(cell)
+
+    merged: Dict[str, ExperimentResult] = {}
+    for experiment, group in groups.items():
+        seen_values: Dict[str, set] = {}
+        for cell in group:
+            for axis, value in (*cell.assignment, ("template", cell.template)):
+                seen_values.setdefault(axis, set()).add(value)
+        varying = [
+            axis
+            for axis, values in seen_values.items()
+            if len(values) > 1 and axis not in _JOINED_AXES
+        ]
+        first = store.get(group[0].key)["result"]
+        result = ExperimentResult(
+            figure=first["figure"],
+            description=first["description"],
+            x_label=first["x_label"],
+            y_label=first["y_label"],
+        )
+        for cell in group:
+            data = store.get(cell.key)["result"]
+            suffix = _suffix(cell, varying)
+            for label, series in data["series"].items():
+                target = result.series_for(f"{label}{suffix}")
+                target.x.extend(float(x) for x in series["x"])
+                target.y.extend(float(y) for y in series["y"])
+        result.metadata["sweep"] = {
+            "experiment": experiment,
+            "templates": sorted({cell.template for cell in group}),
+            "cells": [
+                {"key": cell.key, "assignment": dict(cell.assignment)}
+                for cell in group
+            ],
+        }
+        merged[experiment] = result
+    return merged

@@ -1,0 +1,134 @@
+"""Parallel execution of expanded sweep cells.
+
+:func:`run_sweep` is the engine room of ``repro sweep``: it filters the
+cell grid against the :class:`~repro.sweep.store.SweepStore` (``resume``
+skips completed cells), fans the pending cells across a
+``multiprocessing`` pool, and persists every finished cell as soon as its
+result arrives — so killing the sweep loses at most the cells in flight.
+
+Workers run whole cells through the existing
+:class:`~repro.scenario.session.SimulationSession` facade: each cell is
+an independent deterministic simulation seeded by its own spec, and the
+fused ``DeploymentBatch``/``EngineBatch`` kernels are reused inside every
+worker.  Because a cell's result is a pure function of its spec, results
+are byte-identical across ``workers=1`` and ``workers=N`` regardless of
+scheduling order.
+
+The pool prefers the cheap ``fork`` start method (Linux) and falls back
+to ``spawn`` elsewhere; the worker entry point is a module-level function
+so both methods can pickle it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.scenario.spec import ScenarioSpec
+from repro.sweep.store import SweepStore
+from repro.sweep.template import SweepCell
+from repro.util.validation import ValidationError
+
+
+def _execute_cell(payload: Tuple[int, Dict[str, object], bool]):
+    """Worker entry point: run one cell's scenario, return its result dict."""
+    index, spec_dict, batched = payload
+    from repro.scenario.session import SimulationSession
+
+    spec = ScenarioSpec.from_dict(spec_dict)
+    result = SimulationSession(spec, batched=batched).run()
+    return index, result.as_dict()
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """The cheapest available start method (fork where the OS has it)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+@dataclass
+class SweepReport:
+    """What one :func:`run_sweep` invocation did."""
+
+    total: int
+    workers: int
+    executed: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One machine-greppable line (CI asserts on ``skipped=...``)."""
+        return (
+            f"SWEEP total={self.total} executed={len(self.executed)} "
+            f"skipped={len(self.skipped)} workers={self.workers}"
+        )
+
+
+def run_sweep(
+    cells: Sequence[SweepCell],
+    store: SweepStore,
+    *,
+    workers: int = 1,
+    batched: bool = True,
+    resume: bool = False,
+    on_cell: Optional[Callable[[SweepCell], None]] = None,
+) -> SweepReport:
+    """Execute ``cells`` into ``store``; returns the execution report.
+
+    Parameters
+    ----------
+    cells:
+        The expanded grid (see :func:`repro.sweep.template.expand_corpus`).
+    store:
+        Destination store; finished cells are written atomically as they
+        complete, in completion order (the store is content-addressed, so
+        order does not matter).
+    workers:
+        Pool size.  ``1`` runs inline in this process — no pool, same
+        bytes.
+    batched:
+        Kernel-path choice forwarded to every cell's session (execution
+        detail, not part of any cell's identity).
+    resume:
+        Skip cells whose key is already in the store.  Without it every
+        cell re-executes (and overwrites its content-identical file).
+    on_cell:
+        Optional progress callback, invoked with each cell as its result
+        is persisted.
+    """
+    if workers < 1:
+        raise ValidationError("workers must be >= 1")
+    report = SweepReport(total=len(cells), workers=int(workers))
+    pending: List[SweepCell] = []
+    for cell in cells:
+        if resume and store.has(cell.key):
+            report.skipped.append(cell.key)
+        else:
+            pending.append(cell)
+    if not pending:
+        return report
+
+    by_index = dict(enumerate(pending))
+    payloads = [
+        (index, cell.spec.to_dict(), bool(batched))
+        for index, cell in by_index.items()
+    ]
+
+    def record(index: int, result: Dict[str, object]) -> None:
+        cell = by_index[index]
+        store.put(cell.key, cell.spec.to_dict(), result)
+        report.executed.append(cell.key)
+        if on_cell is not None:
+            on_cell(cell)
+
+    if workers == 1 or len(pending) == 1:
+        for payload in payloads:
+            index, result = _execute_cell(payload)
+            record(index, result)
+        return report
+
+    context = _pool_context()
+    with context.Pool(processes=min(workers, len(pending))) as pool:
+        for index, result in pool.imap_unordered(_execute_cell, payloads, chunksize=1):
+            record(index, result)
+    return report

@@ -1,0 +1,92 @@
+"""Content-addressed on-disk store of finished sweep cells.
+
+Every finished cell is one JSON file named by the cell's spec hash
+(:func:`repro.sweep.template.spec_key`), holding the spec as provenance
+next to the result::
+
+    <root>/<key>.json = {"key": ..., "spec": {...}, "result": {...}}
+
+Writes are atomic (temp file + ``os.replace``), so a sweep killed
+mid-write never leaves a truncated cell behind — which is what makes
+``--resume`` sound: a key either resolves to a complete result or is
+re-executed.  Content addressing also makes the store worker-safe and
+idempotent: re-running a cell overwrites it with identical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Dict, List, Optional
+
+from repro.util.validation import ValidationError
+
+_KEY_PATTERN = re.compile(r"^[0-9a-f]{32}$")
+
+
+class SweepStore:
+    """Directory of ``<spec-hash>.json`` cell files."""
+
+    def __init__(self, root: str):
+        # The directory is created lazily on first put(), so read-only
+        # consumers (the --dry-run planner) leave no trace on disk.
+        self.root = str(root)
+
+    def path_for(self, key: str) -> str:
+        """The cell file path for ``key``."""
+        if not _KEY_PATTERN.match(key):
+            raise ValidationError(f"malformed sweep store key {key!r}")
+        return os.path.join(self.root, f"{key}.json")
+
+    def has(self, key: str) -> bool:
+        """Whether a completed cell with this key is stored."""
+        return os.path.exists(self.path_for(key))
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The stored cell document, or None when absent."""
+        path = self.path_for(key)
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError as error:
+            raise ValidationError(
+                f"sweep store cell {path!r} is corrupt ({error}); delete it "
+                "and re-run the sweep to regenerate the cell"
+            )
+
+    def put(
+        self,
+        key: str,
+        spec: Dict[str, object],
+        result: Dict[str, object],
+    ) -> str:
+        """Atomically persist one finished cell; returns its path."""
+        path = self.path_for(key)
+        document = {"key": key, "spec": spec, "result": result}
+        os.makedirs(self.root, exist_ok=True)
+        tmp = os.path.join(self.root, f".{key}.{os.getpid()}.tmp")
+        with open(tmp, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    def keys(self) -> List[str]:
+        """Keys of every stored cell, sorted."""
+        keys = []
+        if not os.path.isdir(self.root):
+            return keys
+        for entry in os.listdir(self.root):
+            name, ext = os.path.splitext(entry)
+            if ext == ".json" and _KEY_PATTERN.match(name):
+                keys.append(name)
+        return sorted(keys)
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SweepStore(root={self.root!r}, cells={len(self)})"

@@ -59,6 +59,28 @@ def spawn_generators(seed: SeedLike, count: int) -> Sequence[np.random.Generator
     return [np.random.default_rng(child) for child in root.spawn(count)]
 
 
+def spawn_seeds(seed: SeedLike, count: int) -> list:
+    """Spawn ``count`` independent *integer* seeds from ``seed``.
+
+    The serialisable sibling of :func:`spawn_generators`: children are
+    derived through the same :class:`numpy.random.SeedSequence` spawning
+    discipline, but materialised as plain Python integers so they can
+    live in a JSON-serialisable :class:`~repro.scenario.spec.ScenarioSpec`.
+    A sweep template uses this to give every expanded cell its own
+    stream exactly as ``SimulationSession.engine_grid`` /
+    ``deployment_grid`` give every grid cell its own spawned generator.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        root = np.random.SeedSequence(seed.integers(0, 2**63 - 1))
+    elif isinstance(seed, np.random.SeedSequence):
+        root = seed
+    else:
+        root = np.random.SeedSequence(seed)
+    return [int(child.generate_state(2, np.uint64)[0]) for child in root.spawn(count)]
+
+
 def random_subset(
     rng: np.random.Generator,
     items: Sequence,

@@ -147,3 +147,53 @@ class TestEngineCheating:
         assert history.total_rewirings() >= 12
         assert len(history.mean_costs()) == 4
         assert np.isfinite(history.steady_state_mean_cost())
+
+
+class TestStepSpan:
+    """``step_span`` is the shardable epoch entry point: cutting an epoch
+    into spans must not change a single decision vs ``run_epoch``."""
+
+    def _engine(self):
+        space, _nodes = synthetic_planetlab(12, seed=5)
+        provider = DelayMetricProvider(
+            space, estimator="ping", drift_relative_std=0.02, seed=5
+        )
+        return EgoistEngine(
+            provider, BestResponsePolicy(), 3, compute_efficiency=True, seed=11
+        )
+
+    def test_sharded_epochs_byte_identical_to_run_epoch(self):
+        whole = self._engine()
+        sharded = self._engine()
+        for _ in range(3):
+            expected = whole.run_epoch()
+            plan = sharded.begin_epoch()
+            while not plan.done:
+                sharded.step_span(plan, 5)  # uneven spans across 12 nodes
+            record = sharded.finish_epoch(plan)
+            assert record == expected
+
+    def test_step_span_returns_span_rewirings(self):
+        engine = self._engine()
+        plan = engine.begin_epoch()
+        first = engine.step_span(plan, 4)
+        rest = engine.step_span(plan)
+        assert plan.done
+        # Epoch 0 wires every node exactly once.
+        assert first == 4 and rest == 8
+        assert plan.rewirings == 12
+
+    def test_step_span_overrun_and_zero_are_safe(self):
+        engine = self._engine()
+        plan = engine.begin_epoch()
+        assert engine.step_span(plan, 0) == 0
+        assert engine.step_span(plan, 10_000) == 12  # clamped at epoch end
+        assert plan.done
+
+    def test_negative_span_rejected(self):
+        from repro.util.validation import ValidationError
+
+        engine = self._engine()
+        plan = engine.begin_epoch()
+        with pytest.raises(ValidationError):
+            engine.step_span(plan, -1)

@@ -120,3 +120,95 @@ class TestEngineIntegration:
         engine.run_epoch()
         assert engine.route_cache.hits - before == engine.n
         assert engine.route_cache.misses == misses_before
+
+
+class TestSpeculativeTokens:
+    """The engine batch's speculative weight-refresh chains stamp entries
+    with *predicted* tokens (``put(token=...)``) and revoke mispredictions
+    with ``drop``; these exercise that path directly (it landed with only
+    indirect parity coverage)."""
+
+    def test_put_with_explicit_token_matches_only_once_state_materialises(self):
+        cache = ResidualRouteCache(max_entries=4)
+        matrix = np.ones((1, 3))
+        cache.set_token(("v1", "fp", (0, 1, 2)))
+        predicted = ("v1", "fp-next", (0, 1, 2))  # in-place re-announce predicted
+        cache.put(0, (1, 2), matrix, token=predicted)
+        # Not valid under the current token...
+        assert cache.get(0, (1, 2)) is None
+        # ...but valid verbatim once the predicted state becomes current.
+        cache.set_token(predicted)
+        assert cache.get(0, (1, 2)) is matrix
+
+    def test_put_without_token_still_stamps_the_current_token(self):
+        cache = ResidualRouteCache(max_entries=4)
+        cache.set_token("now")
+        cache.put(0, (1,), np.zeros((1, 1)))
+        assert cache.get(0, (1,)) is not None
+
+    def test_rewire_invalidates_unrealised_speculative_entries(self):
+        """A re-wire bumps the wiring version: the predicted token never
+        becomes current, so speculative entries must never hit."""
+        cache = ResidualRouteCache(max_entries=8)
+        cache.set_token(("version-7", "fp", (0, 1)))
+        cache.put(3, (0, 1), np.full((2, 2), 3.0), token=("version-7", "fp2", (0, 1)))
+        # The re-wire: state jumps to version-8 with a fresh fingerprint.
+        cache.set_token(("version-8", "fp3", (0, 1)))
+        assert cache.get(3, (0, 1)) is None
+        # The engine batch drops the pending entry; a later put under the
+        # real token repopulates cleanly.
+        cache.drop(3)
+        assert len(cache) == 0
+        cache.put(3, (0, 1), np.full((2, 2), 8.0))
+        assert float(cache.get(3, (0, 1))[0, 0]) == 8.0
+
+    def test_drop_is_per_node_and_tolerates_absent_nodes(self):
+        cache = ResidualRouteCache(max_entries=4)
+        cache.set_token("t")
+        cache.put(0, (1,), np.zeros((1, 1)))
+        cache.put(1, (0,), np.zeros((1, 1)))
+        cache.drop(0)
+        cache.drop(42)  # never stored: a no-op, not an error
+        assert cache.get(0, (1,)) is None
+        assert cache.get(1, (0,)) is not None
+
+    def test_churn_epoch_membership_change_invalidates_speculative_entries(self):
+        """Tokens embed the active membership: a churn-driven join/leave
+        changes the hop universe, so entries predicted for the old
+        membership must miss even if wiring version and metric agree."""
+        cache = ResidualRouteCache(max_entries=8)
+        old_members = (0, 1, 2, 3)
+        new_members = (0, 1, 3)  # node 2 departed this epoch
+        cache.set_token(("v1", "fp", old_members))
+        cache.put(0, (1, 2), np.ones((2, 4)), token=("v2", "fp", old_members))
+        cache.set_token(("v2", "fp", new_members))
+        assert cache.get(0, (1, 2)) is None
+        # Re-wiring against the new membership uses the survivors' hops.
+        cache.put(0, (1, 3), np.ones((2, 3)))
+        assert cache.get(0, (1, 3)) is not None
+        assert cache.get(0, (1, 2)) is None  # stale hop tuple stays dead
+
+    def test_speculative_chain_across_epochs(self):
+        """A quiescent drift epoch: entries predicted at epoch e for epoch
+        e+1 hit exactly once, then the next prediction takes over."""
+        cache = ResidualRouteCache(max_entries=4)
+        members = (0, 1)
+        tokens = [("v1", f"fp{i}", members) for i in range(3)]
+        cache.set_token(tokens[0])
+        cache.put(0, (1,), np.full((1, 2), 1.0), token=tokens[1])
+        cache.set_token(tokens[1])
+        assert cache.get(0, (1,)) is not None
+        cache.put(0, (1,), np.full((1, 2), 2.0), token=tokens[2])
+        cache.set_token(tokens[2])
+        hit = cache.get(0, (1,))
+        assert hit is not None and float(hit[0, 0]) == 2.0
+
+    def test_lru_eviction_applies_to_speculative_entries_too(self):
+        cache = ResidualRouteCache(max_entries=2)
+        cache.set_token("now")
+        for node in range(3):
+            cache.put(node, (9,), np.zeros((1, 1)), token="later")
+        cache.set_token("later")
+        assert cache.get(0, (9,)) is None  # evicted as oldest
+        assert cache.get(1, (9,)) is not None
+        assert cache.get(2, (9,)) is not None

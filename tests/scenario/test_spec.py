@@ -123,3 +123,31 @@ class TestRoundTrip:
         assert clone.n == 20
         assert clone.params == {"a": 1, "b": 3}
         assert spec.params == {"a": 1, "b": 2}
+
+
+class TestFromDictErrorWrapping:
+    """Coercion/construction failures must surface as field-named
+    ValidationErrors (exit 2 at the CLI), never raw TypeE/ValueError."""
+
+    def test_bad_k_grid_entries(self):
+        with pytest.raises(ValidationError, match="'k_grid'"):
+            ScenarioSpec.from_dict({"experiment": "x", "k_grid": ["a", 2]})
+
+    def test_non_iterable_policies(self):
+        with pytest.raises(ValidationError, match="'policies'"):
+            ScenarioSpec.from_dict({"experiment": "x", "policies": 5})
+
+    def test_missing_experiment(self):
+        with pytest.raises(ValidationError, match="'experiment'"):
+            ScenarioSpec.from_dict({"n": 12})
+
+    def test_bad_churn_shape(self):
+        with pytest.raises(ValidationError, match="'churn'"):
+            ScenarioSpec.from_dict({"experiment": "x", "churn": {"bogus": 1}})
+
+    def test_non_integer_free_riders_collected_not_raised(self):
+        from repro.scenario.spec import CheatingSpec
+
+        spec = ScenarioSpec(experiment="x", cheating=CheatingSpec(free_riders=("a",)))
+        with pytest.raises(ValidationError, match="free riders must be integers"):
+            spec.validate()

@@ -1,0 +1,129 @@
+"""Tests for joining sweep cells back into experiment-result tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sweep import SweepStore, SweepTemplate, aggregate_cells, run_sweep
+from repro.util.validation import ValidationError
+
+
+def _expand(axes, base_extra=None):
+    base = {
+        "experiment": "fig1-delay-ping",
+        "n": 10,
+        "k_grid": [2],
+        "br_rounds": 1,
+        "seed": 3,
+    }
+    base.update(base_extra or {})
+    return SweepTemplate.from_dict(
+        {"name": "agg-test", "base": base, "axes": axes}
+    ).expand()
+
+
+class TestAggregation:
+    def test_missing_cells_are_a_clean_error(self, tmp_path):
+        cells = _expand({"n": [10, 12]})
+        store = SweepStore(str(tmp_path))
+        run_sweep(cells[:1], store, workers=1)
+        with pytest.raises(ValidationError, match="missing 1 of 2"):
+            aggregate_cells(cells, store)
+
+    def test_k_grid_axis_joins_into_one_series(self, tmp_path):
+        """Per-k shards reassemble the classic k-sweep table."""
+        cells = _expand({"k_grid": [[2], [3], [4]]})
+        store = SweepStore(str(tmp_path))
+        run_sweep(cells, store, workers=1)
+        merged = aggregate_cells(cells, store)
+        assert list(merged) == ["fig1-delay-ping"]
+        result = merged["fig1-delay-ping"]
+        assert "best-response" in result.series  # no suffix
+        assert result.series["best-response"].x == [2.0, 3.0, 4.0]
+
+    def test_varying_axis_suffixes_series_labels(self, tmp_path):
+        cells = _expand({"n": [10, 12]})
+        store = SweepStore(str(tmp_path))
+        run_sweep(cells, store, workers=1)
+        result = aggregate_cells(cells, store)["fig1-delay-ping"]
+        assert "best-response [n=10]" in result.series
+        assert "best-response [n=12]" in result.series
+
+    def test_constant_axis_adds_no_suffix_and_groups_split_by_experiment(
+        self, tmp_path
+    ):
+        cells = _expand(
+            {
+                "panel": [
+                    {"label": "ping", "experiment": "fig1-delay-ping", "metric": "delay-ping"},
+                    {"label": "load", "experiment": "fig1-node-load", "metric": "load"},
+                ]
+            }
+        )
+        store = SweepStore(str(tmp_path))
+        run_sweep(cells, store, workers=1)
+        merged = aggregate_cells(cells, store)
+        assert sorted(merged) == ["fig1-delay-ping", "fig1-node-load"]
+        # The panel axis varies only *across* groups: no suffix within one.
+        assert "best-response" in merged["fig1-delay-ping"].series
+
+    def test_metadata_traces_cells_back_to_the_store(self, tmp_path):
+        cells = _expand({"n": [10, 12]})
+        store = SweepStore(str(tmp_path))
+        run_sweep(cells, store, workers=1)
+        sweep_meta = aggregate_cells(cells, store)["fig1-delay-ping"].metadata["sweep"]
+        assert sweep_meta["templates"] == ["agg-test"]
+        assert [entry["key"] for entry in sweep_meta["cells"]] == [
+            cell.key for cell in cells
+        ]
+        assert sweep_meta["cells"][0]["assignment"] == {"n": "10"}
+
+    def test_aggregate_is_deterministic_across_store_layout(self, tmp_path):
+        """Completion order must not matter: aggregation reads plan order."""
+        cells = _expand({"n": [10, 12]})
+        forward = SweepStore(str(tmp_path / "f"))
+        backward = SweepStore(str(tmp_path / "b"))
+        run_sweep(cells, forward, workers=1)
+        run_sweep(list(reversed(cells)), backward, workers=1)
+        assert (
+            aggregate_cells(cells, forward)["fig1-delay-ping"].as_dict()
+            == aggregate_cells(cells, backward)["fig1-delay-ping"].as_dict()
+        )
+
+    def test_explicit_seed_axis_is_a_replicate_dimension(self, tmp_path):
+        """Seed replicates must stay distinguishable, not last-write-wins."""
+        cells = _expand({"seed": [1, 2, 3]})
+        store = SweepStore(str(tmp_path))
+        run_sweep(cells, store, workers=1)
+        result = aggregate_cells(cells, store)["fig1-delay-ping"]
+        for seed in (1, 2, 3):
+            assert f"best-response [seed={seed}]" in result.series
+
+    def test_templates_reaching_one_experiment_never_merge_silently(self, tmp_path):
+        """Cells from different templates differing only in base fields
+        keep the template name as a coordinate."""
+        from repro.sweep import SweepTemplate
+
+        def template(name, br_rounds):
+            return SweepTemplate.from_dict(
+                {
+                    "name": name,
+                    "base": {
+                        "experiment": "fig1-delay-ping",
+                        "n": 10,
+                        "k_grid": [2],
+                        "br_rounds": br_rounds,
+                        "seed": 3,
+                    },
+                }
+            )
+
+        cells = [
+            *template("quick", 1).expand(),
+            *template("thorough", 2).expand(),
+        ]
+        store = SweepStore(str(tmp_path))
+        run_sweep(cells, store, workers=1)
+        result = aggregate_cells(cells, store)["fig1-delay-ping"]
+        assert "best-response [template=quick]" in result.series
+        assert "best-response [template=thorough]" in result.series

@@ -1,0 +1,93 @@
+"""Tests for the parallel sweep executor: parity, resume, reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sweep import SweepStore, SweepTemplate, run_sweep
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def cells():
+    template = SweepTemplate.from_dict(
+        {
+            "name": "exec-test",
+            "base": {
+                "experiment": "fig1-delay-ping",
+                "n": 10,
+                "k_grid": [2],
+                "br_rounds": 1,
+                "seed": 3,
+            },
+            "axes": {
+                "panel": [
+                    {"label": "ping", "experiment": "fig1-delay-ping", "metric": "delay-ping"},
+                    {"label": "load", "experiment": "fig1-node-load", "metric": "load"},
+                ],
+                "n": [10, 12],
+            },
+        }
+    )
+    return template.expand()
+
+
+class TestExecution:
+    def test_inline_run_fills_the_store(self, cells, tmp_path):
+        store = SweepStore(str(tmp_path))
+        report = run_sweep(cells, store, workers=1)
+        assert len(report.executed) == len(cells) == 4
+        assert report.skipped == []
+        for cell in cells:
+            document = store.get(cell.key)
+            assert document["spec"] == cell.spec.to_dict()
+            assert document["result"]["metadata"]["scenario"] == cell.spec.to_dict()
+
+    def test_workers_byte_identical_to_inline(self, cells, tmp_path):
+        inline_store = SweepStore(str(tmp_path / "inline"))
+        pool_store = SweepStore(str(tmp_path / "pool"))
+        run_sweep(cells, inline_store, workers=1)
+        run_sweep(cells, pool_store, workers=2)
+        for cell in cells:
+            assert inline_store.get(cell.key) == pool_store.get(cell.key), cell.key
+
+    def test_resume_skips_completed_cells_only(self, cells, tmp_path):
+        store = SweepStore(str(tmp_path))
+        # Simulate a sweep killed after two cells: only those are stored.
+        run_sweep(cells[:2], store, workers=1)
+        executed = []
+        report = run_sweep(
+            cells, store, workers=1, resume=True, on_cell=lambda c: executed.append(c.key)
+        )
+        assert sorted(report.skipped) == sorted(cell.key for cell in cells[:2])
+        assert sorted(report.executed) == sorted(cell.key for cell in cells[2:])
+        assert sorted(executed) == sorted(report.executed)
+        # A second resume finds everything done and executes nothing.
+        final = run_sweep(cells, store, workers=2, resume=True)
+        assert final.executed == []
+        assert len(final.skipped) == len(cells)
+
+    def test_without_resume_cells_reexecute(self, cells, tmp_path):
+        store = SweepStore(str(tmp_path))
+        run_sweep(cells[:1], store, workers=1)
+        report = run_sweep(cells[:1], store, workers=1)
+        assert len(report.executed) == 1 and report.skipped == []
+
+    def test_report_summary_is_machine_greppable(self, cells, tmp_path):
+        store = SweepStore(str(tmp_path))
+        run_sweep(cells, store, workers=1)
+        report = run_sweep(cells, store, workers=2, resume=True)
+        assert report.summary() == "SWEEP total=4 executed=0 skipped=4 workers=2"
+
+    def test_invalid_worker_count_rejected(self, cells, tmp_path):
+        with pytest.raises(ValidationError, match="workers"):
+            run_sweep(cells, SweepStore(str(tmp_path)), workers=0)
+
+    def test_sequential_kernel_path_matches_batched(self, cells, tmp_path):
+        """batched is an execution detail: stored bytes are identical."""
+        batched_store = SweepStore(str(tmp_path / "batched"))
+        sequential_store = SweepStore(str(tmp_path / "seq"))
+        run_sweep(cells[:2], batched_store, workers=1, batched=True)
+        run_sweep(cells[:2], sequential_store, workers=1, batched=False)
+        for cell in cells[:2]:
+            assert batched_store.get(cell.key) == sequential_store.get(cell.key)

@@ -1,0 +1,75 @@
+"""Tests for the content-addressed sweep store."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.sweep import SweepStore
+from repro.util.validation import ValidationError
+
+KEY_A = "0" * 32
+KEY_B = "1" * 32
+
+
+class TestSweepStore:
+    def test_roundtrip_and_has(self, tmp_path):
+        store = SweepStore(str(tmp_path / "store"))
+        assert not store.has(KEY_A)
+        assert store.get(KEY_A) is None
+        store.put(KEY_A, {"experiment": "x"}, {"figure": "f"})
+        assert store.has(KEY_A)
+        assert store.get(KEY_A) == {
+            "key": KEY_A,
+            "spec": {"experiment": "x"},
+            "result": {"figure": "f"},
+        }
+
+    def test_keys_are_sorted_and_ignore_foreign_files(self, tmp_path):
+        store = SweepStore(str(tmp_path))
+        store.put(KEY_B, {}, {})
+        store.put(KEY_A, {}, {})
+        (tmp_path / "README.txt").write_text("not a cell")
+        (tmp_path / "short.json").write_text("{}")
+        assert store.keys() == [KEY_A, KEY_B]
+        assert len(store) == 2
+
+    def test_put_is_atomic_no_temp_files_left(self, tmp_path):
+        store = SweepStore(str(tmp_path))
+        store.put(KEY_A, {}, {"x": 1})
+        assert [p for p in os.listdir(tmp_path) if p.endswith(".tmp")] == []
+
+    def test_overwrite_is_idempotent(self, tmp_path):
+        store = SweepStore(str(tmp_path))
+        store.put(KEY_A, {"s": 1}, {"r": 1})
+        first = (tmp_path / f"{KEY_A}.json").read_text()
+        store.put(KEY_A, {"s": 1}, {"r": 1})
+        assert (tmp_path / f"{KEY_A}.json").read_text() == first
+
+    def test_malformed_key_rejected(self, tmp_path):
+        store = SweepStore(str(tmp_path))
+        with pytest.raises(ValidationError, match="malformed"):
+            store.path_for("../../etc/passwd")
+        with pytest.raises(ValidationError, match="malformed"):
+            store.has("deadbeef")
+
+    def test_corrupt_cell_is_a_clean_error(self, tmp_path):
+        store = SweepStore(str(tmp_path))
+        (tmp_path / f"{KEY_A}.json").write_text("{truncated")
+        with pytest.raises(ValidationError, match="corrupt"):
+            store.get(KEY_A)
+
+    def test_store_creates_nested_root(self, tmp_path):
+        root = tmp_path / "a" / "b" / "c"
+        SweepStore(str(root)).put(KEY_A, {}, {})
+        assert json.loads((root / f"{KEY_A}.json").read_text())["key"] == KEY_A
+
+    def test_read_only_use_leaves_no_directory(self, tmp_path):
+        root = tmp_path / "never-created"
+        store = SweepStore(str(root))
+        assert not store.has(KEY_A)
+        assert store.get(KEY_A) is None
+        assert store.keys() == []
+        assert not root.exists()  # --dry-run must not touch the disk

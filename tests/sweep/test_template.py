@@ -1,0 +1,250 @@
+"""Tests for sweep templates: expansion, seed spawning, corpus loading."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sweep import SweepTemplate, expand_corpus, load_templates, spec_key
+from repro.util.validation import ValidationError
+
+
+def _template(**overrides) -> SweepTemplate:
+    data = {
+        "name": "t",
+        "base": {"experiment": "fig1-delay-ping", "n": 12, "k_grid": [2], "seed": 9},
+        "axes": {"n": [12, 14]},
+    }
+    data.update(overrides)
+    return SweepTemplate.from_dict(data)
+
+
+class TestExpansion:
+    def test_scalar_axis_sets_the_named_field(self):
+        cells = _template().expand()
+        assert [cell.spec.n for cell in cells] == [12, 14]
+        assert [cell.assignment for cell in cells] == [
+            (("n", "12"),),
+            (("n", "14"),),
+        ]
+
+    def test_cartesian_product_order_is_deterministic(self):
+        template = _template(axes={"n": [12, 14], "br_rounds": [1, 2]})
+        cells = template.expand()
+        assert [(c.spec.n, c.spec.br_rounds) for c in cells] == [
+            (12, 1), (12, 2), (14, 1), (14, 2),
+        ]
+        assert cells == template.expand()
+
+    def test_object_axis_applies_fields_together(self):
+        template = _template(
+            axes={
+                "panel": [
+                    {"label": "ping", "experiment": "fig1-delay-ping", "metric": "delay-ping"},
+                    {"label": "load", "experiment": "fig1-node-load", "metric": "load"},
+                ]
+            }
+        )
+        cells = template.expand()
+        assert [(c.spec.experiment, c.spec.metric) for c in cells] == [
+            ("fig1-delay-ping", "delay-ping"),
+            ("fig1-node-load", "load"),
+        ]
+        assert [c.assignment for c in cells] == [
+            (("panel", "ping"),), (("panel", "load"),),
+        ]
+
+    def test_dotted_paths_reach_params_and_churn(self):
+        template = _template(
+            base={
+                "experiment": "fig2-churn-rate",
+                "n": 10,
+                "k_grid": [3],
+                "epochs": 1,
+                "churn": {"kind": "parametrized", "horizon": 60.0},
+                "seed": 1,
+            },
+            axes={"churn.rate": [0.01, 0.1], "params.k": [3]},
+        )
+        cells = template.expand()
+        assert [c.spec.churn.rate for c in cells] == [0.01, 0.1]
+        assert all(c.spec.params["k"] == 3 for c in cells)
+
+    def test_dotted_path_into_scalar_field_rejected(self):
+        with pytest.raises(ValidationError, match="dotted paths"):
+            _template(axes={"n.x": [1]}).expand()
+
+    def test_unknown_axis_field_rejected(self):
+        with pytest.raises(ValidationError, match="does not name a ScenarioSpec field"):
+            _template(axes={"frobnicate": [1]}).expand()
+
+    def test_invalid_cell_error_names_cell_coordinates(self):
+        with pytest.raises(ValidationError, match=r"cell 1 \(n=1\)"):
+            _template(axes={"n": [12, 1]}).expand()
+
+
+class TestSeedSpawning:
+    def test_cells_get_distinct_deterministic_spawned_seeds(self):
+        cells_a = _template().expand()
+        cells_b = _template().expand()
+        seeds = [cell.spec.seed for cell in cells_a]
+        assert len(set(seeds)) == len(seeds)
+        assert seeds == [cell.spec.seed for cell in cells_b]
+        assert all(isinstance(seed, int) for seed in seeds)
+
+    def test_spawned_seeds_differ_from_base_seed_stream_by_template_seed(self):
+        assert (
+            _template().expand()[0].spec.seed
+            != _template(base={"experiment": "fig1-delay-ping", "seed": 10})
+            .expand()[0]
+            .spec.seed
+        )
+
+    def test_seed_axis_disables_spawning(self):
+        template = _template(axes={"seed": [3, 4]})
+        assert [cell.spec.seed for cell in template.expand()] == [3, 4]
+
+    def test_spawn_seeds_false_keeps_base_seed(self):
+        template = _template(spawn_seeds=False)
+        assert [cell.spec.seed for cell in template.expand()] == [9, 9]
+
+    def test_spawning_without_base_seed_rejected(self):
+        with pytest.raises(ValidationError, match="seed=None"):
+            _template(base={"experiment": "fig1-delay-ping", "seed": None})
+
+
+class TestTemplateValidation:
+    def test_unknown_template_field_rejected(self):
+        with pytest.raises(ValidationError, match="unknown sweep template fields"):
+            SweepTemplate.from_dict({"name": "t", "base": {"experiment": "x"}, "bogus": 1})
+
+    def test_missing_base_rejected(self):
+        with pytest.raises(ValidationError, match="'base'"):
+            SweepTemplate.from_dict({"name": "t"})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValidationError, match="non-empty list"):
+            _template(axes={"n": []})
+
+    def test_object_point_without_fields_rejected(self):
+        with pytest.raises(ValidationError, match="no field assignments"):
+            _template(axes={"panel": [{"label": "only-a-label"}]})
+
+    def test_base_spec_errors_surface_with_field_name(self):
+        with pytest.raises(ValidationError, match="'metric'"):
+            _template(base={"experiment": "x", "metric": "nope", "seed": 1})
+
+
+class TestSpecKey:
+    def test_key_is_stable_and_content_sensitive(self):
+        cells = _template().expand()
+        assert cells[0].key == spec_key(cells[0].spec)
+        assert cells[0].key != cells[1].key
+        assert len(cells[0].key) == 32
+
+
+class TestCorpusLoading:
+    def test_include_resolves_relative_and_flattens(self, tmp_path):
+        child = {
+            "name": "child",
+            "base": {"experiment": "fig1-delay-ping", "n": 12, "seed": 1},
+        }
+        (tmp_path / "child.json").write_text(json.dumps(child))
+        (tmp_path / "corpus.json").write_text(
+            json.dumps({"name": "corpus", "include": ["child.json", "child.json"]})
+        )
+        templates = load_templates(str(tmp_path / "corpus.json"))
+        assert [t.name for t in templates] == ["child", "child"]
+
+    def test_include_cycle_rejected(self, tmp_path):
+        (tmp_path / "a.json").write_text(json.dumps({"name": "a", "include": ["b.json"]}))
+        (tmp_path / "b.json").write_text(json.dumps({"name": "b", "include": ["a.json"]}))
+        with pytest.raises(ValidationError, match="cycle"):
+            load_templates(str(tmp_path / "a.json"))
+
+    def test_missing_and_malformed_files_are_clean_errors(self, tmp_path):
+        with pytest.raises(ValidationError, match="cannot read"):
+            load_templates(str(tmp_path / "nope.json"))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            load_templates(str(bad))
+
+    def test_expand_corpus_dedupes_identical_cells(self, tmp_path):
+        child = {
+            "name": "child",
+            "base": {"experiment": "fig1-delay-ping", "n": 12, "seed": 1},
+        }
+        (tmp_path / "child.json").write_text(json.dumps(child))
+        (tmp_path / "corpus.json").write_text(
+            json.dumps({"name": "corpus", "include": ["child.json", "child.json"]})
+        )
+        cells = expand_corpus(load_templates(str(tmp_path / "corpus.json")))
+        assert len(cells) == 1
+
+
+class TestCheckedInCorpus:
+    """The shipped scenarios/ corpus must always expand cleanly."""
+
+    def test_fig_all_expands_to_registered_unique_cells(self):
+        from repro.scenario.registry import scenario_names
+
+        templates = load_templates("scenarios/fig_all.json")
+        cells = expand_corpus(templates)
+        assert len(cells) >= 12
+        names = set(scenario_names())
+        assert {cell.spec.experiment for cell in cells} <= names
+        assert len({cell.key for cell in cells}) == len(cells)
+
+    @pytest.mark.parametrize(
+        "path", ["scenarios/ci_smoke.json", "scenarios/bench_12cell.json"]
+    )
+    def test_auxiliary_corpora_expand(self, path):
+        cells = expand_corpus(load_templates(path))
+        assert cells
+        if "bench" in path:
+            assert len(cells) == 12
+
+
+class TestPartialBase:
+    def test_axis_may_supply_required_fields(self):
+        """The base can be partial: experiment arrives via an axis point."""
+        template = SweepTemplate.from_dict(
+            {
+                "name": "partial",
+                "base": {"n": 12, "seed": 1},
+                "axes": {
+                    "panel": [
+                        {"label": "ping", "experiment": "fig1-delay-ping"},
+                        {"label": "load", "experiment": "fig1-node-load", "metric": "load"},
+                    ]
+                },
+            }
+        )
+        cells = template.expand()
+        assert [c.spec.experiment for c in cells] == [
+            "fig1-delay-ping", "fig1-node-load",
+        ]
+
+    def test_missing_experiment_everywhere_is_a_clean_error(self):
+        with pytest.raises(ValidationError, match="'experiment'"):
+            SweepTemplate.from_dict(
+                {"name": "broken", "base": {"n": 12, "seed": 1}, "axes": {"n": [12]}}
+            )
+
+
+class TestExpansionErrorContext:
+    def test_bad_axis_field_in_later_point_names_template_and_cell(self):
+        """validate() probes only first points; a bad later point must
+        still fail with template/cell coordinates."""
+        template = _template(
+            axes={
+                "panel": [
+                    {"label": "ok", "experiment": "fig1-delay-ping"},
+                    {"label": "typo", "experimnt": "fig1-node-load"},
+                ]
+            }
+        )
+        with pytest.raises(ValidationError, match="template 't', cell 1"):
+            template.expand()

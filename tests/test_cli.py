@@ -42,6 +42,59 @@ class TestParser:
         assert "KEY=VALUE" in capsys.readouterr().err
 
 
+class TestListJson:
+    def test_list_json_is_a_machine_readable_registry_dump(self, capsys):
+        assert main(["list", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        names = [entry["name"] for entry in entries]
+        assert names == sorted(names)  # deterministic ordering
+        assert set(names) == set(scenario_names())
+        for entry in entries:
+            assert entry["help"]
+            assert entry["default_spec"]["experiment"] == entry["name"]
+            assert isinstance(entry["smoke_args"], list)
+
+    def test_list_json_specs_round_trip(self, capsys):
+        assert main(["list", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        for entry in entries:
+            ScenarioSpec.from_dict(entry["default_spec"])
+
+
+class TestSpecErrorReporting:
+    def test_invalid_spec_field_named_in_exit2_message(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        spec = default_spec("fig1-delay-ping").to_dict()
+        spec["n"] = 1
+        path.write_text(json.dumps(spec))
+        assert main(["run", "--spec", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "invalid scenario field 'n'" in err
+        assert str(path) in err
+
+    def test_multiple_invalid_fields_all_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        spec = default_spec("fig1-delay-ping").to_dict()
+        spec["n"] = 1
+        spec["metric"] = "nope"
+        spec["epochs"] = -3
+        path.write_text(json.dumps(spec))
+        assert main(["run", "--spec", str(path)]) == 2
+        err = capsys.readouterr().err
+        for fragment in ("'n'", "'metric'", "'epochs'", "invalid scenario fields"):
+            assert fragment in err
+
+    def test_wrongly_typed_field_reported_with_type(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        spec = default_spec("fig1-delay-ping").to_dict()
+        spec["n"] = "fifty"
+        path.write_text(json.dumps(spec))
+        assert main(["run", "--spec", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "invalid scenario field 'n'" in err
+        assert "wrong type" in err
+
+
 class TestRun:
     def test_run_overheads_prints_table(self, capsys):
         code = main(["run", "overheads", "--n", "50", "--k", "2,5"])
@@ -147,3 +200,109 @@ class TestSpecRoundTrip:
         )
         assert code == 0
         assert "link-state measured (bps, simulated)" in capsys.readouterr().out
+
+
+class TestSweep:
+    TEMPLATE = {
+        "name": "cli-sweep",
+        "base": {
+            "experiment": "fig1-delay-ping",
+            "n": 10,
+            "k_grid": [2],
+            "br_rounds": 1,
+            "seed": 3,
+        },
+        "axes": {
+            "panel": [
+                {"label": "ping", "experiment": "fig1-delay-ping", "metric": "delay-ping"},
+                {"label": "load", "experiment": "fig1-node-load", "metric": "load"},
+            ]
+        },
+    }
+
+    def _write_template(self, tmp_path):
+        path = tmp_path / "template.json"
+        path.write_text(json.dumps(self.TEMPLATE))
+        return str(path)
+
+    def test_dry_run_plans_without_running(self, tmp_path, capsys):
+        template = self._write_template(tmp_path)
+        store = tmp_path / "store"
+        code = main(["sweep", template, "--dry-run", "--store", str(store)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 cells (0 complete)" in out
+        assert "pending" in out
+        assert not list(store.glob("*.json"))  # nothing executed
+
+    def test_dry_run_json_plan(self, tmp_path, capsys):
+        template = self._write_template(tmp_path)
+        code = main(
+            ["sweep", template, "--dry-run", "--json", "--store", str(tmp_path / "s")]
+        )
+        assert code == 0
+        plan = json.loads(capsys.readouterr().out)
+        assert plan["total"] == 2 and plan["complete"] == 0
+        assert [cell["experiment"] for cell in plan["cells"]] == [
+            "fig1-delay-ping",
+            "fig1-node-load",
+        ]
+        assert all(len(cell["key"]) == 32 for cell in plan["cells"])
+
+    def test_sweep_runs_aggregates_and_resumes(self, tmp_path, capsys):
+        template = self._write_template(tmp_path)
+        store = str(tmp_path / "store")
+        output = tmp_path / "agg"
+        assert main(
+            ["sweep", template, "--workers", "2", "--store", store,
+             "--output", str(output)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SWEEP total=2 executed=2 skipped=0 workers=2" in out
+        assert "fig1-node-load" in out
+        assert (output / "fig1-delay-ping.json").exists()
+        assert json.loads((output / "summary.json").read_text())["report"]["total"] == 2
+        # Resume: both cells are complete, nothing re-executes.
+        assert main(["sweep", template, "--resume", "--store", store]) == 0
+        assert "SWEEP total=2 executed=0 skipped=2 workers=1" in capsys.readouterr().out
+        # Dry-run agrees the store is complete.
+        assert main(["sweep", template, "--dry-run", "--store", store]) == 0
+        assert "2 cells (2 complete)" in capsys.readouterr().out
+
+    def test_sweep_resume_completes_only_missing_cells(self, tmp_path, capsys):
+        """Kill-and-resume: delete one stored cell, --resume refills just it."""
+        template = self._write_template(tmp_path)
+        store = tmp_path / "store"
+        assert main(["sweep", template, "--store", str(store)]) == 0
+        capsys.readouterr()
+        victim = sorted(store.glob("*.json"))[0]
+        victim.unlink()
+        assert main(["sweep", template, "--resume", "--store", str(store)]) == 0
+        assert "executed=1 skipped=1" in capsys.readouterr().out
+        assert victim.exists()
+
+    def test_sweep_missing_template_is_exit_2(self, tmp_path, capsys):
+        assert main(["sweep", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read sweep template" in capsys.readouterr().err
+
+    def test_sweep_matches_single_runs_byte_for_byte(self, tmp_path, capsys):
+        """A sweep cell equals `repro run --spec` of the same spec."""
+        from repro.sweep import SweepStore, expand_corpus, load_templates
+
+        template = self._write_template(tmp_path)
+        store = str(tmp_path / "store")
+        assert main(["sweep", template, "--store", store]) == 0
+        capsys.readouterr()
+        cells = expand_corpus(load_templates(template))
+        cell = cells[0]
+        spec_path = tmp_path / "cell.json"
+        cell.spec.save(str(spec_path))
+        out_path = tmp_path / "single.json"
+        assert main(["run", "--spec", str(spec_path), "--output", str(out_path)]) == 0
+        single = json.loads(out_path.read_text())
+        assert SweepStore(store).get(cell.key)["result"] == single
+
+    def test_sweep_json_without_dry_run_rejected(self, tmp_path, capsys):
+        template = self._write_template(tmp_path)
+        assert main(["sweep", template, "--json"]) == 2
+        assert "--dry-run" in capsys.readouterr().err
