@@ -76,8 +76,15 @@ def test_engine_batch_epoch_sweep_speedup(benchmark, report):
 
     # Byte-identical epoch histories and series on both paths — the hard
     # gate: the lockstep prefills and fused broadcasts must not change a
-    # single decision.
-    assert batched_result.as_dict() == sequential_result.as_dict(), (
+    # single decision.  The route-cache counters in metadata["cache"]
+    # are execution diagnostics and legitimately differ between the two
+    # kernel paths (that difference *is* the point of the batch), so
+    # they are excluded from the equality.
+    batched_dict = batched_result.as_dict()
+    sequential_dict = sequential_result.as_dict()
+    batched_dict["metadata"].pop("cache", None)
+    sequential_dict["metadata"].pop("cache", None)
+    assert batched_dict == sequential_dict, (
         "engine batch: batched and sequential series diverged"
     )
 

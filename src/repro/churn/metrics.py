@@ -23,31 +23,42 @@ from repro.util.validation import ValidationError, check_positive
 
 
 def efficiency_matrix(
-    graph: OverlayGraph, *, active: Optional[Iterable[int]] = None
+    graph: Optional[OverlayGraph],
+    *,
+    active: Optional[Iterable[int]] = None,
+    distances: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Pairwise efficiency matrix over the (optionally restricted) overlay.
 
     ``result[i, j] = 1 / d_ij`` when a directed path from ``i`` to ``j``
     exists, 0 otherwise.  Rows and columns of inactive nodes are zero.
+
+    ``distances`` optionally supplies the (restricted) all-pairs
+    shortest-cost matrix — the engine's epoch scoring already computes
+    it, and the lockstep batch computes it for many deployments in one
+    stacked sweep — in which case ``graph`` may be None.
     """
-    n = graph.n
-    active_set = set(active) if active is not None else set(range(n))
-    working = graph.restricted(active_set) if active is not None else graph
-    costs = all_pairs_shortest_costs(working)
+    if distances is None:
+        n = graph.n
+        active_set = set(active) if active is not None else set(range(n))
+        working = graph.restricted(active_set) if active is not None else graph
+        distances = all_pairs_shortest_costs(working)
+    else:
+        n = distances.shape[0]
+        active_set = set(active) if active is not None else set(range(n))
+    act = np.array(sorted(active_set), dtype=int)
     eff = np.zeros((n, n))
-    for i in range(n):
-        if i not in active_set:
-            continue
-        for j in range(n):
-            if i == j or j not in active_set:
-                continue
-            d = costs[i, j]
-            if np.isfinite(d) and d > 0:
-                eff[i, j] = 1.0 / d
-            elif d == 0:
-                # Zero-cost path (identical endpoints on the metric): treat
-                # as maximally efficient rather than dividing by zero.
-                eff[i, j] = 1.0
+    if len(act) == 0:
+        return eff
+    sub = distances[np.ix_(act, act)]
+    vals = np.zeros_like(sub)
+    positive = np.isfinite(sub) & (sub > 0)
+    vals[positive] = 1.0 / sub[positive]
+    # Zero-cost path (identical endpoints on the metric): treat as
+    # maximally efficient rather than dividing by zero.
+    vals[sub == 0] = 1.0
+    np.fill_diagonal(vals, 0.0)
+    eff[np.ix_(act, act)] = vals
     return eff
 
 
@@ -68,14 +79,21 @@ def node_efficiency(
 
 
 def overlay_efficiency(
-    graph: OverlayGraph, *, active: Optional[Iterable[int]] = None
+    graph: Optional[OverlayGraph],
+    *,
+    active: Optional[Iterable[int]] = None,
+    distances: Optional[np.ndarray] = None,
 ) -> float:
-    """Mean node efficiency over the active nodes."""
-    active_list = sorted(set(active)) if active is not None else list(range(graph.n))
+    """Mean node efficiency over the active nodes.
+
+    ``distances`` forwards a precomputed all-pairs shortest-cost matrix
+    to :func:`efficiency_matrix` (``graph`` may then be None).
+    """
+    n = graph.n if graph is not None else distances.shape[0]
+    active_list = sorted(set(active)) if active is not None else list(range(n))
     if not active_list:
         return 0.0
-    eff = efficiency_matrix(graph, active=active_list)
-    n = graph.n
+    eff = efficiency_matrix(graph, active=active_list, distances=distances)
     if n < 2:
         return 0.0
     per_node = eff[active_list].sum(axis=1) / (n - 1)

@@ -139,6 +139,14 @@ def build_parser() -> argparse.ArgumentParser:
         )
         if with_run_outputs:
             command.add_argument(
+                "--verbose",
+                action="store_true",
+                help=(
+                    "print execution diagnostics after the series (route-cache "
+                    "hits/misses/repairs and hit rate for epoch-loop scenarios)"
+                ),
+            )
+            command.add_argument(
                 "--spec",
                 type=str,
                 default=None,
@@ -418,6 +426,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     print(f"# {result.figure}: {result.description}")
     print(result.table())
+    if getattr(args, "verbose", False):
+        cache = result.metadata.get("cache")
+        if cache is None:
+            print("# cache: n/a (no epoch-loop engine batches in this scenario)")
+        else:
+            print(
+                "# cache: hits={hits:.0f} misses={misses:.0f} repairs={repairs:.0f} "
+                "restamps={restamps:.0f} hit_rate={hit_rate:.3f}".format(**cache)
+            )
     if args.output:
         with open(args.output, "w") as handle:
             json.dump(result.as_dict(), handle, indent=2)

@@ -236,17 +236,21 @@ class Metric(abc.ABC):
 
     def all_node_costs(
         self,
-        graph: OverlayGraph,
+        graph: Optional[OverlayGraph],
         preferences: Optional[np.ndarray] = None,
         *,
         nodes: Optional[Iterable[int]] = None,
         destinations: Optional[Iterable[int]] = None,
+        route_values: Optional[np.ndarray] = None,
     ) -> Dict[int, float]:
         """Costs of all (or the given) nodes over ``graph``.
 
         Route values for every requested node are computed in one batched
         sweep (:meth:`route_values_rows`) rather than one single-source
-        query per node.
+        query per node; callers that already hold the
+        ``len(nodes) x n`` route-value rows (the lockstep engine batch
+        scores every deployment's epoch through one stacked sweep) pass
+        them via ``route_values``, in which case ``graph`` may be None.
         """
         node_list = list(nodes) if nodes is not None else list(range(self.size))
         if not node_list:
@@ -254,7 +258,11 @@ class Metric(abc.ABC):
         if preferences is None:
             preferences = uniform_preferences(self.size)
         dest_list = list(destinations) if destinations is not None else None
-        values = self.route_values_rows(graph, node_list)
+        values = (
+            route_values
+            if route_values is not None
+            else self.route_values_rows(graph, node_list)
+        )
         return {
             i: self._weighted_cost(i, values[row], preferences, dest_list)
             for row, i in enumerate(node_list)

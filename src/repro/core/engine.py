@@ -35,9 +35,23 @@ from repro.core.providers import MetricProvider
 from repro.core.route_cache import ResidualRouteCache, metric_fingerprint
 from repro.core.wiring import GlobalWiring, Wiring
 from repro.routing.linkstate import LinkStateProtocol
+from repro.routing.shortest_path import all_pairs_shortest_costs
 from repro.util.rng import SeedLike, as_generator, spawn_generators
 from repro.util.simclock import SimClock
 from repro.util.validation import ValidationError
+
+#: Sanity bound on how many accumulated re-wires a single repair may
+#: span.  The kernels stay exact (and internally fall back to one
+#: C-level sweep of the shared tables once the suspect region grows),
+#: so the cap only exists to skip hopeless changelog walks.
+_REPAIR_CHANGED_CAP = 256
+
+#: Repair-vs-recompute bound for a sequential re-wiring opportunity:
+#: past this suspect fraction the incremental rounds cost about as much
+#: as the fresh sweep the evaluator would run anyway, so the entry is
+#: dropped and the sweep keeps its job.  Small-delta staleness — the
+#: quiet-epoch re-wired case — stays far below the bound.
+_STEP_REPAIR_MAX_SUSPECT = 0.25
 
 
 class _LazyResidualGraph:
@@ -344,23 +358,126 @@ class EgoistEngine:
             metric_fp=metric_fp,
         )
 
+    def repair_route_entry(
+        self,
+        plan: EpochPlan,
+        node_id: int,
+        hops: Optional[Tuple[int, ...]] = None,
+        *,
+        tables=None,
+        max_fraction: Optional[float] = None,
+    ) -> bool:
+        """Try to bring ``node_id``'s cached residual matrix up to date.
+
+        The route cache's *re-wired* case: an entry stamped with an older
+        wiring version — but the same announced metric and membership —
+        can be repaired through the incremental dynamic-SSSP kernels when
+        the :class:`GlobalWiring` changelog still covers the re-wires in
+        between, instead of being recomputed by a fresh sweep.  Repaired
+        matrices are bit-identical to the fresh sweep, so decisions never
+        change; only wall-clock does.
+
+        ``tables`` optionally supplies shared repair tables over the full
+        active wiring (or a zero-argument factory for them — they are
+        only materialised once a repairable entry is actually found), in
+        which case the kernels exclude ``node_id``'s out-links
+        themselves; without it the engine builds the node's dense
+        residual directly.  ``max_fraction`` forwards the repair-vs-
+        recompute bound of :meth:`ResidualRouteCache.repair`: every
+        caller has *some* fresh path (the batch's stacked sweeps, the
+        evaluator's own sweep) that wins once most of the matrix is
+        suspect anyway.
+
+        Returns True when the cache holds a currently-valid entry for the
+        node after the call (whether it was already valid, re-stamped, or
+        repaired).
+        """
+        cache = self.route_cache
+        if cache is None or plan.metric_fp is None:
+            return False
+        if hops is None:
+            hops = tuple(c for c in plan.active_list if c != node_id)
+        token = (self.wiring.version, plan.metric_fp, plan.active_key)
+        info = cache.entry_info(node_id)
+        if info is None:
+            return False
+        entry_token, entry_hops = info
+        if entry_token == token and entry_hops == hops:
+            return True
+        if not (isinstance(entry_token, tuple) and len(entry_token) == 3):
+            return False
+        old_version, old_fp, _old_key = entry_token
+        if old_fp != plan.metric_fp or not isinstance(old_version, int):
+            return False
+        if self.wiring.version - old_version > self.n:
+            # More bumps than nodes since the entry was stored: close to
+            # everything re-wired at least once, so the suspect screen
+            # would refuse anyway — skip the changelog walk entirely.
+            return False
+        # A membership change needs no special case: the departures'
+        # link removals (and the survivors' dropped links) all went
+        # through set_wiring/remove_wiring, so the changelog *is* the
+        # delta, and the cache re-slices the rows to the new hop tuple.
+        changed = self.wiring.changed_since(old_version)
+        if changed is None:
+            return False
+        changed.discard(node_id)
+        if len(changed) > _REPAIR_CHANGED_CAP:
+            return False
+        if max_fraction is not None and len(changed) > max(3, max_fraction * self.n):
+            # With this many distinct re-wired nodes the suspect screen
+            # is all but certain to refuse; skip straight to the fresh
+            # path without paying for the screen.
+            return False
+        cache.set_token(token)
+        adjacency = None
+        exclude = None
+        if changed:
+            if tables is not None:
+                exclude = node_id
+            else:
+                # Deferred like the shared tables: only a repair that
+                # survives the refusal screen pays for the dense build.
+                adjacency = lambda: self.wiring.dense_residual(  # noqa: E731
+                    node_id, plan.active_list
+                )
+        return (
+            cache.repair(
+                node_id,
+                changed,
+                adjacency,
+                maximize=plan.announced.maximize,
+                exclude=exclude,
+                tables=tables if changed else None,
+                max_fraction=max_fraction,
+                new_hops=hops,
+            )
+            is not None
+        )
+
     def step_node(self, plan: EpochPlan) -> bool:
         """Run the next node's re-wiring opportunity of ``plan``.
 
         Returns whether the node actually re-wired.  The residual graph is
-        lazy: on a route-cache hit (quiescent epochs, or matrices injected
-        by :class:`~repro.core.engine_batch.EngineBatch`) it is never
-        built.
+        lazy: on a route-cache hit (quiescent epochs, matrices injected by
+        :class:`~repro.core.engine_batch.EngineBatch`, or a stale entry
+        repaired via :meth:`repair_route_entry`) it is never built.
         """
         node_id = plan.order[plan.pos]
         plan.pos += 1
         node = self.nodes[node_id]
         residual = _LazyResidualGraph(self.wiring, node_id, plan.active_list)
+        candidates = [c for c in plan.active_list if c != node_id]
         if self.route_cache is not None:
             self.route_cache.set_token(
                 (self.wiring.version, plan.metric_fp, plan.active_key)
             )
-        candidates = [c for c in plan.active_list if c != node_id]
+            self.repair_route_entry(
+                plan,
+                node_id,
+                hops=tuple(candidates),
+                max_fraction=_STEP_REPAIR_MAX_SUSPECT,
+            )
         evaluator = WiringEvaluator(
             node=node_id,
             metric=plan.announced,
@@ -389,19 +506,51 @@ class EgoistEngine:
             plan.rewirings += 1
         return decision.rewired
 
-    def finish_epoch(self, plan: EpochPlan) -> EpochRecord:
-        """Score the finished epoch and advance the clock and substrate."""
-        graph = self.wiring.to_graph(active=plan.active_list)
+    def finish_epoch(
+        self,
+        plan: EpochPlan,
+        *,
+        route_values: Optional[np.ndarray] = None,
+        distances: Optional[np.ndarray] = None,
+    ) -> EpochRecord:
+        """Score the finished epoch and advance the clock and substrate.
+
+        ``route_values`` (per-active-node routing values over the built
+        overlay, in ``active_list`` order) and ``distances`` (the
+        all-pairs shortest-cost matrix the efficiency metric reduces)
+        are optional precomputed inputs — the lockstep batch scores all
+        its deployments' epochs through stacked sweeps and hands the
+        slices in, bit-identical to the sweeps below.  Running
+        sequentially, an additive-metric epoch that needs the efficiency
+        metric derives both from a single sweep instead of two.
+        """
+        graph = None
+        if route_values is None or (self.compute_efficiency and distances is None):
+            graph = self.wiring.to_graph(active=plan.active_list)
+        if (
+            self.compute_efficiency
+            and distances is None
+            and not plan.truth.maximize
+        ):
+            # One all-pairs sweep serves both the cost objective (its
+            # active rows are exactly the multi-source sweep's rows) and
+            # the efficiency reduction.
+            distances = all_pairs_shortest_costs(graph)
+            if route_values is None:
+                route_values = distances[np.asarray(plan.active_list, dtype=int)]
+        if route_values is None:
+            route_values = plan.truth.route_values_rows(graph, plan.active_list)
         costs = plan.truth.all_node_costs(
             graph,
             self.preferences,
             nodes=plan.active_list,
             destinations=plan.active_list,
+            route_values=route_values,
         )
         mean_cost = float(np.mean(list(costs.values()))) if costs else float("nan")
         social = float(np.sum(list(costs.values()))) if costs else float("nan")
         efficiency = (
-            overlay_efficiency(graph, active=plan.active_list)
+            overlay_efficiency(graph, active=plan.active_list, distances=distances)
             if self.compute_efficiency
             else float("nan")
         )

@@ -22,9 +22,21 @@ route-value matrices its upcoming re-wiring opportunities will ask for:
   makes whole-round speculation worthwhile.
 
 Wave sizes adapt per engine exactly like the deployment batch: they grow
-while nothing re-wires and reset whenever the engine's wiring (topology
-*or* announced weights) changes, since a wiring-version bump invalidates
-the speculative entries through the cache token anyway.
+while nothing re-wires and fall back to single-step lookahead while
+re-wires keep falsifying the speculative chain.
+
+Dynamic membership (the Fig. 2 churn path) is first-class: fused
+re-wiring broadcasts pad each engine's hop/destination axes to the
+group's widest member and reduce over per-engine compact prefixes, so
+churned-down engines share the same kernels as full ones; join/leave
+events between epochs re-derive the active mask instead of rebuilding
+the batch; and the engines' residual route caches are kept warm through
+the *incremental repair* kernels
+(:func:`repro.routing.shortest_path.repair_shortest_rows` /
+:func:`repro.routing.widest_path.repair_widest_rows`) — a re-wire or a
+membership delta becomes a masked update of the cached matrices (exact,
+see the kernels) instead of a full invalidation, with the
+:meth:`GlobalWiring.changed_since` changelog supplying the deltas.
 
 Byte identity
 -------------
@@ -59,10 +71,12 @@ from repro.core.node import RewireMode
 from repro.core.policies import BestResponsePolicy, NeighborSelectionPolicy
 from repro.core.providers import MetricProvider
 from repro.core.wiring import Wiring
+from repro.routing.shortest_path import shortest_inbound_tables
 from repro.routing.widest_path import (
     CLOSURE_MAX_NODES,
     bottleneck_avoid_one,
     bottleneck_closure_fw,
+    widest_inbound_tables,
 )
 from repro.util.rng import SeedLike
 from repro.util.validation import ValidationError
@@ -72,6 +86,20 @@ from repro.util.validation import ValidationError
 #: ``(blocks*n)^2`` distance output — not the Dijkstra itself — dominates;
 #: a tighter cap than the deployment sweep's keeps that output near 8 MB.
 _ENGINE_BLOCK_NODES = 1024
+
+#: Wave cap while re-wires keep breaking the speculative chain: under
+#: sustained re-wiring a planned-ahead entry is usually falsified (and at
+#: best repaired, at worst recomputed) before it is consumed, so the
+#: chain stops looking ahead entirely until a quiet streak re-earns the
+#: deeper pipeline.
+_REPAIR_WAVE_CAP = 1
+
+#: Repair-vs-recompute bound for the batch: the lockstep prefills
+#: amortise fresh sweeps across engines in C-level stacked calls, so an
+#: incremental repair only pays while the suspect region stays small.
+#: (The sequential engine applies its own, independently tuned bound —
+#: see ``repro.core.engine._STEP_REPAIR_MAX_SUSPECT``.)
+_REPAIR_MAX_SUSPECT = 0.35
 
 
 @dataclass
@@ -132,6 +160,8 @@ class _LockstepState:
         "version",
         "fusable",
         "pending",
+        "_tables",
+        "_tables_version",
     )
 
     def __init__(self, engine: EgoistEngine):
@@ -143,8 +173,14 @@ class _LockstepState:
         self.hops_rows: Dict[int, np.ndarray] = {}
         self.version = -1
         self.fusable = False
-        #: Speculative cache entries not yet consumed: node -> entry token.
-        self.pending: Dict[int, Tuple] = {}
+        #: Speculative cache entries not yet consumed:
+        #: node -> (entry token, epoch-order positions of the predicted
+        #: weight refreshes baked into the entry's residual baseline).
+        self.pending: Dict[int, Tuple[Tuple, Tuple[int, ...]]] = {}
+        #: Shared repair tables over the current dense wiring, keyed by
+        #: the wiring version they were built at.
+        self._tables = None
+        self._tables_version = -1
 
     # ------------------------------------------------------------------ #
     def begin_epoch(self) -> None:
@@ -152,14 +188,22 @@ class _LockstepState:
         self.hops_key.clear()
         self.hops_rows.clear()
         self.pending.clear()
+        # Membership (and with it the dense matrix) can change without a
+        # version bump, so the shared tables never survive an epoch.
+        self._tables = None
+        self._tables_version = -1
         self._rebuild_dense()
         self.version = self.engine.wiring.version
         self.wave = 1
         # The fused broadcasts replicate the engine step's greedy-seeded
-        # local search at full membership; engines that would take another
-        # branch — churned-down membership, exact enumeration on small
-        # candidate pools, k = 0, interpreted kernels, HybridBR, or a
-        # disabled route cache — step through their own evaluator instead.
+        # local search at any membership (churned-down engines pad their
+        # hop/destination axes to the group's widest member and reduce
+        # over their own compact prefix); engines that would take another
+        # branch — exact enumeration on small candidate pools, k = 0,
+        # interpreted kernels, HybridBR, or a disabled route cache — step
+        # through their own evaluator instead.  Join/leave events between
+        # epochs only re-derive this mask (via the re-begun plan's active
+        # list); the batch and its states persist.
         policy = self.engine.policy
         self.fusable = (
             isinstance(policy, BestResponsePolicy)
@@ -167,8 +211,7 @@ class _LockstepState:
             and policy.vectorized
             and int(self.engine.k) >= 1
             and self.engine.route_cache is not None
-            and len(self.plan.active_list) == self.engine.n
-            and self.engine.n - 1 > int(policy.exact_threshold)
+            and len(self.plan.active_list) - 1 > int(policy.exact_threshold)
         )
 
     def _rebuild_dense(self) -> None:
@@ -205,16 +248,6 @@ class _LockstepState:
     def after_step(self, node: int, rewired: bool) -> None:
         """Dense/wave/speculation bookkeeping after ``node``'s step ran."""
         self.pending.pop(node, None)
-        if rewired:
-            # The speculative chain assumed no re-wire; every pending
-            # entry was computed from a now-wrong wiring (and, since the
-            # wiring version still advanced by one, its predicted token
-            # WILL match) — drop them before any step can consume one.
-            cache = self.engine.route_cache
-            if cache is not None:
-                for other in self.pending:
-                    cache.drop(other)
-            self.pending.clear()
         version_changed = self.engine.wiring.version != self.version
         if version_changed:
             self.version = self.engine.wiring.version
@@ -224,17 +257,96 @@ class _LockstepState:
             for v, w in self.engine.wiring.weights_of(node).items():
                 if v in active_set:
                     row[v] = w
-        if rewired or (version_changed and self.plan.announced.maximize):
-            # A re-wire breaks the speculative chain; for bandwidth even
-            # an in-place weight refresh does (its prefill does not
+        settled = True
+        if rewired:
+            settled = self._settle_pending(node)
+        if (rewired and not settled) or (
+            version_changed and self.plan.announced.maximize
+        ):
+            # A dropped speculative chain starts over; for bandwidth even
+            # an in-place weight refresh resets (its prefill does not
             # speculate, and a wasted wave member costs a full n^3
-            # closure).
+            # closure).  An additive re-wire whose pending entries were
+            # all *repaired* keeps its streak — the chain is back on the
+            # real wiring, so the planned-ahead sweeps stay consumable —
+            # but under the shallow repair-mode cap.
             self.wave = 1
+        elif rewired:
+            # Not min(wave + 1, cap): with the cap at 1 this is a plain
+            # reset-to-cap; raise _REPAIR_WAVE_CAP to let repaired chains
+            # keep a deeper lookahead through sustained re-wiring.
+            self.wave = _REPAIR_WAVE_CAP
         else:
-            # Additive in-place weight refreshes are predicted by the
-            # speculative prefill, so only a re-wire resets the streak.
             cap = 8 if self.plan.announced.maximize else 16
             self.wave = min(self.wave + 1, cap)
+
+    def _settle_pending(self, rewired_node: int) -> bool:
+        """Repair (or drop) the speculative entries a re-wire falsified.
+
+        The speculative chain assumed ``rewired_node`` would refresh its
+        weights in place; every pending entry was computed from that
+        now-wrong wiring (and, since the wiring version still advanced by
+        one, its predicted token WILL match), so none may survive as is.
+        But an entry whose predicted weight refreshes have all actually
+        happened by now differs from the *current* wiring in exactly the
+        re-wired node's out-links — the incremental repair kernels bring
+        it up to date bit-exactly instead of throwing the sweep away.
+        Entries that also baked in not-yet-materialised future refreshes
+        (drifting metrics) are dropped as before.
+
+        Returns True when every pending entry was repaired onto the
+        current wiring (so the speculative streak may continue), False
+        when any had to be dropped.
+        """
+        cache = self.engine.route_cache
+        if cache is None or not self.pending:
+            dropped = bool(self.pending)
+            self.pending.clear()
+            return not dropped
+        plan = self.plan
+        position = plan.pos - 1  # the re-wired node's slot in the epoch order
+        cache.set_token(self.token())
+        maximize = plan.announced.maximize
+        all_repaired = True
+        for other, (_token, applied) in self.pending.items():
+            repaired = None
+            if all(q <= position for q in applied):
+                # One shared table of the whole overlay serves every
+                # residual repair of this settle; each call masks out
+                # its own node's out-links via ``exclude``.  Entries the
+                # screen refuses (most of the matrix suspect) are
+                # dropped and return to the stacked fresh path.
+                repaired = cache.repair(
+                    other,
+                    (rewired_node,),
+                    None,
+                    maximize=maximize,
+                    exclude=other,
+                    tables=self.repair_tables(),
+                    max_fraction=_REPAIR_MAX_SUSPECT,
+                )
+            else:
+                cache.drop(other)
+            if repaired is None:
+                all_repaired = False
+        self.pending.clear()
+        return all_repaired
+
+    def repair_tables(self):
+        """Shared repair tables over the current dense wiring (cached).
+
+        Rebuilt whenever the wiring version moves; built with each
+        metric family's edge conventions (the additive zero-nudge
+        matching ``_to_csr``; raw bandwidths for max-min).
+        """
+        version = self.engine.wiring.version
+        if self._tables is None or self._tables_version != version:
+            if self.plan.announced.maximize:
+                self._tables = widest_inbound_tables(self.dense)
+            else:
+                self._tables = shortest_inbound_tables(self.dense)
+            self._tables_version = version
+        return self._tables
 
 
 class EngineBatch:
@@ -266,6 +378,7 @@ class EngineBatch:
         self.batched = bool(batched)
         self.n = specs[0].provider.size
         self.engines: List[EgoistEngine] = [spec.build_engine() for spec in specs]
+        self._states: Optional[List[_LockstepState]] = None
 
     # ------------------------------------------------------------------ #
     def run(self, epochs: int) -> List[EngineHistory]:
@@ -278,9 +391,40 @@ class EngineBatch:
             self.run_epoch()
         return [engine.history for engine in self.engines]
 
+    def cache_stats(self) -> Dict[str, float]:
+        """Aggregated :meth:`ResidualRouteCache.stats` over all engines.
+
+        Summed counters plus the pooled hit rate — what the churn bench
+        gate and ``ExperimentResult.metadata["cache"]`` report.
+        """
+        totals = {
+            "hits": 0.0,
+            "misses": 0.0,
+            "repairs": 0.0,
+            "restamps": 0.0,
+            "entries": 0.0,
+        }
+        for engine in self.engines:
+            if engine.route_cache is None:
+                continue
+            stats = engine.route_cache.stats()
+            for key in totals:
+                totals[key] += stats[key]
+        lookups = totals["hits"] + totals["misses"]
+        totals["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
+        return totals
+
     def run_epoch(self) -> List[EpochRecord]:
-        """Advance every deployment by one wiring epoch, in lockstep."""
-        states = [_LockstepState(engine) for engine in self.engines]
+        """Advance every deployment by one wiring epoch, in lockstep.
+
+        The lockstep states persist across epochs: churn-driven join and
+        leave events between epochs re-derive each engine's active-node
+        mask (and with it the padded fused-kernel layout) inside
+        ``begin_epoch`` instead of rebuilding any batch structure.
+        """
+        if self._states is None:
+            self._states = [_LockstepState(engine) for engine in self.engines]
+        states = self._states
         for st in states:
             st.begin_epoch()
         live = [st for st in states if not st.plan.done]
@@ -313,7 +457,62 @@ class EngineBatch:
             for st in fallback:
                 st.step()
             live = [st for st in live if not st.plan.done]
-        return [st.engine.finish_epoch(st.plan) for st in states]
+        return self._finish_epochs(states)
+
+    def _finish_epochs(self, states: Sequence[_LockstepState]) -> List[EpochRecord]:
+        """Score every deployment's finished epoch through stacked sweeps.
+
+        The epoch record needs each engine's routing values over its
+        *built* overlay (the true-metric cost objective) and, for churn
+        experiments, the all-pairs distance matrix behind the efficiency
+        metric.  Both are the same multi-source sweeps the re-wiring
+        prefills already stack, so one block-diagonal Dijkstra serves
+        every additive scoring (and every bandwidth deployment's
+        efficiency distances), and one closure pass per bandwidth
+        deployment serves its bottleneck values — handed to
+        :meth:`EgoistEngine.finish_epoch`, which consumes them exactly
+        where its own (bit-identical) sweeps would run.
+        """
+        # Engines needing an additive all-pairs matrix: every additive
+        # deployment (costs + possibly efficiency), plus bandwidth
+        # deployments that compute efficiency (defined over shortest
+        # distances whatever the metric family).
+        additive = [
+            st
+            for st in states
+            if not st.plan.truth.maximize or st.engine.compute_efficiency
+        ]
+        distance_of: Dict[int, np.ndarray] = {}
+        if additive:
+            stack = np.stack([st.dense for st in additive])
+            matrices = _batched_route_matrices(
+                stack, maximize=False, block_nodes=_ENGINE_BLOCK_NODES
+            )
+            for st, matrix in zip(additive, matrices):
+                distance_of[id(st)] = matrix
+        bandwidth = [st for st in states if st.plan.truth.maximize]
+        closure_of: Dict[int, np.ndarray] = {}
+        if bandwidth:
+            stack = np.stack([st.dense for st in bandwidth])
+            matrices = _batched_route_matrices(
+                stack, maximize=True, block_nodes=_ENGINE_BLOCK_NODES
+            )
+            for st, matrix in zip(bandwidth, matrices):
+                closure_of[id(st)] = matrix
+        records = []
+        for st in states:
+            active_rows = np.asarray(st.plan.active_list, dtype=int)
+            if st.plan.truth.maximize:
+                route_values = closure_of[id(st)][active_rows]
+            else:
+                route_values = distance_of[id(st)][active_rows]
+            distances = distance_of.get(id(st)) if st.engine.compute_efficiency else None
+            records.append(
+                st.engine.finish_epoch(
+                    st.plan, route_values=route_values, distances=distances
+                )
+            )
+        return records
 
     # ------------------------------------------------------------------ #
     # Residual route-value prefills
@@ -334,7 +533,7 @@ class EngineBatch:
         then drops the not-yet-consumed entries before any step could
         match one against a wrong wiring.
         """
-        jobs: List[Tuple[_LockstepState, int, Tuple, np.ndarray]] = []
+        jobs: List[Tuple[_LockstepState, int, Tuple, Tuple[int, ...], np.ndarray]] = []
         for st in live:
             cache = st.engine.route_cache
             if cache is None:
@@ -342,38 +541,61 @@ class EngineBatch:
             cache.set_token(st.token())
             plan = st.plan
             if plan.announced.maximize:
-                missing = [
-                    node
-                    for node in plan.order[plan.pos : plan.pos + st.wave]
-                    if st.hops_of(node) and cache.get(node, st.hops_of(node)) is None
-                ]
+                # A stale-but-repairable entry (a re-wire bumped the
+                # version under an unchanged metric and membership) is
+                # brought up to date by the incremental kernel instead of
+                # joining the closure wave; the lookup that follows then
+                # finds it like any other live entry.
+                missing = []
+                for node in plan.order[plan.pos : plan.pos + st.wave]:
+                    if not st.hops_of(node):
+                        continue
+                    st.engine.repair_route_entry(
+                        plan,
+                        node,
+                        hops=st.hops_key[node],
+                        tables=st.repair_tables,
+                        max_fraction=_REPAIR_MAX_SUSPECT,
+                    )
+                    if cache.get(node, st.hops_of(node)) is None:
+                        missing.append(node)
                 if missing:
                     self._prefill_bandwidth(st, missing)
                 continue
             # Replan only when the speculative chain ran dry (or broke):
-            # while the next node's entry is valid, the earlier plan
+            # while the next node's entry is valid — possibly because the
+            # incremental repair just mended it — the earlier plan
             # already covers this round and the walk would be pure
             # overhead.
             next_node = plan.order[plan.pos]
             next_hops = st.hops_of(next_node)
-            if not next_hops or cache.get(next_node, next_hops) is not None:
+            if not next_hops:
+                continue
+            st.engine.repair_route_entry(
+                plan,
+                next_node,
+                hops=st.hops_key[next_node],
+                tables=st.repair_tables,
+                max_fraction=_REPAIR_MAX_SUSPECT,
+            )
+            if cache.get(next_node, next_hops) is not None:
                 continue
             jobs.extend(self._plan_speculative_jobs(st))
         if not jobs:
             return
-        stack = np.stack([dense for (_st, _node, _token, dense) in jobs])
+        stack = np.stack([dense for (_st, _node, _token, _applied, dense) in jobs])
         matrices = _batched_route_matrices(
             stack, maximize=False, block_nodes=_ENGINE_BLOCK_NODES
         )
-        for (st, node, token, _dense), matrix in zip(jobs, matrices):
+        for (st, node, token, applied, _dense), matrix in zip(jobs, matrices):
             st.engine.route_cache.put(
                 node, st.hops_of(node), matrix[st.hops_rows[node], :], token=token
             )
-            st.pending[node] = token
+            st.pending[node] = (token, applied)
 
     def _plan_speculative_jobs(
         self, st: _LockstepState
-    ) -> List[Tuple[_LockstepState, int, Tuple, np.ndarray]]:
+    ) -> List[Tuple[_LockstepState, int, Tuple, Tuple[int, ...], np.ndarray]]:
         """Residual jobs for ``st``'s next wave under predicted refreshes.
 
         Walks the upcoming nodes simulating each step's weight re-install
@@ -381,8 +603,13 @@ class EngineBatch:
         exactly when the refreshed weights differ (the same dict
         comparison :meth:`GlobalWiring.set_wiring` performs), and the
         predicted dense matrix tracks the refreshed rows.  Each returned
-        job carries the dense snapshot and cache token of its position in
-        the chain.
+        job carries the dense snapshot, the cache token of its position
+        in the chain, and the epoch-order positions of the predicted
+        refreshes it baked in (which is what lets
+        :meth:`_LockstepState._settle_pending` repair — rather than drop
+        — the entry when a re-wire later falsifies the chain).  A
+        stale-but-repairable entry at the head of the chain is repaired
+        in place instead of becoming a job.
         """
         engine = st.engine
         plan = st.plan
@@ -391,19 +618,33 @@ class EngineBatch:
         key = plan.active_key
         pred_version = engine.wiring.version
         pred_dense: Optional[np.ndarray] = None
-        jobs: List[Tuple[_LockstepState, int, Tuple, np.ndarray]] = []
-        for node in plan.order[plan.pos : plan.pos + st.wave]:
+        applied: List[int] = []
+        jobs: List[Tuple[_LockstepState, int, Tuple, Tuple[int, ...], np.ndarray]] = []
+        for offset, node in enumerate(plan.order[plan.pos : plan.pos + st.wave]):
             hops = st.hops_of(node)
             if hops:
                 token = (pred_version, fp, key)
-                have = st.pending.get(node) == token or (
-                    pred_version == engine.wiring.version
-                    and cache.get(node, hops) is not None
-                )
+                if offset == 0:
+                    # The caller's replan check just missed (and failed to
+                    # repair) this very node — re-probing would only skew
+                    # the hit/miss statistics.
+                    have = False
+                else:
+                    pend = st.pending.get(node)
+                    have = pend is not None and pend[0] == token
+                    if not have and pred_version == engine.wiring.version:
+                        engine.repair_route_entry(
+                            plan,
+                            node,
+                            hops=st.hops_key[node],
+                            tables=st.repair_tables,
+                            max_fraction=_REPAIR_MAX_SUSPECT,
+                        )
+                        have = cache.get(node, hops) is not None
                 if not have:
                     dense = (pred_dense if pred_dense is not None else st.dense).copy()
                     dense[node, :] = np.nan
-                    jobs.append((st, node, token, dense))
+                    jobs.append((st, node, token, tuple(applied), dense))
             # Simulate the node's in-place weight refresh (step_node
             # re-installs the current neighbours at announced weights).
             weights = engine.wiring.weights_of(node)
@@ -412,6 +653,7 @@ class EngineBatch:
                 new_weights = {v: float(row_weights[v]) for v in weights}
                 if new_weights != weights:
                     pred_version += 1
+                    applied.append(plan.pos + offset)
                     if pred_dense is None:
                         pred_dense = st.dense.copy()
                     row = pred_dense[node]
@@ -436,7 +678,15 @@ class EngineBatch:
         ``(engines x hops x destinations)`` tensor and every kernel of the
         sequential step — scoring the node's current wiring, each
         greedy-seed pass, and each local-search swap pass — becomes a
-        single broadcast over it.  The adoption rule is the engine's
+        single broadcast over it.  Membership may differ per engine: a
+        churned-down engine occupies the compact prefix of ``h = |active|
+        - 1`` hop rows and destination columns (in its evaluator's sorted
+        candidate order), the rest padded with reduction identities; its
+        padded hop lanes are pre-masked like already-taken candidates,
+        and every preference-weighted destination sum reduces over the
+        engine's own compact prefix only, so objective values — computed
+        over exactly the arrays the per-engine evaluator would reduce —
+        stay bitwise identical.  The adoption rule is the engine's
         (:meth:`~repro.core.node.EgoistNode.consider_rewiring`): BR(ε)
         with the *node's* epsilon, empty-wiring nodes adopting any
         different wiring, followed by the weight re-install and the
@@ -446,8 +696,6 @@ class EngineBatch:
         histories — are bitwise identical.
         """
         D = len(group)
-        n = self.n
-        H = n - 1
         metric0 = group[0][0].plan.announced
         maximize = bool(metric0.maximize)
         unreachable = metric0.unreachable_value
@@ -459,34 +707,81 @@ class EngineBatch:
         # then form a prefix, so per-pass kernels slice views instead of
         # masking lanes.  Order inside the group is free — engines are
         # independent and draw from their own streams.
-        pairs = sorted(group, key=lambda pair: -min(int(pair[0].engine.k), H))
+        pairs = sorted(
+            group,
+            key=lambda pair: -min(
+                int(pair[0].engine.k), len(pair[0].plan.active_list) - 1
+            ),
+        )
         group = [st for st, _resid in pairs]
         nodes = [st.plan.order[st.plan.pos] for st in group]
-        via = np.empty((D, H + 1, H))
-        prefs = np.empty((D, H))
-        directs = np.empty((D, H))
-        resid_dest = np.empty((D, H, H))
+        h_arr = np.array([len(st.plan.active_list) - 1 for st in group], dtype=int)
+        H = int(h_arr.max())
+        uniform_width = bool((h_arr == H).all())
+        via = np.full((D, H + 1, H), identity)
+        # Padded destination columns carry 0, not the reduction identity:
+        # they are never summed (every destination reduction stops at the
+        # engine's compact prefix), but they do flow through the
+        # preference multiplies, where identity-valued (infinite) cells
+        # would turn the zero preferences into NaNs and noisy warnings.
+        for d, h in enumerate(h_arr):
+            via[d, :, h:] = 0.0
+        prefs = np.zeros((D, H))
+        directs = np.zeros((D, H))
         ks = np.empty(D, dtype=int)
+        hop_ids: List[np.ndarray] = []
         for d, ((st, resid), node) in enumerate(zip(pairs, nodes)):
+            h = int(h_arr[d])
             hops_rows = st.hops_rows[node]
-            resid_dest[d] = resid[:, hops_rows]
-            directs[d] = st.plan.announced.link_weight_row(node)[hops_rows]
-            prefs[d] = st.engine.preferences[node, hops_rows]
-            ks[d] = min(int(st.engine.k), H)
-        if maximize:
-            np.minimum(directs[:, :, None], resid_dest, out=via[:, :H, :])
-        else:
-            np.add(directs[:, :, None], resid_dest, out=via[:, :H, :])
-        via[:, H, :] = identity
+            hop_ids.append(hops_rows)
+            direct = st.plan.announced.link_weight_row(node)[hops_rows]
+            directs[d, :h] = direct
+            prefs[d, :h] = st.engine.preferences[node, hops_rows]
+            if maximize:
+                np.minimum(direct[:, None], resid[:, hops_rows], out=via[d, :h, :h])
+            else:
+                np.add(direct[:, None], resid[:, hops_rows], out=via[d, :h, :h])
+            ks[d] = min(int(st.engine.k), h)
         d_idx = np.arange(D)
-        # Mirrors WiringEvaluator._via_clean: when every via value is
-        # reachable the clamp is an identity and the kernels skip it.
+        # Mirrors WiringEvaluator._via_clean per engine (over its compact
+        # block): when every via value is reachable the clamp is an
+        # identity and the kernels skip it.  A mixed group clamps for
+        # everyone — a no-op on the clean members' blocks, so still
+        # bitwise identical.
         if maximize:
-            via_clean = bool(
-                np.all(np.isfinite(via[:, :H, :]) & (via[:, :H, :] > 0))
+            via_clean = all(
+                bool(
+                    np.all(
+                        np.isfinite(via[d, :h, :h]) & (via[d, :h, :h] > 0)
+                    )
+                )
+                for d, h in enumerate(h_arr)
             )
         else:
-            via_clean = bool(np.all(np.isfinite(via[:, :H, :])))
+            via_clean = all(
+                bool(np.all(np.isfinite(via[d, :h, :h])))
+                for d, h in enumerate(h_arr)
+            )
+
+        def dest_sums(values: np.ndarray) -> np.ndarray:
+            """Per-engine destination sums over the compact prefixes.
+
+            ``values`` has destinations on the last axis (padded to the
+            group width); engine ``d`` sums its first ``h_arr[d]``
+            columns — the very same contiguous value runs its evaluator
+            would reduce, so the pairwise summations agree bit for bit
+            (a fused sum over the zero-padded width would regroup the
+            additions).
+            """
+            if uniform_width:
+                # Every engine's compact prefix is the full width: one
+                # fused reduction, row-wise identical to the per-slice
+                # sums below.
+                return values.sum(axis=-1)
+            out = np.empty(values.shape[:-1])
+            for d in range(values.shape[0]):  # a prefix of the sorted group
+                out[d] = values[d, ..., : h_arr[d]].sum(axis=-1)
+            return out
 
         def objective(rows: np.ndarray) -> np.ndarray:
             """Objective of one padded wiring per engine (rows (D, R))."""
@@ -498,7 +793,7 @@ class EngineBatch:
                 )
             else:
                 best = np.where(np.isfinite(best), best, unreachable)
-            return (prefs * best).sum(axis=1)
+            return dest_sums(prefs * best)
 
         def clamp_(values: np.ndarray) -> np.ndarray:
             if via_clean:
@@ -512,10 +807,15 @@ class EngineBatch:
 
         # --- score each node's current wiring ------------------------- #
         neighbor_rows = []
-        for st, node in zip(group, nodes):
+        for d, (st, node) in enumerate(zip(group, nodes)):
             wiring = st.engine.nodes[node].wiring
             neighbors = wiring.neighbors if wiring is not None else frozenset()
-            neighbor_rows.append([c - (c > node) for c in neighbors])
+            ids = hop_ids[d]
+            if neighbors:
+                rows = np.searchsorted(ids, sorted(neighbors))
+                neighbor_rows.append([int(r) for r in rows])
+            else:
+                neighbor_rows.append([])
         width = max(1, max(len(rows) for rows in neighbor_rows))
         existing = np.full((D, width), H, dtype=int)
         for d, rows in enumerate(neighbor_rows):
@@ -527,19 +827,25 @@ class EngineBatch:
                 # empty cost, which multiplies the *summed* preferences by
                 # the disconnection value — not bitwise the same as the
                 # padded reduction above.
-                existing_cost[d] = float(np.sum(prefs[d]) * unreachable)
+                existing_cost[d] = float(
+                    np.sum(prefs[d, : h_arr[d]]) * unreachable
+                )
 
         # --- greedy marginal-gain seeding ----------------------------- #
         k_max = int(ks.max())
         running = np.full((D, H), identity)
         taken = np.zeros((D, H), dtype=bool)
+        # Padded hop lanes behave like already-taken candidates: their
+        # scores read as the sentinel, so the argmin/argmax lanes resolve
+        # over each engine's real candidates exactly as its evaluator's.
+        taken[np.arange(H)[None, :] >= h_arr[:, None]] = True
         chosen = np.full((D, k_max), H, dtype=int)
         for step in range(k_max):
             live = int(np.count_nonzero(step < ks))  # a prefix: ks sorted desc
             trial = combine(running[:live, None, :], via[:live, :H, :])
             clamp_(trial)
             trial *= prefs[:live, None, :]
-            costs = trial.sum(axis=2)
+            costs = dest_sums(trial)
             costs[taken[:live]] = sentinel
             pos = costs.argmax(axis=1) if maximize else costs.argmin(axis=1)
             sel = d_idx[:live]
@@ -549,6 +855,11 @@ class EngineBatch:
         current_cost = objective(chosen)
 
         # --- single-swap local search --------------------------------- #
+        # Engines converge at different speeds, so each pass gathers the
+        # still-active lanes into compact tensors: per-engine values are
+        # untouched by the compression (every kernel below is engine-wise
+        # independent), so decisions stay bitwise identical while late
+        # passes stop paying for the engines that already stopped.
         current_rows = chosen
         occupied = taken
         caps = np.array([int(st.engine.policy.max_iterations) for st in group])
@@ -556,9 +867,15 @@ class EngineBatch:
         slot_range = np.arange(k_max)
         iteration = 0
         while active.any():
-            cur_vals = via[d_idx[:, None], current_rows]
+            act = np.flatnonzero(active)
+            A = len(act)
+            a_idx = np.arange(A)
+            via_a = via[act]
+            prefs_a = prefs[act]
+            rows_a = current_rows[act]
+            cur_vals = via_a[a_idx[:, None], rows_a]
             if k_max == 1:
-                loo = np.full((D, 1, H), identity)
+                loo = np.full((A, 1, H), identity)
             else:
                 order = np.argsort(cur_vals, axis=1)
                 ext_slot = order[:, -1, :] if maximize else order[:, 0, :]
@@ -574,38 +891,46 @@ class EngineBatch:
                     second[:, None, :],
                     ext[:, None, :],
                 )
-            trial = combine(loo[:, :, None, :], via[:, None, :H, :])
+            trial = combine(loo[:, :, None, :], via_a[:, None, :H, :])
             clamp_(trial)
-            trial *= prefs[:, None, None, :]
-            swap = trial.sum(axis=3)
-            swap = np.where(occupied[:, None, :], sentinel, swap)
+            trial *= prefs_a[:, None, None, :]
+            swap = np.empty((A, k_max, H))
+            if uniform_width:
+                np.sum(trial, axis=3, out=swap)
+            else:
+                for a, d in enumerate(act):
+                    swap[a] = trial[a, :, :, : h_arr[d]].sum(axis=-1)
+            swap = np.where(occupied[act][:, None, :], sentinel, swap)
             if k_max > 1:
                 swap = np.where(
-                    slot_range[None, :, None] >= ks[:, None, None], sentinel, swap
+                    slot_range[None, :, None] >= ks[act][:, None, None],
+                    sentinel,
+                    swap,
                 )
-            flat = swap.reshape(D, k_max * H)
+            flat = swap.reshape(A, k_max * H)
             pos = flat.argmax(axis=1) if maximize else flat.argmin(axis=1)
-            val = flat[d_idx, pos]
-            improved = (val > current_cost) if maximize else (val < current_cost)
-            improved &= active
-            sel = d_idx[improved]
+            val = flat[a_idx, pos]
+            improved = (val > current_cost[act]) if maximize else (val < current_cost[act])
+            sel = act[improved]
             if len(sel):
-                out_slot = pos[sel] // H
-                in_pos = pos[sel] % H
+                out_slot = pos[improved] // H
+                in_pos = pos[improved] % H
                 occupied[sel, current_rows[sel, out_slot]] = False
                 occupied[sel, in_pos] = True
                 current_rows[sel, out_slot] = in_pos
-                current_cost[sel] = val[sel]
+                current_cost[sel] = val[improved]
             iteration += 1
-            active = improved & (iteration < caps)
+            active[:] = False
+            active[sel] = iteration < caps[sel]
 
         # --- adopt per engine (consider_rewiring semantics) ------------ #
         for d, (st, node) in enumerate(zip(group, nodes)):
             engine = st.engine
             eng_node = engine.nodes[node]
             metric = st.plan.announced
+            ids = hop_ids[d]
             rows = [int(r) for r in current_rows[d, : ks[d]]]
-            new_neighbors = frozenset(r + (r >= node) for r in rows)
+            new_neighbors = frozenset(int(ids[r]) for r in rows)
             old = eng_node.wiring
             old_neighbors = (
                 frozenset(old.neighbors) if old is not None else frozenset()
@@ -627,9 +952,11 @@ class EngineBatch:
             plan.pos += 1
             if eng_node.wiring is not None:
                 direct = directs[d]
+                neighbors = sorted(eng_node.wiring.neighbors)
+                positions = np.searchsorted(ids, neighbors)
                 weights = {
-                    v: float(direct[v - (v > node)])
-                    for v in eng_node.wiring.neighbors
+                    int(v): float(direct[p])
+                    for v, p in zip(neighbors, positions)
                 }
                 engine.wiring.set_wiring(eng_node.wiring, weights)
                 engine.protocol.broadcast(

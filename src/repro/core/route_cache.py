@@ -83,6 +83,8 @@ class ResidualRouteCache:
         self.token: Optional[Hashable] = None
         self.hits: int = 0
         self.misses: int = 0
+        self.repairs: int = 0
+        self.restamps: int = 0
         self._store: "OrderedDict[int, Tuple[Hashable, Tuple[int, ...], np.ndarray]]" = (
             OrderedDict()
         )
@@ -142,6 +144,143 @@ class ResidualRouteCache:
         self._store.pop(node, None)
 
     # ------------------------------------------------------------------ #
+    # Incremental repair
+    # ------------------------------------------------------------------ #
+    def entry_info(self, node: int) -> Optional[Tuple[Hashable, Tuple[int, ...]]]:
+        """The stored entry's ``(token, hops)``, or None without one.
+
+        Unlike :meth:`get` this neither counts hit/miss statistics nor
+        touches the LRU order, and it does not require the hop tuple to
+        match — it lets the cache's owner decide whether a *stale* entry
+        is repairable (same metric, a known chain of re-wires between
+        the tokens, possibly a membership change that moved the hops)
+        before spending any work on it.
+        """
+        entry = self._store.get(node)
+        if entry is None:
+            return None
+        return entry[0], entry[1]
+
+    def repair(
+        self,
+        node: int,
+        changed_links,
+        adjacency: Optional[np.ndarray],
+        *,
+        maximize: bool,
+        exclude: Optional[int] = None,
+        tables=None,
+        max_fraction: Optional[float] = None,
+        new_hops: Optional[Tuple[int, ...]] = None,
+    ) -> Optional[np.ndarray]:
+        """Repair ``node``'s stale entry onto the cache's current token.
+
+        ``changed_links`` is the set of nodes whose out-links changed
+        between the entry's token and the current one, as established by
+        the owner (``node`` itself is ignored: its own links are outside
+        its residual graph).  ``adjacency`` is the dense ``NaN``-absent
+        announced-weight matrix of ``node``'s *current* residual graph
+        (may be None when ``changed_links`` is empty); alternatively the
+        owner passes the full overlay matrix with ``exclude=node`` (and
+        optionally precomputed in-edge ``tables``) to share one matrix
+        across many nodes' repairs.  The entry's rows
+        are repaired through the incremental dynamic-SSSP kernels
+        (:func:`repro.routing.shortest_path.repair_shortest_rows` /
+        :func:`repro.routing.widest_path.repair_widest_rows`) — bit
+        identical to the fresh sweeps they replace — and re-stamped with
+        the current token.  An empty ``changed_links`` means the
+        residual graph is unchanged and only the stamp moves.
+
+        ``max_fraction`` bounds how much of the matrix may be suspect
+        (by the kernels' coarse through-a-changed-node screen) for a
+        repair to be worth it; a stale entry beyond the bound is
+        *dropped* — it must not linger, a later token could collide —
+        and the caller recomputes through its (amortised) fresh path.
+
+        ``new_hops`` extends the repair across a *membership* change:
+        the entry's rows are re-sliced to the new hop tuple before the
+        link-delta pass — surviving hops keep their rows, joined hops
+        get the exact row of a not-yet-wired node (unreachable
+        everywhere but themselves; a joiner that has already re-wired is
+        in ``changed_links`` and is recomputed outright) — so a join or
+        leave is a masked, incremental update rather than a rebuild.
+        The caller must include every node whose out-links changed since
+        the entry's epoch (departures included) in ``changed_links``.
+
+        Returns the (repaired) matrix; None when there is no entry or
+        the repair was refused.
+        """
+        entry = self._store.get(node)
+        if entry is None:
+            return None
+        _token, hops, matrix = entry
+        # No early return on a matching token: a *speculative* entry's
+        # predicted token can collide with the real current token (a
+        # re-wire bumps the version by one exactly like the predicted
+        # refresh it displaced) while its matrix describes a wiring that
+        # never materialised.  The caller asserts the delta; the repair
+        # always runs against it.
+        changed = {int(c) for c in changed_links} - {int(node)}
+        remapped_rows = False
+        if new_hops is not None and tuple(new_hops) != hops:
+            remapped_rows = True
+            new_hops = tuple(new_hops)
+            n = matrix.shape[1]
+            row_of = {h: i for i, h in enumerate(hops)}
+            remapped = np.empty((len(new_hops), n))
+            for i, h in enumerate(new_hops):
+                j = row_of.get(h)
+                if j is not None:
+                    remapped[i] = matrix[j]
+                elif maximize:
+                    remapped[i] = 0.0
+                    remapped[i, h] = np.inf
+                else:
+                    remapped[i] = np.inf
+                    remapped[i, h] = 0.0
+            hops, matrix = new_hops, remapped
+        if changed and max_fraction is not None:
+            cols = matrix[:, sorted(changed)]
+            if maximize:
+                suspect = matrix <= cols.max(axis=1)[:, None]
+            else:
+                suspect = matrix >= cols.min(axis=1)[:, None]
+            if suspect.mean() > max_fraction:
+                self._store.pop(node, None)
+                return None
+        if changed:
+            # Resolved only past the refusal screen: shared tables and
+            # dense matrices are lazily built, so screened-out entries
+            # cost nothing beyond the screen itself.
+            if callable(tables):
+                tables = tables()
+            if callable(adjacency):
+                adjacency = adjacency()
+            sources = np.asarray(hops, dtype=int)
+            if maximize:
+                from repro.routing.widest_path import repair_widest_rows
+
+                matrix = repair_widest_rows(
+                    matrix, sources, changed, adjacency,
+                    exclude=exclude, tables=tables,
+                )
+            else:
+                from repro.routing.shortest_path import repair_shortest_rows
+
+                matrix = repair_shortest_rows(
+                    matrix, sources, changed, adjacency,
+                    exclude=exclude, tables=tables,
+                )
+            self.repairs += 1
+        elif remapped_rows:
+            self.repairs += 1
+        else:
+            self.restamps += 1
+        self._store[node] = (self.token, hops, matrix)
+        self._store.move_to_end(node)
+        return matrix
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -154,10 +293,12 @@ class ResidualRouteCache:
         return self.hits / total if total else 0.0
 
     def stats(self) -> Dict[str, float]:
-        """Hit/miss counters for benchmarks and tests."""
+        """Hit/miss/repair counters for benchmarks and tests."""
         return {
             "hits": float(self.hits),
             "misses": float(self.misses),
+            "repairs": float(self.repairs),
+            "restamps": float(self.restamps),
             "entries": float(len(self._store)),
             "hit_rate": self.hit_rate,
         }

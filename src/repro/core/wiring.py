@@ -9,8 +9,9 @@ that shortest-path routing operates on.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -100,6 +101,14 @@ class GlobalWiring:
         self._wirings: Dict[int, Wiring] = {}
         self._weights: Dict[int, Dict[int, float]] = {}
         self._version = 0
+        # One entry per version bump: (version after the change, node whose
+        # out-links changed), version-ascending.  Bounded: the residual
+        # route cache only ever repairs across a few epochs' worth of
+        # re-wires; older deltas age out and repair falls back to a fresh
+        # sweep.  Kept as a list so :meth:`changed_since` can bisect to
+        # the queried tail instead of walking the whole window.
+        self._changelog: List[Tuple[int, int]] = []
+        self._changelog_limit = max(64, 4 * self.n)
 
     @property
     def version(self) -> int:
@@ -140,13 +149,41 @@ class GlobalWiring:
         self._wirings[wiring.node] = wiring
         self._weights[wiring.node] = new_weights
         self._version += 1
+        self._log_change(wiring.node)
+
+    def _log_change(self, node: int) -> None:
+        log = self._changelog
+        log.append((self._version, node))
+        if len(log) > 2 * self._changelog_limit:
+            del log[: len(log) - self._changelog_limit]
 
     def remove_wiring(self, node: int) -> None:
         """Remove ``node``'s wiring entirely (e.g. the node went OFF)."""
         if node in self._wirings:
             self._version += 1
+            self._log_change(node)
         self._wirings.pop(node, None)
         self._weights.pop(node, None)
+
+    def changed_since(self, version: int) -> Optional[Set[int]]:
+        """Nodes whose out-links changed after ``version``, if known.
+
+        Returns the set of nodes behind every version bump in
+        ``(version, current]`` — exactly what the residual route cache's
+        incremental repair needs — or ``None`` when the bounded changelog
+        no longer reaches back that far (or ``version`` is from the
+        future), in which case the caller must fall back to a fresh
+        sweep.
+        """
+        if version == self._version:
+            return set()
+        if version > self._version:
+            return None
+        log = self._changelog
+        if len(log) < self._version - max(version, 0):
+            return None
+        start = bisect.bisect_right(log, (version, self.n))
+        return {node for _v, node in log[start:]}
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -223,6 +260,22 @@ class GlobalWiring:
         opportunity in the engine's epoch loop.
         """
         return OverlayGraph.from_weight_maps(self.n, self._weight_rows(active, node))
+
+    def dense_residual(
+        self, node: int, active: Optional[Iterable[int]] = None
+    ) -> np.ndarray:
+        """Dense ``NaN``-absent weight matrix of ``S_{-node}``.
+
+        The matrix form of :meth:`residual_graph`, feeding the
+        incremental repair kernels of the residual route cache (which
+        relax over dense in-edge tables rather than an
+        :class:`OverlayGraph`).
+        """
+        dense = np.full((self.n, self.n), np.nan)
+        for other, weights in self._weight_rows(active, node):
+            for v, w in weights.items():
+                dense[other, v] = w
+        return dense
 
     def announcements(self) -> Dict[int, Dict[int, float]]:
         """Per-node link announcements (node -> {neighbor: cost})."""

@@ -10,7 +10,14 @@ churn-rate) — pair is one engine deployment, and the whole grid advances
 in lockstep through :class:`~repro.core.engine_batch.EngineBatch`
 (``batched=True`` shares the residual route-value sweeps and fuses the
 re-wiring scoring across deployments; ``batched=False`` preserves the
-sequential engine byte-for-byte).
+sequential engine byte-for-byte).  Dynamic membership rides the same
+fused path: churned-down engines take the masked (padded) re-wiring
+broadcasts, join/leave events between epochs only re-derive each
+engine's active mask, and the per-engine route caches absorb re-wires
+and membership deltas through the incremental repair kernels instead of
+full invalidations — the results' ``metadata["cache"]`` records the
+aggregate hit/miss/repair counters (``repro run --verbose`` prints
+them), which is how cache effectiveness under churn is tracked.
 """
 
 from __future__ import annotations

@@ -17,12 +17,20 @@ Two implementations are provided:
 Unreachable destinations get cost ``disconnection_cost`` — the paper's
 ``M >> n`` convention — so that best responses are strongly incentivised to
 re-connect partitions.
+
+A third entry point, :func:`repair_shortest_rows`, is the dynamic-SSSP
+kernel behind the residual route cache's churn-time repairs: given
+distance rows computed on an *earlier* version of the graph and the set
+of nodes whose out-links changed since (one re-wire changes exactly one
+node's out-links), it recomputes only the destinations whose values can
+pass through changed links and returns rows bit-identical to a fresh
+sweep of the new graph.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 from scipy.sparse import csr_matrix
@@ -99,6 +107,216 @@ def shortest_path_costs_multi(
     if not np.isinf(disconnection_cost):
         dist[np.isinf(dist)] = disconnection_cost
     return dist
+
+
+def _inbound_tables(
+    weights: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Destination-grouped in-edge arrays of a dense NaN-absent matrix.
+
+    Returns ``(src, w, starts, dests)``: the edge list sorted by
+    destination (``src[e] -> dests-segment containing e`` with weight
+    ``w[e]``), plus the ``reduceat`` segment starts and the distinct
+    destinations that have in-edges at all.  One relaxation round is
+    then a gather + segmented reduction — no padding to the maximum
+    in-degree.  The diagonal is never an edge (the overlay has no
+    self-loops).  Callers repairing many residual variants of one
+    overlay build the tables once and mask per variant (see the
+    ``exclude`` parameter of :func:`repair_shortest_rows`).
+    """
+    present = ~np.isnan(weights)
+    np.fill_diagonal(present, False)
+    dst, src = np.nonzero(present.T)  # destination-major edge order
+    w = weights[src, dst]
+    dests, starts = np.unique(dst, return_index=True)
+    return src, w, starts, dests
+
+
+class ShortestRepairTables:
+    """Shared, lazily-built relaxation structures for one overlay version.
+
+    Stores the effective-weight matrix once (the :func:`_to_csr`
+    zero-nudge applied — which is what keeps repaired sums bit-identical
+    to the fresh sweep) and materialises the destination-grouped in-edge
+    arrays (Bellman rounds) and the source-major CSR (direct C-level
+    sweeps) only when a repair actually takes that strategy, so sharing
+    the tables across many small repairs never pays for the structures
+    they skip.
+    """
+
+    __slots__ = ("weights", "_edges", "_csr")
+
+    def __init__(self, adjacency: np.ndarray):
+        weights = np.array(adjacency, dtype=float, copy=True)
+        zero = ~np.isnan(weights) & (weights <= 0)
+        weights[zero] = 1e-12
+        self.weights = weights
+        self._edges = None
+        self._csr = None
+
+    @property
+    def edges(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        if self._edges is None:
+            self._edges = _inbound_tables(self.weights)
+        return self._edges
+
+    @property
+    def csr(self) -> csr_matrix:
+        if self._csr is None:
+            n = self.weights.shape[0]
+            present = ~np.isnan(self.weights)
+            np.fill_diagonal(present, False)
+            out_src, out_dst = np.nonzero(present)
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(np.bincount(out_src, minlength=n), out=indptr[1:])
+            self._csr = csr_matrix(
+                (
+                    self.weights[out_src, out_dst],
+                    out_dst.astype(np.int64),
+                    indptr,
+                ),
+                shape=(n, n),
+            )
+        return self._csr
+
+
+def shortest_inbound_tables(adjacency: np.ndarray) -> ShortestRepairTables:
+    """Shareable ``tables`` argument for :func:`repair_shortest_rows`."""
+    return ShortestRepairTables(adjacency)
+
+
+def repair_shortest_rows(
+    old: np.ndarray,
+    sources: np.ndarray,
+    changed: Iterable[int],
+    adjacency: np.ndarray,
+    *,
+    exclude: Optional[int] = None,
+    tables: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> np.ndarray:
+    """Repair stale shortest-path rows after a set of nodes re-wired.
+
+    Parameters
+    ----------
+    old:
+        ``(rows, n)`` distance rows, each valid for an earlier version of
+        the graph (``inf`` for unreachable — the
+        :func:`shortest_path_costs_multi` default convention).
+    sources:
+        The source node of each row.
+    changed:
+        Nodes whose *out-links* changed between the old graph and
+        ``adjacency`` (a re-wire changes exactly one node's out-links;
+        membership-preserving epochs accumulate one entry per re-wire).
+    adjacency:
+        Dense ``n x n`` announced-weight matrix of the **new** graph,
+        ``NaN`` marking absent edges.
+    exclude:
+        Optionally a node whose out-edges are treated as absent even if
+        present in ``adjacency`` — the residual-graph convention, letting
+        callers share one dense overlay matrix (and one set of in-edge
+        ``tables``) across every node's residual repair instead of
+        materialising per-node copies.
+    tables:
+        Optional precomputed :func:`shortest_inbound_tables` result for
+        that sharing.
+
+    Returns rows bit-identical to a fresh
+    :func:`shortest_path_costs_multi` sweep of the new graph.
+
+    Why an incremental update can be exact despite float addition being
+    non-associative: Dijkstra's value for a destination is the minimum
+    over all paths of the *left-associated* running sum — a well-defined
+    function of the graph, because float ``+`` is monotone, so the min
+    distributes over tail extension.  Any algorithm whose relaxations
+    are tail extensions ``dist[u] + w`` therefore converges to the same
+    bits.  The kernel re-relaxes (Bellman rounds) only a *suspect* set
+    of cells, leaving everything else its old bits, which is sound
+    because with positive weights running sums never decrease along a
+    path, and prepending a prefix to a path never decreases its
+    left-associated sum — so any old or new path through a changed link,
+    first reaching changed node ``r`` over unchanged edges (``r``'s
+    in-links are untouched), costs at least ``old[h, r]`` *and* at least
+    ``r``'s own distance to the destination (old row for vanished paths,
+    freshly recomputed row for new ones).  Destinations cheaper than
+    those bounds keep their bits; the changed nodes' own rows are
+    recomputed outright first, which is what supplies the new-row
+    bounds.
+    """
+    old = np.asarray(old, dtype=float)
+    rows, n = old.shape
+    changed = sorted({int(c) for c in changed})
+    repaired = old.copy()
+    if rows == 0 or not changed:
+        return repaired
+    if tables is None:
+        tables = shortest_inbound_tables(adjacency)
+
+    def sweep(indices: np.ndarray) -> np.ndarray:
+        csr = tables.csr
+        if exclude is not None:
+            lo = int(csr.indptr[int(exclude)])
+            hi = int(csr.indptr[int(exclude) + 1])
+            if hi > lo:
+                # An inf-weight edge is unusable for any finite distance,
+                # so masking the excluded node's out-edges this way
+                # yields the very same distances as removing them.
+                data = csr.data.copy()
+                data[lo:hi] = np.inf
+                csr = csr_matrix((data, csr.indices, csr.indptr), shape=csr.shape)
+        dist = _csgraph_dijkstra(csr, directed=True, indices=indices)
+        return np.atleast_2d(np.asarray(dist, dtype=float))
+
+    def bellman(values: np.ndarray) -> np.ndarray:
+        src, w, starts, dests = tables.edges
+        if not len(src):
+            return values
+        if exclude is not None:
+            w = np.where(src == int(exclude), np.inf, w)
+        while True:
+            cand = values[:, src] + w[None, :]
+            seg = np.minimum.reduceat(cand, starts, axis=1)
+            updated = values.copy()
+            updated[:, dests] = np.minimum(values[:, dests], seg)
+            if np.array_equal(updated, values):
+                return values
+            values = updated
+
+    sources = np.asarray(sources, dtype=int)
+    # Strategy pre-screen on the coarse suspect rule (``old[j] >=
+    # min_r old[r]``): when most of the matrix is suspect anyway — a
+    # centrally-placed re-wire — the incremental rounds cannot beat one
+    # C-level multi-source sweep of the shared CSR, which computes the
+    # same min-over-paths function and is therefore equally bit-exact.
+    coarse = old >= old[:, changed].min(axis=1)[:, None]
+    if coarse.mean() > 0.45:
+        return sweep(sources)
+    row_of = {int(s): i for i, s in enumerate(sources)}
+    # Phase 1: the changed nodes' own rows (every path from a changed
+    # node starts on a changed out-link) — recomputed outright.
+    changed_rows = [row_of[r] for r in changed if r in row_of]
+    if changed_rows:
+        repaired[changed_rows] = sweep(sources[changed_rows])
+    # Phase 2: remaining rows, relaxed over the refined suspect set.
+    suspect = np.zeros((rows, n), dtype=bool)
+    for r in changed:
+        i = row_of.get(r)
+        candidate = old >= old[:, [r]]
+        if i is not None:
+            bound = np.minimum(old[i], repaired[i])[None, :]
+            candidate &= old >= bound
+        suspect |= candidate
+    if changed_rows:
+        suspect[changed_rows, :] = False
+    suspect[np.arange(rows), sources] = False
+    if not suspect.any():
+        return repaired
+    if suspect.mean() > 0.25:
+        untouched = [i for i in range(rows) if i not in set(changed_rows)]
+        if untouched:
+            repaired[untouched] = sweep(sources[untouched])
+        return repaired
+    return bellman(np.where(suspect, np.inf, repaired))
 
 
 def shortest_path_tree(

@@ -63,16 +63,42 @@ class SimulationSession:
         spec.validate()
         self.spec = spec
         self.batched = bool(batched)
+        self._engine_batches: List[EngineBatch] = []
 
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
     def run(self):
-        """Run the scenario's registered experiment and stamp provenance."""
+        """Run the scenario's registered experiment and stamp provenance.
+
+        Epoch-loop scenarios also carry their aggregated residual
+        route-cache statistics (hits, misses, repairs, hit rate — summed
+        over every engine batch the run dispatched) as
+        ``metadata["cache"]``, so cache effectiveness under churn is
+        observable from any stored result (and printed by
+        ``repro run --verbose``).
+        """
         definition = registry.resolve(self.spec.experiment)
         result = definition.runner(self)
         result.metadata["scenario"] = self.spec.to_dict()
+        cache_stats = self.cache_stats()
+        if cache_stats is not None:
+            result.metadata["cache"] = cache_stats
         return result
+
+    def cache_stats(self) -> Optional[Dict[str, float]]:
+        """Aggregated route-cache counters of the engine batches run so
+        far (None when the scenario dispatched no epoch loops)."""
+        if not self._engine_batches:
+            return None
+        totals: Dict[str, float] = {}
+        for batch in self._engine_batches:
+            for key, value in batch.cache_stats().items():
+                if key != "hit_rate":
+                    totals[key] = totals.get(key, 0.0) + value
+        lookups = totals.get("hits", 0.0) + totals.get("misses", 0.0)
+        totals["hit_rate"] = totals.get("hits", 0.0) / lookups if lookups else 0.0
+        return totals
 
     # ------------------------------------------------------------------ #
     # Facade: substrate + configuration builders
@@ -212,7 +238,9 @@ class SimulationSession:
 
     def engine_batch(self, specs: Sequence[EngineSpec]) -> EngineBatch:
         """An epoch-loop sweep over ``specs`` on the session's kernel path."""
-        return EngineBatch(specs, batched=self.batched)
+        batch = EngineBatch(specs, batched=self.batched)
+        self._engine_batches.append(batch)
+        return batch
 
     def engine_sweep(self, specs: Sequence[EngineSpec], epochs: Optional[int] = None) -> List:
         """Run the engines for ``epochs`` (default: the spec's) in lockstep."""

@@ -1,0 +1,116 @@
+"""Property test: fused (masked) churn epochs == sequential engines.
+
+Randomised join/leave/re-wire sequences — a hypothesis-drawn trace churn
+schedule drives membership up and down while best-response dynamics
+re-wire on every opportunity — must leave the lockstep
+:class:`~repro.core.engine_batch.EngineBatch` byte-identical to the
+sequential :class:`~repro.core.engine.EgoistEngine` across all metric
+families.  This is the adversarial companion of the example-based parity
+tests in ``test_engine_batch.py``: it exercises the masked fused
+broadcasts (padded hop/destination axes at partial membership), the
+between-epoch mask re-derivation, and the incremental route-cache
+repairs, none of which may change a single decision.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.churn.models import trace_driven_churn
+from repro.core.engine import EpochRecord
+from repro.core.engine_batch import EngineBatch, EngineSpec
+from repro.core.policies import BestResponsePolicy
+from repro.core.providers import (
+    BandwidthMetricProvider,
+    DelayMetricProvider,
+    LoadMetricProvider,
+)
+from repro.netsim.bandwidth import BandwidthModel
+from repro.netsim.delayspace import DelaySpace
+from repro.netsim.load import NodeLoadModel
+from repro.util.rng import spawn_generators
+
+SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+EPOCHS = 3
+
+
+def _assert_identical(histories_a, histories_b):
+    assert len(histories_a) == len(histories_b)
+    for ha, hb in zip(histories_a, histories_b):
+        assert len(ha.records) == len(hb.records)
+        for ra, rb in zip(ha.records, hb.records):
+            for field in dataclasses.fields(EpochRecord):
+                va = getattr(ra, field.name)
+                vb = getattr(rb, field.name)
+                if isinstance(va, float) and np.isnan(va):
+                    assert np.isnan(vb), field.name
+                else:
+                    assert va == vb, field.name
+
+
+def _specs(n, seed, mean_on, mean_off, k, epsilon):
+    """Three churned deployments, one per metric family, shared schedule.
+
+    ``exact_threshold=2`` keeps best responses on the local-search
+    branch even for small candidate pools, so the fused broadcasts (not
+    the per-engine fallback) are what actually runs at these sizes.
+    """
+    base = np.random.default_rng(seed)
+    delays = base.uniform(5.0, 120.0, size=(n, n))
+    np.fill_diagonal(delays, 0.0)
+    space = DelaySpace(delays, jitter_std=1.0)
+    churn = trace_driven_churn(
+        n, EPOCHS * 60.0, mean_on=mean_on, mean_off=mean_off, seed=base
+    )
+    load_model = NodeLoadModel(n, seed=seed)
+    bw_model = BandwidthModel(n, seed=seed)
+    streams = spawn_generators(np.random.default_rng(seed + 1), 3)
+    policy = lambda: BestResponsePolicy(epsilon=epsilon, exact_threshold=2)  # noqa: E731
+    providers = [
+        DelayMetricProvider(space, estimator="true", seed=streams[0]),
+        LoadMetricProvider(load_model),
+        BandwidthMetricProvider(bw_model, seed=streams[2]),
+    ]
+    return [
+        EngineSpec(
+            label=f"family-{i}",
+            provider=provider,
+            policy=policy(),
+            k=k,
+            churn=churn,
+            epsilon=epsilon,
+            compute_efficiency=True,
+            seed=stream,
+        )
+        for i, (provider, stream) in enumerate(zip(providers, streams))
+    ]
+
+
+class TestRandomizedChurnParity:
+    @SETTINGS
+    @given(
+        st.integers(6, 12),
+        st.integers(0, 10_000),
+        st.sampled_from([60.0, 200.0, 900.0]),
+        st.sampled_from([30.0, 90.0]),
+        st.integers(1, 3),
+        st.sampled_from([0.0, 0.1]),
+    )
+    def test_fused_masked_batch_matches_sequential(
+        self, n, seed, mean_on, mean_off, k, epsilon
+    ):
+        batched = EngineBatch(
+            _specs(n, seed, mean_on, mean_off, k, epsilon), batched=True
+        ).run(EPOCHS)
+        sequential = EngineBatch(
+            _specs(n, seed, mean_on, mean_off, k, epsilon), batched=False
+        ).run(EPOCHS)
+        _assert_identical(batched, sequential)

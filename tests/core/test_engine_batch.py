@@ -263,3 +263,76 @@ class TestValidation:
             spec.route_cache_size = 0
         histories = EngineBatch(specs, batched=True).run(2)
         assert len(histories[0].records) == 2
+
+
+class TestMaskedFusedChurnPath:
+    """The Fig. 2 tentpole: churned engines take the fused branch."""
+
+    def _churned_batch(self, batched):
+        churn = trace_driven_churn(14, 4 * 60.0, mean_on=400.0, mean_off=80.0, seed=5)
+        policies = {
+            "best-response": BestResponsePolicy(exact_threshold=2),
+            "best-response-eps": BestResponsePolicy(epsilon=0.1, exact_threshold=2),
+        }
+        return EngineBatch(
+            _delay_specs(
+                14,
+                11,
+                churn=churn,
+                policies=policies,
+                k_values=(2, 3),
+                compute_efficiency=True,
+            ),
+            batched=batched,
+        )
+
+    def test_partial_membership_is_fusable(self):
+        """Churned-down engines must not fall back to sequential steps."""
+        batch = self._churned_batch(batched=True)
+        fused_partial = 0
+        fallback = 0
+        original = EngineBatch._fused_engine_steps
+
+        def spy(self, group):
+            nonlocal fused_partial
+            for st, _resid in group:
+                if len(st.plan.active_list) < st.engine.n:
+                    fused_partial += 1
+            return original(self, group)
+
+        original_step = EgoistEngine.step_node
+
+        def step_spy(engine, plan):
+            nonlocal fallback
+            fallback += 1
+            return original_step(engine, plan)
+
+        EngineBatch._fused_engine_steps = spy
+        EgoistEngine.step_node = step_spy
+        try:
+            batch.run(4)
+        finally:
+            EngineBatch._fused_engine_steps = original
+            EgoistEngine.step_node = original_step
+        assert fused_partial > 0, "no fused steps ran at partial membership"
+        assert fallback == 0, "a BR engine fell back to per-engine stepping"
+
+    def test_partial_membership_parity_and_persistent_states(self):
+        batched_batch = self._churned_batch(batched=True)
+        histories = batched_batch.run(2)
+        states_after_first = batched_batch._states
+        histories = batched_batch.run(2)  # continue on the same states
+        assert batched_batch._states is states_after_first
+        sequential = self._churned_batch(batched=False).run(4)
+        assert_histories_identical(histories, sequential)
+
+    def test_churned_cache_outperforms_sequential(self):
+        """The dynamic-membership cache story in miniature: the batch
+        serves most lookups from the cache while the sequential engines
+        miss on effectively all of them."""
+        batched_batch = self._churned_batch(batched=True)
+        batched_batch.run(4)
+        sequential_batch = self._churned_batch(batched=False)
+        sequential_batch.run(4)
+        assert batched_batch.cache_stats()["hit_rate"] > 0.4
+        assert sequential_batch.cache_stats()["hit_rate"] < 0.2

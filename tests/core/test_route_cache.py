@@ -212,3 +212,138 @@ class TestSpeculativeTokens:
         assert cache.get(0, (9,)) is None  # evicted as oldest
         assert cache.get(1, (9,)) is not None
         assert cache.get(2, (9,)) is not None
+
+
+class TestRepairPath:
+    """The incremental-repair surface of the cache (the re-wired case)."""
+
+    @staticmethod
+    def _line_dense(n, weight=1.0):
+        dense = np.full((n, n), np.nan)
+        for i in range(n - 1):
+            dense[i, i + 1] = weight
+        return dense
+
+    @staticmethod
+    def _fresh_rows(dense, sources):
+        from repro.routing.graph import OverlayGraph
+        from repro.routing.shortest_path import shortest_path_costs_multi
+
+        graph = OverlayGraph(dense.shape[0])
+        for u in range(dense.shape[0]):
+            for v in range(dense.shape[0]):
+                if not np.isnan(dense[u, v]):
+                    graph.add_edge(u, v, float(dense[u, v]))
+        return shortest_path_costs_multi(graph, list(sources))
+
+    def test_hit_rate_is_zero_before_any_lookup(self):
+        cache = ResidualRouteCache(max_entries=4)
+        assert cache.hit_rate == 0.0
+        assert not math.isnan(cache.hit_rate)
+        stats = cache.stats()
+        assert stats["hit_rate"] == 0.0
+        assert stats["hits"] == 0.0 and stats["misses"] == 0.0
+
+    def test_stats_include_repair_counters(self):
+        cache = ResidualRouteCache(max_entries=4)
+        stats = cache.stats()
+        assert stats["repairs"] == 0.0
+        assert stats["restamps"] == 0.0
+
+    def test_entry_info(self):
+        cache = ResidualRouteCache(max_entries=4)
+        cache.set_token(("v1",))
+        cache.put(3, (0, 1), np.zeros((2, 4)))
+        assert cache.entry_info(3) == (("v1",), (0, 1))
+        assert cache.entry_info(5) is None
+        # Introspection counts nothing.
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_repair_updates_matrix_and_token(self):
+        n = 5
+        old_dense = self._line_dense(n)
+        sources = [0, 1, 2, 4]  # the residual of node 3
+        old_dense[3, :] = np.nan
+        cache = ResidualRouteCache(max_entries=4)
+        cache.set_token(("old",))
+        cache.put(3, tuple(sources), self._fresh_rows(old_dense, sources))
+        # Node 1 re-wires: 1 -> 3 replaces 1 -> 2.
+        new_dense = old_dense.copy()
+        new_dense[1, :] = np.nan
+        new_dense[1, 3] = 0.5
+        cache.set_token(("new",))
+        repaired = cache.repair(3, {1}, new_dense, maximize=False)
+        assert np.array_equal(repaired, self._fresh_rows(new_dense, sources))
+        assert cache.repairs == 1
+        assert cache.get(3, tuple(sources)) is not None  # current token now
+        assert cache.hits == 1
+
+    def test_repair_with_empty_delta_restamps(self):
+        cache = ResidualRouteCache(max_entries=4)
+        cache.set_token(("old",))
+        matrix = np.ones((2, 4))
+        cache.put(1, (0, 2), matrix)
+        cache.set_token(("new",))
+        assert cache.get(1, (0, 2)) is None  # stale
+        out = cache.repair(1, set(), None, maximize=False)
+        assert out is matrix
+        assert cache.restamps == 1 and cache.repairs == 0
+        assert cache.get(1, (0, 2)) is not None
+
+    def test_repair_refusal_drops_the_entry(self):
+        n = 5
+        dense = self._line_dense(n)
+        dense[3, :] = np.nan
+        sources = [0, 1, 2, 4]
+        cache = ResidualRouteCache(max_entries=4)
+        cache.set_token(("old",))
+        cache.put(3, tuple(sources), self._fresh_rows(dense, sources))
+        cache.set_token(("new",))
+        # Changing node 0 (the line's head) makes everything suspect.
+        out = cache.repair(
+            3, {0}, dense, maximize=False, max_fraction=0.01
+        )
+        assert out is None
+        assert cache.entry_info(3) is None  # dropped, not left stale
+        assert cache.repairs == 0
+
+    def test_repair_remaps_rows_across_membership_change(self):
+        n = 6
+        # Old epoch: node 5 inactive; entry for node 0's residual.
+        old_dense = self._line_dense(n)
+        old_dense[0, :] = np.nan
+        old_dense[4, :] = np.nan  # 4 -> 5 link doesn't exist while 5 is off
+        old_hops = (1, 2, 3, 4)
+        cache = ResidualRouteCache(max_entries=4)
+        cache.set_token(("old",))
+        cache.put(0, old_hops, self._fresh_rows(old_dense, old_hops))
+        # New epoch: 5 joins (unwired), 4 re-wires to it.
+        new_dense = old_dense.copy()
+        new_dense[4, 5] = 2.0
+        new_hops = (1, 2, 3, 4, 5)
+        cache.set_token(("new",))
+        repaired = cache.repair(
+            0, {4}, new_dense, maximize=False, new_hops=new_hops
+        )
+        assert np.array_equal(repaired, self._fresh_rows(new_dense, new_hops))
+        assert cache.get(0, new_hops) is not None
+
+    def test_speculative_token_collision_still_repairs(self):
+        # A speculative entry's predicted token can equal the real
+        # current token while describing a wiring that never happened (a
+        # re-wire bumps the version by one, exactly like the predicted
+        # refresh it displaced); repair must not trust the stamp and
+        # must run the asserted delta anyway.
+        n = 5
+        predicted = self._line_dense(n)  # node 1 keeps 1 -> 2 (the prediction)
+        predicted[3, :] = np.nan
+        sources = [0, 1, 2, 4]
+        cache = ResidualRouteCache(max_entries=4)
+        cache.set_token(("v7",))
+        cache.put(3, tuple(sources), self._fresh_rows(predicted, sources), token=("v7",))
+        # Reality: node 1 re-wired to 3 instead — same version number.
+        actual = predicted.copy()
+        actual[1, :] = np.nan
+        actual[1, 3] = 0.25
+        repaired = cache.repair(3, {1}, actual, maximize=False)
+        assert np.array_equal(repaired, self._fresh_rows(actual, sources))

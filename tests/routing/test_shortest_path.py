@@ -8,6 +8,8 @@ from hypothesis import given, settings, strategies as st
 from repro.routing.graph import OverlayGraph
 from repro.routing.shortest_path import (
     all_pairs_shortest_costs,
+    repair_shortest_rows,
+    shortest_inbound_tables,
     average_path_stretch,
     path_cost,
     shortest_path,
@@ -149,3 +151,129 @@ class TestStretch:
                     graph.add_edge(i, j, direct[i, j])
         # Costs may be lower than direct (two-hop shortcuts), never higher.
         assert average_path_stretch(graph, direct) <= 1.0 + 1e-9
+
+
+def _dense_of(graph):
+    dense = np.full((graph.n, graph.n), np.nan)
+    for u, v, w in graph.edges():
+        dense[u, v] = w
+    return dense
+
+
+def _rewire(dense, node, rng, *, zero_chance=0.0):
+    """Replace ``node``'s out-links with a random new set (NaN-dense)."""
+    n = dense.shape[0]
+    new = dense.copy()
+    new[node, :] = np.nan
+    degree = int(rng.integers(0, min(n - 1, 4) + 1))
+    if degree:
+        targets = rng.choice([x for x in range(n) if x != node], size=degree, replace=False)
+        for v in targets:
+            weight = 0.0 if rng.random() < zero_chance else float(rng.uniform(0.5, 20.0))
+            new[node, int(v)] = weight
+    return new
+
+
+def _graph_of(dense):
+    graph = OverlayGraph(dense.shape[0])
+    for u in range(dense.shape[0]):
+        for v in range(dense.shape[0]):
+            if not np.isnan(dense[u, v]):
+                graph.add_edge(u, v, float(dense[u, v]))
+    return graph
+
+
+class TestRepairShortestRows:
+    """The incremental dynamic-SSSP kernel vs fresh Dijkstra sweeps."""
+
+    def test_single_rewire_bit_identical(self):
+        rng = np.random.default_rng(7)
+        graph = random_overlay(12, 2, seed=3)
+        sources = list(range(12))
+        old = shortest_path_costs_multi(graph, sources)
+        new_dense = _rewire(_dense_of(graph), 4, rng)
+        fresh = shortest_path_costs_multi(_graph_of(new_dense), sources)
+        repaired = repair_shortest_rows(old, np.array(sources), [4], new_dense)
+        assert np.array_equal(repaired, fresh)
+
+    def test_empty_change_set_is_identity(self):
+        graph = random_overlay(8, 2, seed=5)
+        old = shortest_path_costs_multi(graph, list(range(8)))
+        repaired = repair_shortest_rows(old, np.arange(8), [], _dense_of(graph))
+        assert np.array_equal(repaired, old)
+
+    def test_zero_weight_links_follow_the_csr_nudge(self):
+        # Fresh sweeps nudge zero-cost links to 1e-12; a repair must
+        # arrive at the same sums bit for bit.
+        rng = np.random.default_rng(11)
+        graph = random_overlay(10, 1, seed=9)
+        sources = list(range(10))
+        old = shortest_path_costs_multi(graph, sources)
+        new_dense = _rewire(_dense_of(graph), 2, rng, zero_chance=0.8)
+        fresh = shortest_path_costs_multi(_graph_of(new_dense), sources)
+        repaired = repair_shortest_rows(old, np.array(sources), [2], new_dense)
+        assert np.array_equal(repaired, fresh)
+
+    def test_disconnections_and_reconnections(self):
+        # Rewiring the ring node to nothing partitions the graph;
+        # restoring links reconnects it — both directions must repair to
+        # the fresh sweep exactly (inf convention included).
+        graph = line_graph([1.0, 2.0, 3.0])
+        sources = list(range(4))
+        old = shortest_path_costs_multi(graph, sources)
+        cut = _dense_of(graph)
+        cut[1, :] = np.nan  # node 1 drops its only out-link
+        fresh_cut = shortest_path_costs_multi(_graph_of(cut), sources)
+        repaired_cut = repair_shortest_rows(old, np.array(sources), [1], cut)
+        assert np.array_equal(repaired_cut, fresh_cut)
+        restored = cut.copy()
+        restored[1, 2] = 5.0
+        fresh_restored = shortest_path_costs_multi(_graph_of(restored), sources)
+        repaired_restored = repair_shortest_rows(
+            repaired_cut, np.array(sources), [1], restored
+        )
+        assert np.array_equal(repaired_restored, fresh_restored)
+
+    def test_shared_tables_and_exclude_match_residual_repair(self):
+        # The exclude/tables form (one dense overlay shared by many
+        # residual repairs) must agree with repairing an explicitly
+        # materialised residual matrix.
+        rng = np.random.default_rng(23)
+        graph = random_overlay(11, 2, seed=13)
+        dense = _dense_of(graph)
+        excluded = 6
+        residual = dense.copy()
+        residual[excluded, :] = np.nan
+        sources = [i for i in range(11) if i != excluded]
+        old = shortest_path_costs_multi(_graph_of(residual), sources)
+        new_dense = _rewire(dense, 3, rng)
+        new_residual = new_dense.copy()
+        new_residual[excluded, :] = np.nan
+        fresh = shortest_path_costs_multi(_graph_of(new_residual), sources)
+        direct = repair_shortest_rows(old, np.array(sources), [3], new_residual)
+        tables = shortest_inbound_tables(new_dense)
+        shared = repair_shortest_rows(
+            old, np.array(sources), [3], None, exclude=excluded, tables=tables
+        )
+        assert np.array_equal(direct, fresh)
+        assert np.array_equal(shared, fresh)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(4, 16),
+        st.integers(1, 3),
+        st.integers(0, 10_000),
+        st.integers(1, 3),
+    )
+    def test_randomized_multi_rewire_parity(self, n, k, seed, changes):
+        rng = np.random.default_rng(seed)
+        graph = random_overlay(n, min(k, n - 2), seed=seed)
+        sources = list(range(n))
+        old = shortest_path_costs_multi(graph, sources)
+        dense = _dense_of(graph)
+        changed = rng.choice(n, size=min(changes, n), replace=False)
+        for node in changed:
+            dense = _rewire(dense, int(node), rng, zero_chance=0.1)
+        fresh = shortest_path_costs_multi(_graph_of(dense), sources)
+        repaired = repair_shortest_rows(old, np.array(sources), changed, dense)
+        assert np.array_equal(repaired, fresh)

@@ -116,3 +116,21 @@ class TestReproducibility:
         fast = run_spec(spec, batched=True)
         slow = run_spec(ScenarioSpec.from_dict(spec.to_dict()), batched=False)
         assert fast.as_dict() == slow.as_dict()
+
+    def test_epoch_scenarios_carry_cache_stats(self):
+        spec = default_spec("fig3-rewirings").override(
+            n=10, k_grid=(2,), epochs=2, seed=4
+        )
+        result = run_spec(spec)
+        cache = result.metadata["cache"]
+        for key in ("hits", "misses", "repairs", "restamps", "hit_rate"):
+            assert key in cache
+        assert cache["hits"] + cache["misses"] > 0
+        assert 0.0 <= cache["hit_rate"] <= 1.0
+
+    def test_build_only_scenarios_have_no_cache_stats(self):
+        spec = default_spec("fig1-node-load").override(
+            n=12, k_grid=(2,), br_rounds=1, seed=3
+        )
+        result = run_spec(spec)
+        assert "cache" not in result.metadata

@@ -306,3 +306,21 @@ class TestSweep:
         template = self._write_template(tmp_path)
         assert main(["sweep", template, "--json"]) == 2
         assert "--dry-run" in capsys.readouterr().err
+
+
+class TestVerbose:
+    def test_verbose_prints_cache_stats_for_epoch_scenarios(self, capsys):
+        assert main(
+            ["run", "fig3-rewirings", "--n", "10", "--k", "2",
+             "--epochs", "2", "--seed", "4", "--verbose"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# cache: hits=" in out
+        assert "hit_rate=" in out
+
+    def test_verbose_on_build_only_scenarios_reports_na(self, capsys):
+        assert main(
+            ["run", "fig1-node-load", "--n", "12", "--k", "2",
+             "--br-rounds", "1", "--seed", "3", "--verbose"]
+        ) == 0
+        assert "# cache: n/a" in capsys.readouterr().out
