@@ -123,6 +123,58 @@ def churn_rate(memberships: Sequence[Set[int]], horizon: float) -> float:
     return total / horizon
 
 
+def time_to_reconverge(
+    records: Sequence, event_epoch: int, *, stable_epochs: int = 1
+) -> Optional[int]:
+    """Epochs from a failure event until the overlay stops re-wiring.
+
+    The smallest ``d >= 0`` such that the ``stable_epochs`` consecutive
+    epoch records starting at ``event_epoch + d`` all report zero
+    re-wirings — i.e. every node is content with its wiring again.
+    Returns None when the run never exhibits such a quiet window (e.g.
+    under sustained churn, or when the run ends mid-repair).
+
+    ``records`` is any sequence of objects with ``epoch`` and
+    ``rewirings`` attributes (:class:`repro.core.engine.EpochRecord`).
+    """
+    if int(stable_epochs) < 1:
+        raise ValidationError("stable_epochs must be >= 1")
+    stable = int(stable_epochs)
+    tail = [r for r in records if r.epoch >= int(event_epoch)]
+    for start in range(len(tail) - stable + 1):
+        if all(r.rewirings == 0 for r in tail[start : start + stable]):
+            return int(tail[start].epoch) - int(event_epoch)
+    return None
+
+
+def cost_overshoot(records: Sequence, event_epoch: int) -> float:
+    """Relative peak of mean cost during repair after a failure event.
+
+    ``(max post-event mean cost - pre-event baseline) / baseline``,
+    clamped at zero: how much worse the overlay transiently got while
+    routing around the failure, relative to its mean cost before the
+    event.  NaN when either window is empty or the baseline is not a
+    positive finite number.
+    """
+    event_epoch = int(event_epoch)
+    pre = [
+        r.mean_cost
+        for r in records
+        if r.epoch < event_epoch and np.isfinite(r.mean_cost)
+    ]
+    post = [
+        r.mean_cost
+        for r in records
+        if r.epoch >= event_epoch and np.isfinite(r.mean_cost)
+    ]
+    if not pre or not post:
+        return float("nan")
+    baseline = float(np.mean(pre))
+    if not np.isfinite(baseline) or baseline <= 0:
+        return float("nan")
+    return max(0.0, (float(max(post)) - baseline) / baseline)
+
+
 def expected_healing_time(epoch_length: float, n: int) -> float:
     """Expected BR self-healing time ``O(T/n)`` noted in Section 4.4.
 

@@ -344,6 +344,15 @@ def _sweep(args: argparse.Namespace) -> int:
         ),
     )
     print(f"# {report.summary()} store={store_dir}")
+    if report.failed:
+        for key, error in report.failed:
+            print(f"# cell {key[:12]} FAILED: {error}", file=sys.stderr)
+        print(
+            f"error: {len(report.failed)} of {report.total} sweep cells failed; "
+            "aggregation skipped (fix the cells and re-run with --resume)",
+            file=sys.stderr,
+        )
+        return 1
     merged = aggregate_cells(cells, store)
     for result in merged.values():
         print(f"# {result.figure}: {result.description}")
@@ -361,6 +370,7 @@ def _sweep(args: argparse.Namespace) -> int:
                 "workers": report.workers,
                 "executed": report.executed,
                 "skipped": report.skipped,
+                "failed": report.failed,
             },
             "experiments": sorted(merged),
         }

@@ -28,7 +28,8 @@ from repro.churn.models import ChurnSchedule
 from repro.core.best_response import WiringEvaluator
 from repro.core.bootstrap import BootstrapServer
 from repro.core.cheating import CheatingModel
-from repro.core.cost import Metric, uniform_preferences
+from repro.core.cost import DISCONNECTION_COST, Metric, uniform_preferences
+from repro.core.failures import FailureSpec, FailureState, mask_metric
 from repro.core.node import EgoistNode, RewireMode
 from repro.core.policies import NeighborSelectionPolicy
 from repro.core.providers import MetricProvider
@@ -115,7 +116,14 @@ class EpochPlan:
 
 @dataclass
 class EpochRecord:
-    """Summary of one wiring epoch."""
+    """Summary of one wiring epoch.
+
+    ``routes_stuck`` counts ordered active pairs whose route over the
+    built overlay is effectively dead at the end of the epoch — either
+    unreachable or priced at/beyond the disconnection value because the
+    path crosses a failed link.  Zero in healthy overlays; the resilience
+    experiments track its decay after an injected failure.
+    """
 
     epoch: int
     time: float
@@ -125,6 +133,7 @@ class EpochRecord:
     mean_efficiency: float
     social_cost: float
     linkstate_bits: int
+    routes_stuck: int = 0
 
 
 @dataclass
@@ -196,6 +205,13 @@ class EgoistEngine:
         Optional churn schedule; without it, all nodes stay ON.
     cheating:
         Optional cheating model distorting announced costs.
+    failures:
+        Optional failure-injection schedule (see
+        :class:`~repro.core.failures.FailureSpec`).  Applied at the start
+        of each epoch: down nodes leave the active set, down links are
+        dropped from the wiring (through the ordinary changelog/repair
+        path) and masked to the disconnection value in both metrics, and
+        announcement loss is routed through the link-state protocol.
     epsilon:
         BR(ε) threshold applied by every node.
     rewire_mode:
@@ -227,6 +243,7 @@ class EgoistEngine:
         announce_interval: float = 20.0,
         churn: Optional[ChurnSchedule] = None,
         cheating: Optional[CheatingModel] = None,
+        failures: Optional[FailureSpec] = None,
         epsilon: float = 0.0,
         rewire_mode: RewireMode = RewireMode.DELAYED,
         preferences: Optional[np.ndarray] = None,
@@ -251,6 +268,17 @@ class EgoistEngine:
         self.bootstrap = BootstrapServer(seed=seed)
         self._rng = as_generator(seed)
         node_rngs = spawn_generators(self._rng, self.n)
+        self.failures = failures
+        self._failure_state = (
+            FailureState(failures, self.n) if failures is not None else None
+        )
+        if failures is not None and failures.message_loss > 0.0:
+            # Spawned (not drawn) from the master stream, so enabling loss
+            # leaves every other random decision — node seeds, epoch
+            # orders — bit-identical to a loss-free run.
+            self.protocol.configure_loss(
+                failures.message_loss, spawn_generators(self._rng, 1)[0]
+            )
         self.nodes: List[EgoistNode] = [
             EgoistNode(
                 i,
@@ -282,12 +310,29 @@ class EgoistEngine:
             metric = CheatingModel(
                 metric, self.cheating.free_riders, self.cheating.inflation_factor
             ).announced_metric()
+        if self._failure_state is not None:
+            # Down links — plus restored links still inside the
+            # re-announce window — measure as disconnected.
+            metric = mask_metric(
+                metric, self._failure_state.announced_masked_links(self.clock.epoch)
+            )
+        return metric
+
+    def _true_metric(self) -> Metric:
+        metric = self.provider.true_metric()
+        if self._failure_state is not None:
+            # Ground truth unmasks the moment a link is restored.
+            metric = mask_metric(metric, self._failure_state.truth_masked_links())
         return metric
 
     def _active_nodes(self) -> Set[int]:
         if self.churn is None:
-            return set(range(self.n))
-        return self.churn.active_at(self.clock.now)
+            active = set(range(self.n))
+        else:
+            active = set(self.churn.active_at(self.clock.now))
+        if self._failure_state is not None:
+            active -= self._failure_state.down_nodes
+        return active
 
     def _handle_membership_change(self, active: Set[int]) -> None:
         departed = self._previous_active - active
@@ -311,6 +356,33 @@ class EgoistEngine:
                     self.wiring.set_wiring(node.wiring, weights)
         self._previous_active = set(active)
 
+    def _enforce_link_failures(self, active: Set[int]) -> None:
+        """Drop every currently-failed link from the overlay wiring.
+
+        Mirrors the survivor-drop path of membership changes: each
+        endpoint forgets the dead neighbour and its global wiring entry
+        is rewritten through :meth:`GlobalWiring.set_wiring`, so the
+        removal lands in the changelog and the dynamic-SSSP repair path
+        exactly like a churn departure.  Re-applied every epoch because a
+        structural policy (k-random) may re-adopt a masked link mid-epoch
+        — the adoption costs the disconnection value and is dropped again
+        here at the next epoch boundary.
+        """
+        state = self._failure_state
+        if state is None or not state.down_links:
+            return
+        for u, v in sorted(state.down_links):
+            for src, gone in ((u, v), (v, u)):
+                if src not in active:
+                    continue
+                node = self.nodes[src]
+                if node.wiring is None or gone not in node.wiring.neighbors:
+                    continue
+                if node.drop_neighbors({gone}) and node.wiring is not None:
+                    weights = self.wiring.weights_of(src)
+                    weights.pop(gone, None)
+                    self.wiring.set_wiring(node.wiring, weights)
+
     def _install_wiring(self, node_id: int, metric: Metric) -> None:
         node = self.nodes[node_id]
         if node.wiring is None:
@@ -332,10 +404,13 @@ class EgoistEngine:
         :meth:`step_node` / :meth:`finish_epoch`.
         """
         epoch = self.clock.epoch
+        if self._failure_state is not None:
+            self._failure_state.advance_to(epoch)
         active = self._active_nodes()
         self._handle_membership_change(active)
+        self._enforce_link_failures(active)
         announced = self._announced_metric()
-        truth = self.provider.true_metric()
+        truth = self._true_metric()
 
         active_list = sorted(active)
         order = list(active_list)
@@ -554,6 +629,7 @@ class EgoistEngine:
             if self.compute_efficiency
             else float("nan")
         )
+        routes_stuck = self._count_stuck_routes(plan, route_values)
         record = EpochRecord(
             epoch=plan.epoch,
             time=self.clock.now,
@@ -563,11 +639,40 @@ class EgoistEngine:
             mean_efficiency=efficiency,
             social_cost=social,
             linkstate_bits=self.protocol.stats.announcement_bits - plan.bits_before,
+            routes_stuck=routes_stuck,
         )
         self.history.records.append(record)
         self.clock.advance(self.clock.epoch_length)
         self.provider.advance(1)
         return record
+
+    def _count_stuck_routes(
+        self, plan: EpochPlan, route_values: Optional[np.ndarray]
+    ) -> int:
+        """Ordered active pairs whose route is dead at epoch end.
+
+        A pure (vectorised) reduction of the same route-value matrix the
+        cost scoring consumes, so the fused and sequential paths agree
+        bit for bit.  "Dead" means non-finite (unreachable) or at/beyond
+        the disconnection value — any path crossing a masked failed link
+        sums past :data:`~repro.core.cost.DISCONNECTION_COST` (minimised
+        metrics) or bottlenecks at zero bandwidth (maximised ones).  The
+        diagonal is excluded explicitly: self-routes are not routes (and
+        the bandwidth metric prices them at infinity).
+        """
+        if route_values is None or len(plan.active_list) < 2:
+            return 0
+        cols = np.asarray(plan.active_list, dtype=int)
+        values = np.asarray(route_values)[:, cols]
+        offdiag = np.ones(values.shape, dtype=bool)
+        np.fill_diagonal(offdiag, False)
+        if plan.truth.maximize:
+            stuck = offdiag & (~np.isfinite(values) | (values <= 0.0))
+        else:
+            stuck = offdiag & (
+                ~np.isfinite(values) | (values >= DISCONNECTION_COST)
+            )
+        return int(stuck.sum())
 
     def step_span(self, plan: EpochPlan, count: Optional[int] = None) -> int:
         """Consume up to ``count`` re-wiring opportunities of ``plan``.
@@ -611,7 +716,7 @@ class EgoistEngine:
 
     def node_costs(self, *, use_true_metric: bool = True) -> Dict[int, float]:
         """Per-node costs of the current overlay."""
-        metric = self.provider.true_metric() if use_true_metric else self._announced_metric()
+        metric = self._true_metric() if use_true_metric else self._announced_metric()
         active = sorted(self._active_nodes())
         graph = self.wiring.to_graph(active=active)
         return metric.all_node_costs(

@@ -66,6 +66,7 @@ from repro.core.deployment_batch import (
     _batched_route_matrices,
 )
 from repro.core.engine import EgoistEngine, EngineHistory, EpochPlan, EpochRecord
+from repro.core.failures import FailureSpec
 from repro.core.hybrid import HybridBRPolicy
 from repro.core.node import RewireMode
 from repro.core.policies import BestResponsePolicy, NeighborSelectionPolicy
@@ -121,6 +122,7 @@ class EngineSpec:
     announce_interval: float = 20.0
     churn: Optional[ChurnSchedule] = None
     cheating: Optional[CheatingModel] = None
+    failures: Optional[FailureSpec] = None
     epsilon: float = 0.0
     rewire_mode: RewireMode = RewireMode.DELAYED
     preferences: Optional[np.ndarray] = None
@@ -138,6 +140,7 @@ class EngineSpec:
             announce_interval=self.announce_interval,
             churn=self.churn,
             cheating=self.cheating,
+            failures=self.failures,
             epsilon=self.epsilon,
             rewire_mode=self.rewire_mode,
             preferences=self.preferences,

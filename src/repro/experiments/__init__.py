@@ -15,6 +15,7 @@ from repro.experiments.baseline import (
     fig1_node_load,
 )
 from repro.experiments.churn_exp import fig2_churn_rate_sweep, fig2_efficiency_vs_k
+from repro.experiments.failures_exp import failures_resilience
 from repro.experiments.rewiring import fig3_epsilon_comparison, fig3_rewirings_over_time
 from repro.experiments.cheating_exp import fig4_many_free_riders, fig4_one_free_rider
 from repro.experiments.sampling_exp import fig5_to_8_sampling
@@ -29,6 +30,7 @@ __all__ = [
     "fig1_delay_ping",
     "fig1_delay_pyxida",
     "fig1_node_load",
+    "failures_resilience",
     "fig2_churn_rate_sweep",
     "fig2_efficiency_vs_k",
     "fig3_epsilon_comparison",

@@ -19,8 +19,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set
 
+import numpy as np
+
 from repro.routing.graph import OverlayGraph
-from repro.routing.messages import LinkStateAnnouncement, announcement_size_bits
+from repro.routing.messages import (
+    LinkStateAnnouncement,
+    announcement_size_bits,
+    delivery_outcomes,
+)
 from repro.util.validation import ValidationError, check_index, check_positive
 
 
@@ -86,12 +92,14 @@ class ProtocolStats:
     announcements_sent: int = 0
     announcement_bits: int = 0
     flood_deliveries: int = 0
+    announcements_lost: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
         self.announcements_sent = 0
         self.announcement_bits = 0
         self.flood_deliveries = 0
+        self.announcements_lost = 0
 
 
 class LinkStateProtocol:
@@ -116,6 +124,23 @@ class LinkStateProtocol:
         self.databases: List[TopologyDatabase] = [TopologyDatabase(n) for _ in range(n)]
         self._sequence: List[int] = [0] * n
         self.stats = ProtocolStats()
+        self._loss_probability = 0.0
+        self._loss_rng: Optional[np.random.Generator] = None
+
+    def configure_loss(self, probability: float, rng: np.random.Generator) -> None:
+        """Enable probabilistic per-recipient loss of flooded announcements.
+
+        Each non-origin recipient of every broadcast independently drops
+        the announcement with ``probability`` (the origin always keeps
+        its own state).  Per broadcast, one uniform is drawn per
+        recipient in sorted order, so the loss pattern is a deterministic
+        function of the broadcast schedule and ``rng``'s seed.
+        """
+        probability = float(probability)
+        if not 0.0 <= probability < 1.0:
+            raise ValidationError("loss probability must be in [0, 1)")
+        self._loss_probability = probability
+        self._loss_rng = rng
 
     def next_sequence(self, origin: int) -> int:
         """Allocate the next LSA sequence number for ``origin``."""
@@ -156,6 +181,14 @@ class LinkStateProtocol:
         )
         recipients = set(active) if active is not None else set(range(self.n))
         recipients.add(origin)
+        if self._loss_rng is not None and self._loss_probability > 0.0:
+            others = sorted(recipients - {origin})
+            delivered = delivery_outcomes(
+                self._loss_rng, len(others), self._loss_probability
+            )
+            lost = [node for node, kept in zip(others, delivered) if not kept]
+            recipients.difference_update(lost)
+            self.stats.announcements_lost += len(lost)
         for node in recipients:
             if self.databases[node].insert(announcement):
                 self.stats.flood_deliveries += 1

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
+import numpy as np
+
 from repro.util.validation import ValidationError
 
 #: Header + padding of one link-state announcement, in bits.
@@ -91,6 +93,25 @@ def linkstate_rate_bps(num_neighbors: int, announce_interval_s: float) -> float:
     if announce_interval_s <= 0:
         raise ValidationError("announce_interval_s must be positive")
     return announcement_size_bits(num_neighbors) / float(announce_interval_s)
+
+
+def delivery_outcomes(
+    rng: np.random.Generator, count: int, loss_probability: float
+) -> np.ndarray:
+    """Per-recipient delivery fate of one flooded message.
+
+    Draws exactly ``count`` uniforms from ``rng`` — one per recipient, in
+    the caller's recipient order — and returns a boolean array where
+    ``True`` means delivered.  The fixed draw count keeps the consumed
+    random stream a pure function of the broadcast schedule, so loss
+    patterns are reproducible across runs and execution paths.
+    """
+    loss = float(loss_probability)
+    if not 0.0 <= loss < 1.0:
+        raise ValidationError("loss_probability must be in [0, 1)")
+    if int(count) < 0:
+        raise ValidationError("count must be non-negative")
+    return rng.random(int(count)) >= loss
 
 
 @dataclass(frozen=True)

@@ -25,6 +25,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.core.failures import FailureSpec
 from repro.core.hybrid import HybridBRPolicy
 from repro.core.policies import (
     BestResponsePolicy,
@@ -186,6 +187,10 @@ class ScenarioSpec:
         (0 = the paper's uniform preferences).
     churn, cheating:
         Optional churn schedule and free-rider model.
+    failures:
+        Optional failure-injection schedule (link/node outages, delayed
+        re-announce, announcement loss) — see
+        :class:`repro.core.failures.FailureSpec`.
     seed:
         Master seed (must be an integer, or None, so the spec serialises).
     params:
@@ -210,6 +215,7 @@ class ScenarioSpec:
     preference_skew: float = 0.0
     churn: Optional[ChurnSpec] = None
     cheating: Optional[CheatingSpec] = None
+    failures: Optional[FailureSpec] = None
     epoch_length: float = 60.0
     announce_interval: float = 20.0
     compute_efficiency: bool = False
@@ -284,6 +290,26 @@ class ScenarioSpec:
                 errors.append(
                     ("cheating", f"free riders must be integers, got {self.cheating.free_riders!r}")
                 )
+        if self.failures is not None:
+            try:
+                self.failures.validate()
+                for event in self.failures.events:
+                    for node in event.nodes:
+                        if not 0 <= int(node) < self.n:
+                            errors.append(
+                                ("failures", f"event node {node} out of range")
+                            )
+                    for u, v in event.links:
+                        if not (0 <= int(u) < self.n and 0 <= int(v) < self.n):
+                            errors.append(
+                                ("failures", f"event link ({u}, {v}) out of range")
+                            )
+            except ValidationError as error:
+                errors.append(("failures", str(error)))
+            except (TypeError, ValueError):
+                errors.append(
+                    ("failures", f"malformed failure events: {self.failures.events!r}")
+                )
         try:
             json.dumps(self.params)
         except TypeError as error:
@@ -320,6 +346,8 @@ class ScenarioSpec:
         if self.cheating is not None:
             data["cheating"] = asdict(self.cheating)
             data["cheating"]["free_riders"] = [int(v) for v in self.cheating.free_riders]
+        if self.failures is not None:
+            data["failures"] = self.failures.to_dict()
         data["params"] = json.loads(json.dumps(self.params))
         return data
 
@@ -356,6 +384,11 @@ class ScenarioSpec:
                 data["cheating"] = CheatingSpec(**cheating)
             except (TypeError, ValueError) as error:
                 raise ValidationError(f"invalid scenario field 'cheating': {error}")
+        if data.get("failures") is not None:
+            try:
+                data["failures"] = FailureSpec.from_dict(data["failures"])
+            except ValidationError as error:
+                raise ValidationError(f"invalid scenario field 'failures': {error}")
         spec = cls(**data)
         spec.validate()
         return spec

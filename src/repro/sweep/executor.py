@@ -32,13 +32,23 @@ from repro.util.validation import ValidationError
 
 
 def _execute_cell(payload: Tuple[int, Dict[str, object], bool]):
-    """Worker entry point: run one cell's scenario, return its result dict."""
+    """Worker entry point: run one cell's scenario, return its outcome.
+
+    Returns ``(index, result_dict, None)`` on success and
+    ``(index, None, "ExcType: message")`` on failure.  A crashing cell
+    must surface as a per-cell failure record, not as the pool's own
+    exception — ``imap_unordered`` would re-raise it in the parent and
+    abort every other in-flight cell with a bare traceback.
+    """
     index, spec_dict, batched = payload
     from repro.scenario.session import SimulationSession
 
-    spec = ScenarioSpec.from_dict(spec_dict)
-    result = SimulationSession(spec, batched=batched).run()
-    return index, result.as_dict()
+    try:
+        spec = ScenarioSpec.from_dict(spec_dict)
+        result = SimulationSession(spec, batched=batched).run()
+    except Exception as error:  # noqa: BLE001 - contained per cell by design
+        return index, None, f"{type(error).__name__}: {error}"
+    return index, result.as_dict(), None
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -55,12 +65,15 @@ class SweepReport:
     workers: int
     executed: List[str] = field(default_factory=list)
     skipped: List[str] = field(default_factory=list)
+    #: ``(cell key, error string)`` of every cell whose run raised.
+    failed: List[Tuple[str, str]] = field(default_factory=list)
 
     def summary(self) -> str:
         """One machine-greppable line (CI asserts on ``skipped=...``)."""
         return (
             f"SWEEP total={self.total} executed={len(self.executed)} "
-            f"skipped={len(self.skipped)} workers={self.workers}"
+            f"skipped={len(self.skipped)} failed={len(self.failed)} "
+            f"workers={self.workers}"
         )
 
 
@@ -95,9 +108,17 @@ def run_sweep(
     on_cell:
         Optional progress callback, invoked with each cell as its result
         is persisted.
+
+    A cell whose run raises is recorded in ``report.failed`` (key plus a
+    one-line error) and the remaining cells keep draining; nothing is
+    stored for failed cells, so a fixed-up re-run with ``resume`` picks
+    exactly them up again.
     """
     if workers < 1:
         raise ValidationError("workers must be >= 1")
+    # A sweep killed mid-write may have left .<key>.<pid>.tmp orphans
+    # behind; every sweep start reclaims the ones whose writer is gone.
+    store.purge_stale_tmp()
     report = SweepReport(total=len(cells), workers=int(workers))
     pending: List[SweepCell] = []
     for cell in cells:
@@ -114,8 +135,11 @@ def run_sweep(
         for index, cell in by_index.items()
     ]
 
-    def record(index: int, result: Dict[str, object]) -> None:
+    def record(index: int, result: Optional[Dict[str, object]], error: Optional[str]) -> None:
         cell = by_index[index]
+        if error is not None:
+            report.failed.append((cell.key, error))
+            return
         store.put(cell.key, cell.spec.to_dict(), result)
         report.executed.append(cell.key)
         if on_cell is not None:
@@ -123,12 +147,14 @@ def run_sweep(
 
     if workers == 1 or len(pending) == 1:
         for payload in payloads:
-            index, result = _execute_cell(payload)
-            record(index, result)
+            index, result, error = _execute_cell(payload)
+            record(index, result, error)
         return report
 
     context = _pool_context()
     with context.Pool(processes=min(workers, len(pending))) as pool:
-        for index, result in pool.imap_unordered(_execute_cell, payloads, chunksize=1):
-            record(index, result)
+        for index, result, error in pool.imap_unordered(
+            _execute_cell, payloads, chunksize=1
+        ):
+            record(index, result, error)
     return report

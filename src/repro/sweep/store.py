@@ -24,6 +24,24 @@ from repro.util.validation import ValidationError
 
 _KEY_PATTERN = re.compile(r"^[0-9a-f]{32}$")
 
+_TMP_PATTERN = re.compile(r"^\.([0-9a-f]{32})\.(\d+)\.tmp$")
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (conservatively True on EPERM)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        # The process exists but belongs to someone else.
+        return True
+    except OSError:
+        return True
+    return True
+
 
 class SweepStore:
     """Directory of ``<spec-hash>.json`` cell files."""
@@ -55,7 +73,7 @@ class SweepStore:
             raise ValidationError(
                 f"sweep store cell {path!r} is corrupt ({error}); delete it "
                 "and re-run the sweep to regenerate the cell"
-            )
+            ) from error
 
     def put(
         self,
@@ -73,6 +91,34 @@ class SweepStore:
             handle.write("\n")
         os.replace(tmp, path)
         return path
+
+    def purge_stale_tmp(self) -> List[str]:
+        """Remove orphaned ``.<key>.<pid>.tmp`` files; returns their names.
+
+        A sweep killed between opening a temp file and the atomic
+        ``os.replace`` leaves the temp file behind forever.  Any temp
+        file whose writer pid is no longer alive is such an orphan and is
+        reclaimed here (sweep start calls this).  Temp files owned by a
+        live pid — a concurrent sweep mid-write — and foreign files are
+        left alone.
+        """
+        removed: List[str] = []
+        if not os.path.isdir(self.root):
+            return removed
+        own_pid = os.getpid()
+        for entry in os.listdir(self.root):
+            match = _TMP_PATTERN.match(entry)
+            if match is None:
+                continue
+            pid = int(match.group(2))
+            if pid == own_pid or _pid_alive(pid):
+                continue
+            try:
+                os.unlink(os.path.join(self.root, entry))
+            except FileNotFoundError:
+                continue
+            removed.append(entry)
+        return sorted(removed)
 
     def keys(self) -> List[str]:
         """Keys of every stored cell, sorted."""

@@ -1,0 +1,146 @@
+"""Property test: fused epochs under injected failures == sequential.
+
+Randomised failure schedules — link cuts and restores, node outages,
+partitions, heals, delayed re-announce, announcement loss — must leave
+the lockstep :class:`~repro.core.engine_batch.EngineBatch` byte-identical
+to the sequential :class:`~repro.core.engine.EgoistEngine` across all
+metric families.  Failures are applied inside ``begin_epoch`` (shared by
+both paths), so parity holds by construction; this test is the
+adversarial check that the masked link removals, the changelog-driven
+cache repairs, and the new ``routes_stuck`` scoring really do keep every
+:class:`~repro.core.engine.EpochRecord` field identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.engine import EpochRecord
+from repro.core.engine_batch import EngineBatch, EngineSpec
+from repro.core.failures import FailureEvent, FailureSpec
+from repro.core.policies import BestResponsePolicy
+from repro.core.providers import (
+    BandwidthMetricProvider,
+    DelayMetricProvider,
+    LoadMetricProvider,
+)
+from repro.netsim.bandwidth import BandwidthModel
+from repro.netsim.delayspace import DelaySpace
+from repro.netsim.load import NodeLoadModel
+from repro.util.rng import spawn_generators
+
+SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+EPOCHS = 4
+
+N_MIN, N_MAX = 6, 10
+
+
+@st.composite
+def failure_specs(draw):
+    """A random schedule of 1-4 events over a fixed node range.
+
+    Node sets are capped below n/2 so node-down events never empty the
+    active set; partition sides are proper subsets for the same reason.
+    """
+    n = N_MIN  # events must be valid at the smallest drawn overlay
+    events = []
+    for _ in range(draw(st.integers(1, 4))):
+        epoch = draw(st.integers(0, EPOCHS - 1))
+        action = draw(st.sampled_from(
+            ["link-down", "link-up", "node-down", "node-up", "partition", "heal"]
+        ))
+        nodes = ()
+        links = ()
+        if action in ("link-down", "link-up"):
+            u = draw(st.integers(0, n - 2))
+            v = draw(st.integers(u + 1, n - 1))
+            links = ((u, v),)
+        elif action in ("node-down", "node-up", "partition"):
+            size = draw(st.integers(1, max(1, n // 2 - 1)))
+            nodes = tuple(
+                sorted(draw(st.sets(st.integers(0, n - 1), min_size=size, max_size=size)))
+            )
+        events.append(FailureEvent(epoch=epoch, action=action, nodes=nodes, links=links))
+    return FailureSpec(
+        events=tuple(events),
+        reannounce_delay=draw(st.integers(0, 2)),
+        message_loss=draw(st.sampled_from([0.0, 0.3])),
+    )
+
+
+def _assert_identical(histories_a, histories_b):
+    assert len(histories_a) == len(histories_b)
+    for ha, hb in zip(histories_a, histories_b):
+        assert len(ha.records) == len(hb.records)
+        for ra, rb in zip(ha.records, hb.records):
+            for field in dataclasses.fields(EpochRecord):
+                va = getattr(ra, field.name)
+                vb = getattr(rb, field.name)
+                if isinstance(va, float) and np.isnan(va):
+                    assert np.isnan(vb), field.name
+                else:
+                    assert va == vb, field.name
+
+
+def _specs(n, seed, k, epsilon, failures):
+    """Three failing deployments, one per metric family, shared schedule.
+
+    ``exact_threshold=2`` keeps best responses on the local-search branch
+    even for small candidate pools, so the fused broadcasts (not the
+    per-engine fallback) are what actually runs at these sizes.
+    """
+    base = np.random.default_rng(seed)
+    delays = base.uniform(5.0, 120.0, size=(n, n))
+    np.fill_diagonal(delays, 0.0)
+    space = DelaySpace(delays, jitter_std=1.0)
+    load_model = NodeLoadModel(n, seed=seed)
+    bw_model = BandwidthModel(n, seed=seed)
+    streams = spawn_generators(np.random.default_rng(seed + 1), 3)
+    policy = lambda: BestResponsePolicy(epsilon=epsilon, exact_threshold=2)  # noqa: E731
+    providers = [
+        DelayMetricProvider(space, estimator="true", seed=streams[0]),
+        LoadMetricProvider(load_model),
+        BandwidthMetricProvider(bw_model, seed=streams[2]),
+    ]
+    return [
+        EngineSpec(
+            label=f"family-{i}",
+            provider=provider,
+            policy=policy(),
+            k=k,
+            failures=failures,
+            epsilon=epsilon,
+            compute_efficiency=True,
+            seed=stream,
+        )
+        for i, (provider, stream) in enumerate(zip(providers, streams))
+    ]
+
+
+class TestRandomizedFailureParity:
+    @SETTINGS
+    @given(
+        st.integers(N_MIN, N_MAX),
+        st.integers(0, 10_000),
+        st.integers(1, 3),
+        st.sampled_from([0.0, 0.1]),
+        failure_specs(),
+    )
+    def test_fused_batch_matches_sequential_under_failures(
+        self, n, seed, k, epsilon, failures
+    ):
+        batched = EngineBatch(
+            _specs(n, seed, k, epsilon, failures), batched=True
+        ).run(EPOCHS)
+        sequential = EngineBatch(
+            _specs(n, seed, k, epsilon, failures), batched=False
+        ).run(EPOCHS)
+        _assert_identical(batched, sequential)

@@ -77,11 +77,64 @@ class TestExecution:
         store = SweepStore(str(tmp_path))
         run_sweep(cells, store, workers=1)
         report = run_sweep(cells, store, workers=2, resume=True)
-        assert report.summary() == "SWEEP total=4 executed=0 skipped=4 workers=2"
+        assert (
+            report.summary()
+            == "SWEEP total=4 executed=0 skipped=4 failed=0 workers=2"
+        )
 
     def test_invalid_worker_count_rejected(self, cells, tmp_path):
         with pytest.raises(ValidationError, match="workers"):
             run_sweep(cells, SweepStore(str(tmp_path)), workers=0)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_failing_cell_does_not_abort_the_sweep(self, tmp_path, workers):
+        """One crashing cell is recorded as failed; the rest keep running."""
+        template = SweepTemplate.from_dict(
+            {
+                "name": "exec-fail",
+                "base": {
+                    "experiment": "fig1-delay-ping",
+                    "n": 10,
+                    "k_grid": [2],
+                    "br_rounds": 1,
+                    "seed": 3,
+                },
+                "axes": {
+                    "panel": [
+                        {"label": "good-a", "experiment": "fig1-delay-ping"},
+                        # Template-valid but crashes at run time: the fig2
+                        # runner requires a churn spec.
+                        {"label": "bad", "experiment": "fig2-efficiency-vs-k",
+                         "metric": "delay-true", "epochs": 1},
+                        {"label": "good-b", "experiment": "fig1-node-load",
+                         "metric": "load"},
+                    ]
+                },
+            }
+        )
+        mixed = template.expand()
+        bad = mixed[1]
+        store = SweepStore(str(tmp_path / f"w{workers}"))
+        report = run_sweep(mixed, store, workers=workers)
+        assert sorted(report.executed) == sorted(
+            c.key for c in (mixed[0], mixed[2])
+        )
+        assert [key for key, _ in report.failed] == [bad.key]
+        assert "churn" in report.failed[0][1]
+        assert store.has(mixed[0].key) and store.has(mixed[2].key)
+        assert not store.has(bad.key)  # failed cells store nothing
+        assert "failed=1" in report.summary()
+        # A fixed-up resume would re-attempt exactly the failed cell.
+        resumed = run_sweep(mixed[:1], store, workers=1, resume=True)
+        assert resumed.skipped == [mixed[0].key]
+
+    def test_run_sweep_purges_stale_tmp_files(self, cells, tmp_path):
+        store = SweepStore(str(tmp_path))
+        run_sweep(cells[:1], store, workers=1)
+        orphan = tmp_path / f".{cells[0].key}.999999999.tmp"
+        orphan.write_text("truncated")
+        run_sweep(cells[:1], store, workers=1, resume=True)
+        assert not orphan.exists()
 
     def test_sequential_kernel_path_matches_batched(self, cells, tmp_path):
         """batched is an execution detail: stored bytes are identical."""

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
+import sys
 
 import pytest
 
@@ -58,8 +60,34 @@ class TestSweepStore:
     def test_corrupt_cell_is_a_clean_error(self, tmp_path):
         store = SweepStore(str(tmp_path))
         (tmp_path / f"{KEY_A}.json").write_text("{truncated")
-        with pytest.raises(ValidationError, match="corrupt"):
+        with pytest.raises(ValidationError, match="corrupt") as excinfo:
             store.get(KEY_A)
+        # The original decode error is chained, not swallowed.
+        assert isinstance(excinfo.value.__cause__, json.JSONDecodeError)
+
+    def test_purge_removes_only_dead_writer_tmp_files(self, tmp_path):
+        store = SweepStore(str(tmp_path))
+        store.put(KEY_A, {}, {})
+        # A pid that existed and is guaranteed dead after wait().
+        proc = subprocess.Popen([sys.executable, "-c", ""])
+        proc.wait()
+        dead = tmp_path / f".{KEY_B}.{proc.pid}.tmp"
+        dead.write_text("truncated")
+        live = tmp_path / f".{KEY_A}.{os.getpid()}.tmp"
+        live.write_text("mid-write")
+        foreign = tmp_path / "notes.tmp"
+        foreign.write_text("not a cell tmp")
+        removed = store.purge_stale_tmp()
+        assert removed == [dead.name]
+        assert not dead.exists()
+        assert live.exists()  # a live writer keeps its temp file
+        assert foreign.exists()  # non-matching names are never touched
+        assert store.get(KEY_A) is not None
+
+    def test_purge_tolerates_missing_root(self, tmp_path):
+        store = SweepStore(str(tmp_path / "never-created"))
+        assert store.purge_stale_tmp() == []
+        assert not (tmp_path / "never-created").exists()
 
     def test_store_creates_nested_root(self, tmp_path):
         root = tmp_path / "a" / "b" / "c"

@@ -258,13 +258,16 @@ class TestSweep:
              "--output", str(output)]
         ) == 0
         out = capsys.readouterr().out
-        assert "SWEEP total=2 executed=2 skipped=0 workers=2" in out
+        assert "SWEEP total=2 executed=2 skipped=0 failed=0 workers=2" in out
         assert "fig1-node-load" in out
         assert (output / "fig1-delay-ping.json").exists()
         assert json.loads((output / "summary.json").read_text())["report"]["total"] == 2
         # Resume: both cells are complete, nothing re-executes.
         assert main(["sweep", template, "--resume", "--store", store]) == 0
-        assert "SWEEP total=2 executed=0 skipped=2 workers=1" in capsys.readouterr().out
+        assert (
+            "SWEEP total=2 executed=0 skipped=2 failed=0 workers=1"
+            in capsys.readouterr().out
+        )
         # Dry-run agrees the store is complete.
         assert main(["sweep", template, "--dry-run", "--store", store]) == 0
         assert "2 cells (2 complete)" in capsys.readouterr().out
@@ -284,6 +287,28 @@ class TestSweep:
     def test_sweep_missing_template_is_exit_2(self, tmp_path, capsys):
         assert main(["sweep", str(tmp_path / "nope.json")]) == 2
         assert "cannot read sweep template" in capsys.readouterr().err
+
+    def test_sweep_with_failing_cell_exits_nonzero(self, tmp_path, capsys):
+        """A crashing cell is reported per key and fails the command."""
+        template = dict(self.TEMPLATE)
+        template["axes"] = {
+            "panel": [
+                {"label": "good", "experiment": "fig1-delay-ping"},
+                # Passes template validation but the runner raises: the
+                # fig2 experiment refuses to run without a churn spec.
+                {"label": "bad", "experiment": "fig2-efficiency-vs-k",
+                 "metric": "delay-true", "epochs": 1},
+            ]
+        }
+        path = tmp_path / "template.json"
+        path.write_text(json.dumps(template))
+        store = tmp_path / "store"
+        code = main(["sweep", str(path), "--store", str(store)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "SWEEP total=2 executed=1 skipped=0 failed=1 workers=1" in captured.out
+        assert "FAILED" in captured.err and "churn" in captured.err
+        assert "aggregation skipped" in captured.err
 
     def test_sweep_matches_single_runs_byte_for_byte(self, tmp_path, capsys):
         """A sweep cell equals `repro run --spec` of the same spec."""
