@@ -37,9 +37,9 @@ Three hard gates:
 
 from __future__ import annotations
 
-import hashlib
 import time
 
+from repro.core.codec import history_digest
 from repro.core.engine_batch import EngineBatch, EngineSpec
 from repro.core.policies import BestResponsePolicy
 from repro.core.providers import DelayMetricProvider
@@ -88,26 +88,15 @@ def _run(batched: bool) -> EngineBatch:
 
 
 def _record_digest(batch: EngineBatch) -> str:
-    """Hex digest over every EpochRecord field at full float precision."""
-    digest = hashlib.blake2b(digest_size=16)
-    for engine in batch.engines:
-        for record in engine.history.records:
-            digest.update(
-                "|".join(
-                    [
-                        str(record.epoch),
-                        float(record.time).hex(),
-                        str(record.active_nodes),
-                        str(record.rewirings),
-                        float(record.mean_cost).hex(),
-                        float(record.mean_efficiency).hex(),
-                        float(record.social_cost).hex(),
-                        str(record.linkstate_bits),
-                    ]
-                ).encode()
-            )
-            digest.update(b";")
-    return digest.hexdigest()
+    """Hex digest over every EpochRecord field at full float precision.
+
+    Delegates to the canonical codec digest (the one the serve layer's
+    replay parity uses), so "byte-identical" means the same thing in
+    every gate of the repo.
+    """
+    return history_digest(
+        record for engine in batch.engines for record in engine.history.records
+    )
 
 
 def _warmup() -> None:

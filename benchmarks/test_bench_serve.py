@@ -1,0 +1,95 @@
+"""Benchmark: the live overlay service under a million-lookup workload.
+
+The acceptance gate for the serve tentpole: a `repro serve` instance on
+a unix socket, holding a paper-scale (n = 50) best-response deployment
+live, must sustain **>= 10,000 route lookups per second** through the
+full protocol stack — traffic-model pair generation, ``lookup_batch``
+framing, the asyncio transport, the version-stamped row reads, and the
+JSON responses — while a membership mutation commits mid-run.  The
+reported p50/p95/p99 per-lookup latencies land in ``BENCH_*.json`` via
+``extra_info`` so the latency trajectory is tracked alongside the
+throughput trajectory across commits.
+
+The workload is the Section 6.1 multipath traffic model (hot-target
+skew, 1-4 parallel lookups per transfer session): the hottest sources
+repeat, so the gate also exercises the per-version row memo rather than
+just the cold sweep path.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from benchmarks.conftest import run_once
+
+from repro.scenario.spec import ScenarioSpec
+from repro.serve.client import ServeClient
+from repro.serve.load import format_summary, run_load
+from repro.serve.server import start_background_server
+from repro.serve.service import OverlayService
+from repro.util.validation import ValidationError
+
+N = 50
+K = 4
+WARMUP_EPOCHS = 2
+LOOKUPS = 200_000
+BATCH = 512
+SEED = 2008
+REQUIRED_THROUGHPUT = 10_000.0
+
+
+def _spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        experiment="live-overlay",
+        n=N,
+        k_grid=(K,),
+        policies=("best-response",),
+        metric="delay-ping",
+        epochs=WARMUP_EPOCHS,
+        seed=SEED,
+    )
+
+
+def test_serve_lookup_throughput(benchmark):
+    # Unix socket paths are length-limited (~104 bytes): mkdtemp in /tmp.
+    sock = os.path.join(tempfile.mkdtemp(prefix="bench-serve-", dir="/tmp"), "ovl.sock")
+    service = OverlayService(_spec())
+    for _ in range(WARMUP_EPOCHS):
+        service.tick()
+    thread = start_background_server(service, socket_path=sock)
+    try:
+        report = run_once(
+            benchmark,
+            run_load,
+            socket_path=sock,
+            model="multipath",
+            lookups=LOOKUPS,
+            batch_size=BATCH,
+            seed=SEED,
+            mutate={"kind": "leave", "nodes": [5]},
+        )
+    finally:
+        try:
+            with ServeClient(socket_path=sock, timeout=10) as client:
+                client.shutdown()
+        except (ValidationError, OSError):
+            pass
+        thread.join(timeout=30)
+
+    print()
+    print(format_summary(report))
+
+    benchmark.extra_info["lookups"] = report.lookups
+    benchmark.extra_info["throughput_per_s"] = report.throughput
+    benchmark.extra_info["p50_ms"] = report.p50_ms
+    benchmark.extra_info["p95_ms"] = report.p95_ms
+    benchmark.extra_info["p99_ms"] = report.p99_ms
+
+    assert report.errors == 0
+    assert report.lookups == LOOKUPS
+    assert report.mutations == 1
+    assert report.throughput >= REQUIRED_THROUGHPUT, (
+        f"serve throughput {report.throughput:.0f}/s is below the "
+        f"{REQUIRED_THROUGHPUT:.0f}/s gate"
+    )

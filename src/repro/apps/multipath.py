@@ -282,3 +282,41 @@ def available_bandwidth_gain(
         "multipath_redirection_gain": ceiling,
         "pairs_evaluated": float(len(pairs)),
     }
+
+
+def session_lookup_pairs(
+    n: int,
+    *,
+    sessions: int,
+    rng=None,
+    max_parallel: int = 4,
+    popularity_skew: float = 0.8,
+) -> List[Tuple[int, int]]:
+    """The multipath traffic model for the serve workload generator.
+
+    Each transfer session picks a source uniformly and a target from a
+    popularity-skewed distribution (a few hot content hosts soak up most
+    transfers, the shape Section 6.1's workload assumes), then issues one
+    route lookup per parallel connection — between 1 and ``max_parallel``
+    of them, matching the per-first-hop sessions :meth:`MultipathTransferApp.plan`
+    opens.  Returns the flat list of ``(src, dst)`` lookups, so callers
+    batch them straight into ``lookup_batch``.
+    """
+    from repro.util.rng import as_generator
+
+    if n < 2:
+        raise ValidationError("the traffic model needs at least two nodes")
+    rng = as_generator(rng)
+    skew = float(popularity_skew)
+    weights = np.arange(1, n + 1, dtype=float) ** -max(0.0, skew)
+    weights /= weights.sum()
+    popularity = rng.permutation(n)
+    pairs: List[Tuple[int, int]] = []
+    for _ in range(int(sessions)):
+        source = int(rng.integers(n))
+        target = int(popularity[rng.choice(n, p=weights)])
+        while target == source:
+            target = int(popularity[rng.choice(n, p=weights)])
+        for _connection in range(int(rng.integers(1, max(1, int(max_parallel)) + 1))):
+            pairs.append((source, target))
+    return pairs

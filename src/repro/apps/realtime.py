@@ -119,3 +119,36 @@ def disjoint_path_count(
         "mean_disjoint_paths": app.mean_disjoint_paths(pairs),
         "pairs_evaluated": float(len(pairs)),
     }
+
+
+def stream_lookup_pairs(
+    n: int,
+    *,
+    streams: int,
+    rng=None,
+    copies: int = 3,
+) -> List[Tuple[int, int]]:
+    """The real-time traffic model for the serve workload generator.
+
+    Each live stream between a uniformly chosen endpoint pair probes the
+    overlay once per redundant copy it plans to send (``copies`` disjoint
+    paths, Section 6.2's redundancy discipline) and once in the reverse
+    direction for the control/feedback channel.  Returns the flat
+    ``(src, dst)`` lookup list for ``lookup_batch``.
+    """
+    from repro.util.rng import as_generator
+
+    if n < 2:
+        raise ValidationError("the traffic model needs at least two nodes")
+    if copies < 1:
+        raise ValidationError("copies must be at least 1")
+    rng = as_generator(rng)
+    pairs: List[Tuple[int, int]] = []
+    for _ in range(int(streams)):
+        source = int(rng.integers(n))
+        target = int(rng.integers(n - 1))
+        if target >= source:
+            target += 1
+        pairs.extend([(source, target)] * int(copies))
+        pairs.append((target, source))
+    return pairs

@@ -8,6 +8,9 @@ Usage::
     python -m repro.cli run --spec scenario.json
     python -m repro.cli spec fig3-epsilon --n 30 --output scenario.json
     python -m repro.cli sweep scenarios/fig_all.json --workers 4 --resume
+    python -m repro.cli serve --spec scenarios/serve_smoke.json --socket /tmp/overlay.sock
+    python -m repro.cli serve-load --socket /tmp/overlay.sock --model multipath --lookups 1000000
+    python -m repro.cli serve-replay serve-log.jsonl
 
 ``run`` builds the named experiment's default
 :class:`~repro.scenario.spec.ScenarioSpec`, applies the command-line
@@ -26,6 +29,11 @@ cells, so an interrupted sweep picks up where it died), and prints the
 aggregated per-experiment tables.  ``--dry-run`` prints the plan —
 which cells exist, their spec hashes, and which are already complete —
 without running anything.
+
+``serve`` holds a spec's deployments live behind a local socket (see
+:mod:`repro.serve`), ``serve-load`` measures a running server with a
+traffic-model workload, and ``serve-replay`` re-runs a server's mutation
+log through the batch engine and digest-checks every served epoch.
 """
 
 from __future__ import annotations
@@ -218,7 +226,106 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the bit-identical sequential reference kernels in every cell",
     )
 
+    serve_cmd = sub.add_parser(
+        "serve", help="hold a scenario's deployments live behind a local socket"
+    )
+    serve_cmd.add_argument(
+        "--spec", type=str, required=True, help="ScenarioSpec JSON file to serve"
+    )
+    _add_endpoint_options(serve_cmd)
+    serve_cmd.add_argument(
+        "--cadence",
+        type=float,
+        default=0.0,
+        help="seconds between automatic epochs (0 = advance only on 'step' requests)",
+    )
+    serve_cmd.add_argument(
+        "--warmup-epochs",
+        type=int,
+        default=1,
+        help="epochs to commit before accepting connections (so lookups have an overlay)",
+    )
+    serve_cmd.add_argument(
+        "--log",
+        type=str,
+        default=None,
+        help="append the replayable mutation log (JSONL) to this path",
+    )
+    serve_cmd.add_argument(
+        "--sequential",
+        action="store_true",
+        help="use the bit-identical sequential reference kernels",
+    )
+
+    load_cmd = sub.add_parser(
+        "serve-load", help="measure a running server with a traffic-model workload"
+    )
+    _add_endpoint_options(load_cmd)
+    load_cmd.add_argument(
+        "--model",
+        choices=["uniform", "multipath", "realtime"],
+        default="uniform",
+        help="traffic model generating the lookup pairs",
+    )
+    load_cmd.add_argument(
+        "--lookups", type=int, default=100_000, help="total lookups to issue"
+    )
+    load_cmd.add_argument(
+        "--batch", type=int, default=256, help="lookups per lookup_batch frame"
+    )
+    load_cmd.add_argument("--seed", type=int, default=0, help="traffic-model seed")
+    load_cmd.add_argument(
+        "--engine",
+        type=str,
+        default=None,
+        help="deployment label to query (default: the spec's first cell)",
+    )
+    load_cmd.add_argument(
+        "--mutate",
+        type=str,
+        default=None,
+        help=(
+            "mutation JSON to enqueue (and commit with a 'step') halfway "
+            "through the run, e.g. '{\"kind\": \"leave\", \"nodes\": [5]}'"
+        ),
+    )
+    load_cmd.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="send 'shutdown' to the server after the run",
+    )
+    load_cmd.add_argument(
+        "--output", type=str, default=None, help="write the report as JSON to this path"
+    )
+
+    replay_cmd = sub.add_parser(
+        "serve-replay",
+        help="re-run a serve mutation log and digest-check every served epoch",
+    )
+    replay_cmd.add_argument("log", help="mutation log (JSONL) written by 'serve --log'")
+    replay_cmd.add_argument(
+        "--sequential",
+        action="store_true",
+        help=(
+            "replay on the sequential reference kernels regardless of what "
+            "the serving process used (a cross-kernel parity check)"
+        ),
+    )
+
     return parser
+
+
+def _add_endpoint_options(command: argparse.ArgumentParser) -> None:
+    """``--socket PATH`` or ``--host/--port`` (serve and serve-load)."""
+    command.add_argument(
+        "--socket", type=str, default=None, help="unix socket path to serve/connect on"
+    )
+    command.add_argument(
+        "--host", type=str, default="127.0.0.1", help="TCP host (with --port)"
+    )
+    command.add_argument(
+        "--port", type=int, default=None, help="TCP port to serve/connect on"
+    )
 
 
 def _apply_overrides(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSpec:
@@ -380,12 +487,99 @@ def _sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: warm up, bind, serve until shutdown."""
+    from repro.serve.server import run_server
+    from repro.serve.service import OverlayService
+
+    if (args.port is None) == (args.socket is None):
+        raise ValidationError("pass exactly one of --port or --socket")
+    spec = _load_spec(args.spec)
+    service = OverlayService(
+        spec, batched=not args.sequential, log_path=args.log
+    )
+    for _ in range(max(0, args.warmup_epochs)):
+        service.tick()
+    print(
+        f"# serving {spec.experiment} (n={spec.n}, "
+        f"{len(service.session.labels)} deployments, "
+        f"{service.session.epochs_completed} warmup epochs)"
+    )
+    run_server(
+        service,
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        cadence=args.cadence,
+        announce=lambda address: print(f"# serve listening on {address}", flush=True),
+    )
+    print(f"# serve shut down after {service.counters['epochs']} epochs")
+    return 0
+
+
+def _serve_load(args: argparse.Namespace) -> int:
+    """The ``serve-load`` subcommand: drive a server, print the summary."""
+    from repro.serve.load import format_summary, run_load, write_report
+
+    if (args.port is None) == (args.socket is None):
+        raise ValidationError("pass exactly one of --port or --socket")
+    mutate = None
+    if args.mutate is not None:
+        try:
+            mutate = json.loads(args.mutate)
+        except json.JSONDecodeError as error:
+            raise ValidationError(f"--mutate is not valid JSON: {error}")
+    report = run_load(
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        model=args.model,
+        lookups=args.lookups,
+        batch_size=args.batch,
+        seed=args.seed,
+        engine=args.engine,
+        mutate=mutate,
+        shutdown=args.shutdown,
+    )
+    print(format_summary(report))
+    if args.output:
+        write_report(report, args.output)
+        print(f"# load report written to {args.output}")
+    return 0
+
+
+def _serve_replay(args: argparse.Namespace) -> int:
+    """The ``serve-replay`` subcommand: digest-check a mutation log."""
+    from repro.serve.replay import replay_log
+
+    result = replay_log(args.log, batched=False if args.sequential else None)
+    print(result.summary())
+    if not result.ok:
+        for mismatch in result.mismatches:
+            print(
+                f"# epoch {mismatch['epoch']}: served {mismatch['served']} "
+                f"!= replayed {mismatch['replayed']}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
 
     try:
+        if args.command == "serve":
+            return _serve(args)
+
+        if args.command == "serve-load":
+            return _serve_load(args)
+
+        if args.command == "serve-replay":
+            return _serve_replay(args)
+
         if args.command == "list":
             names = scenario_names()
             if args.json:

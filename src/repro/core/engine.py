@@ -115,6 +115,29 @@ class EpochPlan:
 
 
 @dataclass
+class EpochView:
+    """Read-only view of the last *committed* epoch, for live lookups.
+
+    ``repro serve`` answers route lookups between epoch ticks; every
+    answer must be attributable to a specific overlay state (the S-Bus
+    stale-read discipline).  The view pins that attribution: the epoch
+    number, the :class:`GlobalWiring` version at scoring time, the
+    active membership, and the announced metric snapshot the epoch
+    wired under.  The engine refreshes it in :meth:`finish_epoch`; the
+    wiring is frozen between epochs (mutations only apply inside
+    ``begin_epoch``), so a view whose ``version`` still equals
+    ``engine.wiring.version`` describes the live overlay exactly.
+    """
+
+    epoch: int
+    version: int
+    active_list: List[int]
+    active_key: Tuple[int, ...]
+    announced: Metric
+    metric_fp: Optional[str]
+
+
+@dataclass
 class EpochRecord:
     """Summary of one wiring epoch.
 
@@ -293,6 +316,16 @@ class EgoistEngine:
         self.wiring = GlobalWiring(self.n)
         self.history = EngineHistory()
         self._previous_active: Set[int] = set()
+        #: Membership overrides from the live session-control API.  A
+        #: forced-online node stays in the active set regardless of the
+        #: churn schedule (a forced-offline one stays out) until the
+        #: opposite request countermands it; failures still win, so an
+        #: injected node-down kills even a forced joiner.
+        self._forced_online: Set[int] = set()
+        self._forced_offline: Set[int] = set()
+        #: Live view of the last committed epoch (see :class:`EpochView`);
+        #: None until the first epoch finishes.
+        self.last_epoch_view: Optional[EpochView] = None
         if route_cache_size is None:
             route_cache_size = self.n
         self.route_cache: Optional[ResidualRouteCache] = (
@@ -330,6 +363,8 @@ class EgoistEngine:
             active = set(range(self.n))
         else:
             active = set(self.churn.active_at(self.clock.now))
+        active |= self._forced_online
+        active -= self._forced_offline
         if self._failure_state is not None:
             active -= self._failure_state.down_nodes
         return active
@@ -391,6 +426,70 @@ class EgoistEngine:
             v: metric.link_weight(node_id, v) for v in node.wiring.neighbors
         }
         self.wiring.set_wiring(node.wiring, weights)
+
+    # ------------------------------------------------------------------ #
+    # Session-control mutations (the `repro serve` API)
+    # ------------------------------------------------------------------ #
+    # All of these only record intent; the overlay itself changes inside
+    # the next begin_epoch, which the sequential and fused paths share —
+    # so any mutation sequence is byte-identical on both, and a replay
+    # that re-issues the same mutations before the same epochs reproduces
+    # the served records exactly.
+
+    def _check_node_ids(self, nodes) -> Set[int]:
+        checked = set()
+        for node in nodes:
+            node = int(node)
+            if not 0 <= node < self.n:
+                raise ValidationError(f"node {node} out of range for n={self.n}")
+            checked.add(node)
+        return checked
+
+    def request_join(self, nodes) -> None:
+        """Force ``nodes`` into the active set from the next epoch on."""
+        nodes = self._check_node_ids(nodes)
+        self._forced_online |= nodes
+        self._forced_offline -= nodes
+
+    def request_leave(self, nodes) -> None:
+        """Force ``nodes`` out of the active set from the next epoch on."""
+        nodes = self._check_node_ids(nodes)
+        self._forced_offline |= nodes
+        self._forced_online -= nodes
+
+    def reset_wiring(self, nodes) -> None:
+        """Tear down ``nodes``'s overlay links (a re-wire request).
+
+        The nodes stay online but forget their wiring, so each rebuilds
+        from scratch at its next re-wiring opportunity.  The removals go
+        through :meth:`GlobalWiring.remove_wiring`, feeding the changelog
+        and the dynamic-SSSP repair path like any ordinary re-wire.
+        """
+        for node_id in sorted(self._check_node_ids(nodes)):
+            node = self.nodes[node_id]
+            if node.wiring is None:
+                continue
+            node.go_offline()
+            node.go_online()
+            self.wiring.remove_wiring(node_id)
+
+    def inject_failure(self, event) -> None:
+        """Schedule a :class:`FailureEvent` on the running engine.
+
+        Engines without a configured failure schedule grow an empty one
+        lazily, so live failure injection works on any deployment.
+        """
+        if self._failure_state is None:
+            self._failure_state = FailureState(FailureSpec(), self.n)
+        self._failure_state.schedule(event)
+
+    def advance_provider(self, steps: int) -> None:
+        """Advance substrate dynamics by ``steps`` extra drift steps."""
+        steps = int(steps)
+        if steps < 0:
+            raise ValidationError("drift steps must be >= 0")
+        if steps:
+            self.provider.advance(steps)
 
     # ------------------------------------------------------------------ #
     # Simulation
@@ -642,6 +741,14 @@ class EgoistEngine:
             routes_stuck=routes_stuck,
         )
         self.history.records.append(record)
+        self.last_epoch_view = EpochView(
+            epoch=plan.epoch,
+            version=self.wiring.version,
+            active_list=list(plan.active_list),
+            active_key=plan.active_key,
+            announced=plan.announced,
+            metric_fp=plan.metric_fp,
+        )
         self.clock.advance(self.clock.epoch_length)
         self.provider.advance(1)
         return record

@@ -384,14 +384,25 @@ class EngineBatch:
         self._states: Optional[List[_LockstepState]] = None
 
     # ------------------------------------------------------------------ #
+    def step_epoch(self) -> List[EpochRecord]:
+        """Advance every deployment by exactly one epoch.
+
+        The single execution planner both the batch ``run()`` loop and
+        the live serve scheduler step: batched, one lockstep epoch with
+        shared prefills; sequential, one ``run_epoch`` per engine.  The
+        deployments are mutually independent (own RNG streams, own
+        providers), so per-epoch interleaving of the sequential engines
+        is byte-identical to running each engine's epochs back to back.
+        Records come back in spec order.
+        """
+        if self.batched:
+            return self.run_epoch()
+        return [engine.run_epoch() for engine in self.engines]
+
     def run(self, epochs: int) -> List[EngineHistory]:
         """Simulate ``epochs`` wiring epochs per deployment."""
-        if not self.batched:
-            for engine in self.engines:
-                engine.run(epochs)
-            return [engine.history for engine in self.engines]
         for _ in range(int(epochs)):
-            self.run_epoch()
+            self.step_epoch()
         return [engine.history for engine in self.engines]
 
     def cache_stats(self) -> Dict[str, float]:

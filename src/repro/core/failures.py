@@ -225,6 +225,33 @@ class FailureState:
         )
         self._applied = 0
 
+    def schedule(self, event: FailureEvent) -> None:
+        """Insert ``event`` into the not-yet-applied tail of the schedule.
+
+        The live session-control API injects failures into a running
+        engine through this: the event is validated against the state's
+        ``n``, slotted into epoch order among the pending events (stable,
+        so same-epoch events keep arrival order), and then applied by
+        the ordinary :meth:`advance_to` at the next epoch boundary.  An
+        event dated at or before an already-advanced epoch is not lost —
+        it simply applies at the next boundary.
+        """
+        event.validate()
+        for node in event.nodes:
+            if not 0 <= int(node) < self.n:
+                raise ValidationError(
+                    f"failure event node {node} out of range for n={self.n}"
+                )
+        for u, v in event.links:
+            if not (0 <= int(u) < self.n and 0 <= int(v) < self.n):
+                raise ValidationError(
+                    f"failure event link ({u}, {v}) out of range for n={self.n}"
+                )
+        tail = self._events[self._applied :]
+        tail.append(event)
+        tail.sort(key=lambda pending: int(pending.epoch))
+        self._events[self._applied :] = tail
+
     def advance_to(self, epoch: int) -> None:
         """Apply every pending event scheduled at or before ``epoch``."""
         epoch = int(epoch)

@@ -118,6 +118,29 @@ class ResidualRouteCache:
         self.misses += 1
         return None
 
+    def versioned_get(
+        self, node: int, hops: Tuple[int, ...]
+    ) -> Optional[Tuple[np.ndarray, Hashable]]:
+        """A token-transparent read: the entry's matrix *and* its token.
+
+        The version-stamped read of the serve layer: a live lookup that
+        consumes a cached residual matrix must attribute its answer to
+        the overlay state the matrix was computed under, so a hop-matched
+        entry is returned as ``(matrix, token)`` regardless of the
+        cache's current token, and the caller screens the entry's token
+        against the live :class:`~repro.core.wiring.GlobalWiring`
+        changelog before trusting the rows (the same screen
+        :meth:`Engine.repair_route_entry` applies between epochs).
+        Whether the read ultimately served is only known caller-side, so
+        no hit/miss is accounted here — the serve layer keeps its own
+        ``rows_from_cache``/``rows_from_sweep`` counters instead.
+        """
+        entry = self._store.get(node)
+        if entry is not None and entry[1] == hops:
+            self._store.move_to_end(node)
+            return entry[2], entry[0]
+        return None
+
     def put(
         self,
         node: int,

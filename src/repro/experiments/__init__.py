@@ -20,6 +20,7 @@ from repro.experiments.rewiring import fig3_epsilon_comparison, fig3_rewirings_o
 from repro.experiments.cheating_exp import fig4_many_free_riders, fig4_one_free_rider
 from repro.experiments.sampling_exp import fig5_to_8_sampling
 from repro.experiments.apps_exp import fig10_multipath_gain, fig11_disjoint_paths
+from repro.experiments import live_exp as _live_exp  # noqa: F401 - registers live-overlay
 from repro.experiments.overhead_exp import overhead_table
 from repro.experiments.preferences_exp import preference_skew_ablation
 

@@ -1,0 +1,58 @@
+"""The live-overlay scenario shape: the workload ``repro serve`` hosts.
+
+Not a paper figure — the serving counterpart of the epoch-loop
+experiments: one engine deployment per (policy, k) cell of the spec,
+advanced through the explicit lifecycle API
+(:class:`repro.scenario.lifecycle.Session`).  Registered like any other
+experiment so ``repro run live-overlay`` exercises the exact planner the
+service schedules, and so serve specs (``scenarios/serve_smoke.json``)
+validate through the ordinary spec tooling.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentResult
+from repro.scenario.lifecycle import Session
+from repro.scenario.registry import register_scenario
+from repro.scenario.session import SimulationSession
+from repro.scenario.spec import ScenarioSpec
+
+
+def _run_live_overlay(session: SimulationSession) -> ExperimentResult:
+    spec = session.spec
+    live = Session.from_session(session)
+    result = ExperimentResult(
+        figure="live-overlay",
+        description="Epoch trajectory of the live-served overlay deployments",
+        x_label="epoch",
+        y_label="mean cost",
+        metadata={"n": spec.n, "deployments": list(live.labels)},
+    )
+    for _ in range(max(1, spec.epochs)):
+        live.step()
+    histories = live.close()
+    for label, history in zip(live.labels, histories):
+        for epoch, cost in enumerate(history.mean_costs()):
+            result.add_point(label, epoch, cost)
+    return result
+
+
+def _default_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        experiment="live-overlay",
+        n=32,
+        k_grid=(4,),
+        policies=("best-response",),
+        metric="delay-ping",
+        epochs=5,
+        seed=2008,
+    )
+
+
+register_scenario(
+    "live-overlay",
+    help="Live service workload: (policy, k) deployments stepped via the lifecycle API",
+    default_spec=_default_spec,
+    runner=_run_live_overlay,
+    smoke_args=("--n", "10", "--k", "2", "--epochs", "2"),
+)

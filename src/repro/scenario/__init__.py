@@ -30,6 +30,7 @@ from repro.scenario.spec import (
     parse_policy,
     policy_label,
 )
+from repro.scenario.lifecycle import MUTATION_KINDS, Mutation, Session
 from repro.scenario.session import SimulationSession, run_spec
 from repro.scenario.registry import (
     ScenarioDefinition,
@@ -41,10 +42,13 @@ from repro.scenario.registry import (
 
 __all__ = [
     "METRIC_FAMILIES",
+    "MUTATION_KINDS",
     "CheatingSpec",
     "ChurnSpec",
+    "Mutation",
     "ScenarioSpec",
     "ScenarioDefinition",
+    "Session",
     "SimulationSession",
     "default_spec",
     "parse_policy",

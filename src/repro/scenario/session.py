@@ -78,12 +78,16 @@ class SimulationSession:
         observable from any stored result (and printed by
         ``repro run --verbose``).
         """
+        from repro.core.codec import cache_stats_to_json
+
         definition = registry.resolve(self.spec.experiment)
         result = definition.runner(self)
         result.metadata["scenario"] = self.spec.to_dict()
         cache_stats = self.cache_stats()
         if cache_stats is not None:
-            result.metadata["cache"] = cache_stats
+            # One schema for every consumer of the diagnostics dict —
+            # stored sweep cells, --verbose, and the serve stream.
+            result.metadata["cache"] = cache_stats_to_json(cache_stats)
         return result
 
     def cache_stats(self) -> Optional[Dict[str, float]]:
@@ -243,10 +247,20 @@ class SimulationSession:
         return batch
 
     def engine_sweep(self, specs: Sequence[EngineSpec], epochs: Optional[int] = None) -> List:
-        """Run the engines for ``epochs`` (default: the spec's) in lockstep."""
+        """Run the engines for ``epochs`` (default: the spec's) in lockstep.
+
+        A thin loop over the lifecycle API: every batch run steps the
+        same :meth:`repro.scenario.lifecycle.Session.step` the serve
+        scheduler does, so there is exactly one execution planner.
+        """
+        from repro.scenario.lifecycle import Session
+
         if epochs is None:
             epochs = self.spec.epochs
-        return self.engine_batch(specs).run(epochs)
+        session = Session(self.spec, self.engine_batch(specs))
+        for _ in range(int(epochs)):
+            session.step()
+        return session.close()
 
 
 def run_spec(spec: ScenarioSpec, *, batched: bool = True):

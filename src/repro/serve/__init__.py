@@ -1,0 +1,49 @@
+"""``repro serve``: the live overlay service.
+
+The batch pipeline answers "what does this scenario converge to"; this
+package answers "what is the overlay doing *right now*".  It holds a
+:class:`~repro.scenario.lifecycle.Session` live, advances epochs on a
+cadence (or on explicit ``step`` requests), and speaks a
+newline-delimited JSON protocol over a local socket:
+
+* :mod:`~repro.serve.protocol` — the wire format (ops, framing, errors);
+* :mod:`~repro.serve.service` — the synchronous core: version-stamped
+  route lookups off the shared residual cache, mutation queueing, the
+  replayable JSONL mutation log;
+* :mod:`~repro.serve.server` — the asyncio transport;
+* :mod:`~repro.serve.client` — a blocking client;
+* :mod:`~repro.serve.load` — the million-lookup workload generator
+  (``repro serve-load``);
+* :mod:`~repro.serve.replay` — byte-identical log replay through the
+  batch engine (``repro serve-replay``).
+
+The service is a scheduler around the existing epoch kernels, never a
+second engine: everything it serves is reproducible offline from its
+mutation log.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.load import LoadReport, TRAFFIC_MODELS, format_summary, run_load
+from repro.serve.protocol import OPS, PROTOCOL_VERSION, ProtocolError
+from repro.serve.replay import ReplayResult, replay_log
+from repro.serve.server import OverlayServer, run_server, start_background_server
+from repro.serve.service import LOG_SCHEMA_VERSION, OverlayService, ServeError
+
+__all__ = [
+    "LOG_SCHEMA_VERSION",
+    "LoadReport",
+    "OPS",
+    "OverlayServer",
+    "OverlayService",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ReplayResult",
+    "ServeClient",
+    "ServeError",
+    "TRAFFIC_MODELS",
+    "format_summary",
+    "replay_log",
+    "run_load",
+    "run_server",
+    "start_background_server",
+]

@@ -1,0 +1,149 @@
+"""A small blocking client for the serve protocol.
+
+:class:`ServeClient` speaks the newline-delimited JSON protocol of
+:mod:`repro.serve.server` over a unix socket or TCP.  It is what the
+workload generator, the CI smoke job, and the tests use — a deliberately
+dependency-free socket client, not an SDK.
+
+Pushed subscription events (lines carrying an ``event`` key, no ``id``)
+arriving while a request waits for its response are buffered into
+:attr:`events`, so one connection can multiplex a subscription with
+request/response traffic.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.util.validation import ValidationError
+
+
+class ServeClient:
+    """Blocking request/response client for one serve connection."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        socket_path: Optional[str] = None,
+        timeout: Optional[float] = 30.0,
+    ):
+        if (port is None) == (socket_path is None):
+            raise ValidationError("exactly one of port or socket_path is required")
+        if socket_path is not None:
+            self._socket = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._socket.settimeout(timeout)
+            self._socket.connect(socket_path)
+        else:
+            self._socket = socket.create_connection((host, int(port)), timeout=timeout)
+        self._stream = self._socket.makefile("rwb")
+        self._next_id = 0
+        #: Buffered subscription events, oldest first.
+        self.events: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def request(self, op: str, **fields: object) -> Dict[str, object]:
+        """Send one request and return its (id-matched) response.
+
+        Raises :class:`ValidationError` when the server answers with
+        ``ok`` false, carrying the server's error message.
+        """
+        self._next_id += 1
+        request_id = self._next_id
+        message = {"op": op, "id": request_id, **fields}
+        self._stream.write((json.dumps(message, separators=(",", ":")) + "\n").encode())
+        self._stream.flush()
+        while True:
+            reply = self._read_message()
+            if "event" in reply and "id" not in reply:
+                self.events.append(reply)
+                continue
+            if reply.get("id") != request_id:
+                continue
+            if not reply.get("ok"):
+                raise ValidationError(
+                    f"{reply.get('error', 'error')}: {reply.get('message', '')}"
+                )
+            return reply
+
+    def _read_message(self) -> Dict[str, object]:
+        line = self._stream.readline()
+        if not line:
+            raise ValidationError("server closed the connection")
+        reply = json.loads(line)
+        if not isinstance(reply, dict):
+            raise ValidationError("server sent a non-object line")
+        return reply
+
+    # ------------------------------------------------------------------ #
+    # Protocol helpers
+    # ------------------------------------------------------------------ #
+    def lookup(
+        self,
+        src: int,
+        dst: int,
+        *,
+        engine: Optional[str] = None,
+        path: bool = False,
+    ) -> Dict[str, object]:
+        fields: Dict[str, object] = {"src": src, "dst": dst}
+        if engine is not None:
+            fields["engine"] = engine
+        if path:
+            fields["path"] = True
+        return self.request("lookup", **fields)
+
+    def lookup_batch(
+        self, pairs: Sequence[Tuple[int, int]], *, engine: Optional[str] = None
+    ) -> Dict[str, object]:
+        fields: Dict[str, object] = {"pairs": [list(pair) for pair in pairs]}
+        if engine is not None:
+            fields["engine"] = engine
+        return self.request("lookup_batch", **fields)
+
+    def mutate(self, mutation: Dict[str, object]) -> Dict[str, object]:
+        return self.request("mutate", mutation=mutation)
+
+    def step(self) -> Dict[str, object]:
+        return self.request("step")
+
+    def subscribe(self) -> Dict[str, object]:
+        return self.request("subscribe")
+
+    def snapshot(self) -> Dict[str, object]:
+        return self.request("snapshot")
+
+    def stats(self) -> Dict[str, object]:
+        return self.request("stats")
+
+    def shutdown(self) -> Dict[str, object]:
+        return self.request("shutdown")
+
+    def next_event(self) -> Dict[str, object]:
+        """The next subscription event (buffered, else read from the wire)."""
+        if self.events:
+            return self.events.pop(0)
+        while True:
+            reply = self._read_message()
+            if "event" in reply and "id" not in reply:
+                return reply
+
+    def close(self) -> None:
+        try:
+            self._stream.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = ["ServeClient"]

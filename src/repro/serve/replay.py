@@ -1,0 +1,122 @@
+"""Replay a serve mutation log through the batch engine.
+
+The serve scheduler's correctness contract: because it is only a
+scheduler around the existing epoch kernels (one
+:meth:`~repro.scenario.lifecycle.Session.step` per tick, mutations
+committed inside ``begin_epoch``), feeding its mutation log back through
+a fresh batch session must reproduce every served epoch byte-for-byte.
+:func:`replay_log` does exactly that and compares the codec digest of
+each replayed epoch against the digest the live service recorded.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.codec import epoch_record_digest
+from repro.scenario.lifecycle import Mutation, Session
+from repro.scenario.spec import ScenarioSpec
+from repro.serve.service import LOG_SCHEMA_VERSION
+from repro.util.validation import ValidationError
+
+
+@dataclass
+class ReplayResult:
+    """The outcome of replaying one mutation log."""
+
+    epochs: int = 0
+    mutations: int = 0
+    mismatches: List[Dict[str, object]] = field(default_factory=list)
+    closed_cleanly: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when every served epoch replayed byte-identically."""
+        return not self.mismatches
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.mismatches)} mismatched epochs"
+        sealed = "sealed" if self.closed_cleanly else "unsealed"
+        return (
+            f"REPLAY epochs={self.epochs} mutations={self.mutations} "
+            f"log={sealed} {status}"
+        )
+
+
+def read_log(path: str) -> List[Dict[str, object]]:
+    """Parse one JSONL mutation log, checking the header."""
+    entries: List[Dict[str, object]] = []
+    try:
+        handle = open(path)
+    except OSError as error:
+        raise ValidationError(f"cannot read mutation log {path!r}: {error}")
+    with handle:
+        for number, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValidationError(f"{path}:{number}: not valid JSON: {error}")
+            if not isinstance(entry, dict) or "kind" not in entry:
+                raise ValidationError(f"{path}:{number}: not a log entry")
+            entries.append(entry)
+    if not entries or entries[0].get("kind") != "open":
+        raise ValidationError(f"{path}: log does not start with an open entry")
+    schema = entries[0].get("schema")
+    if schema != LOG_SCHEMA_VERSION:
+        raise ValidationError(
+            f"{path}: log schema {schema!r} is not the supported {LOG_SCHEMA_VERSION}"
+        )
+    return entries
+
+
+def replay_log(
+    path: str, *, batched: Optional[bool] = None
+) -> ReplayResult:
+    """Re-run a mutation log and digest-check every epoch.
+
+    Parameters
+    ----------
+    path:
+        The JSONL log ``repro serve --log`` wrote.
+    batched:
+        Kernel path for the replay engines; defaults to the path the
+        serving process used (either must match — that equivalence has
+        its own tests — so replaying a batched log sequentially is a
+        legitimate cross-check).
+    """
+    entries = read_log(path)
+    header = entries[0]
+    spec = ScenarioSpec.from_dict(header["spec"])
+    if batched is None:
+        batched = bool(header.get("batched", True))
+    result = ReplayResult()
+    with Session.open(spec, batched=batched) as session:
+        for entry in entries[1:]:
+            kind = entry.get("kind")
+            if kind == "mutate":
+                session.mutate(Mutation.from_dict(entry["mutation"]))
+                result.mutations += 1
+            elif kind == "epoch":
+                records = session.step()
+                digest = epoch_record_digest(records)
+                if digest != entry.get("digest"):
+                    result.mismatches.append(
+                        {
+                            "epoch": entry.get("epoch"),
+                            "served": entry.get("digest"),
+                            "replayed": digest,
+                        }
+                    )
+                result.epochs += 1
+            elif kind == "close":
+                result.closed_cleanly = True
+            else:
+                raise ValidationError(f"unknown log entry kind {kind!r}")
+    return result
+
+
+__all__ = ["ReplayResult", "read_log", "replay_log"]

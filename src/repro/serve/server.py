@@ -1,0 +1,324 @@
+"""The asyncio transport of ``repro serve``.
+
+One :class:`OverlayServer` wraps one
+:class:`~repro.serve.service.OverlayService` and speaks the
+newline-delimited JSON protocol (:mod:`repro.serve.protocol`) over a TCP
+port or a unix socket.  Request handling and epoch ticks all run on the
+one event loop, so lookups serialize against epoch advancement without
+locks: a lookup observes either the pre-tick or the post-tick overlay,
+never a half-committed one.
+
+Cadence: with ``cadence > 0`` a background task ticks the service every
+``cadence`` seconds; with ``cadence == 0`` epochs advance only on
+explicit ``step`` requests (the mode tests and the workload generator
+use, so the measured overlay is pinned).
+
+Subscriptions: a ``subscribe`` request registers the connection for the
+event stream; every tick's payload is queued per subscriber and flushed
+by a writer task, so one slow consumer cannot stall the tick loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Dict, Optional
+
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode,
+    error_response,
+    parse_request,
+    response,
+)
+from repro.serve.service import OverlayService, ServeError
+from repro.util.validation import ValidationError
+
+#: Pending epoch events per subscriber before the oldest is dropped.
+SUBSCRIBER_QUEUE_LIMIT = 256
+
+
+class OverlayServer:
+    """Serve one :class:`OverlayService` over a local socket."""
+
+    def __init__(self, service: OverlayService, *, cadence: float = 0.0):
+        self.service = service
+        self.cadence = float(cadence)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown = asyncio.Event()
+        self._subscriber_queues: Dict[int, asyncio.Queue] = {}
+        self._next_connection = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        socket_path: Optional[str] = None,
+    ) -> str:
+        """Bind and start accepting; returns the bound address string."""
+        if (port is None) == (socket_path is None):
+            raise ValidationError("exactly one of port or socket_path is required")
+        if socket_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=socket_path, limit=MAX_LINE_BYTES
+            )
+            address = socket_path
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=host, port=port, limit=MAX_LINE_BYTES
+            )
+            bound = self._server.sockets[0].getsockname()
+            address = f"{bound[0]}:{bound[1]}"
+        if self.cadence > 0:
+            asyncio.get_running_loop().create_task(self._tick_loop())
+        return address
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` request (or :meth:`stop`) lands."""
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Stop accepting, drop subscribers, close the service."""
+        self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._subscriber_queues.clear()
+        if not self.service.closed:
+            self.service.close()
+
+    async def _tick_loop(self) -> None:
+        while not self._shutdown.is_set():
+            try:
+                await asyncio.wait_for(
+                    self._shutdown.wait(), timeout=self.cadence
+                )
+                return
+            except asyncio.TimeoutError:
+                pass
+            if not self.service.closed:
+                self.service.tick()
+
+    # ------------------------------------------------------------------ #
+    # Connections
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = self._next_connection
+        self._next_connection += 1
+        writer_task: Optional[asyncio.Task] = None
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    line = await reader.readline()
+                except ConnectionResetError:
+                    break
+                except (ValueError, asyncio.LimitOverrunError):
+                    writer.write(
+                        encode(error_response(None, "too-large", "request line too large"))
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                message, subscribe, shutdown = self._dispatch(line, connection)
+                if subscribe and connection not in self._subscriber_queues:
+                    queue: asyncio.Queue = asyncio.Queue()
+                    self._subscriber_queues[connection] = queue
+                    self.service.subscribe(
+                        lambda payload, q=queue: self._enqueue(q, payload)
+                    )
+                    writer_task = asyncio.get_running_loop().create_task(
+                        self._drain_events(queue, writer)
+                    )
+                writer.write(encode(message))
+                await writer.drain()
+                if shutdown:
+                    self._shutdown.set()
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            if writer_task is not None:
+                writer_task.cancel()
+            self._subscriber_queues.pop(connection, None)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    @staticmethod
+    def _enqueue(queue: asyncio.Queue, payload: Dict[str, object]) -> None:
+        if queue.qsize() >= SUBSCRIBER_QUEUE_LIMIT:
+            try:
+                queue.get_nowait()
+            except asyncio.QueueEmpty:
+                pass
+        queue.put_nowait(payload)
+
+    async def _drain_events(
+        self, queue: asyncio.Queue, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                payload = await queue.get()
+                writer.write(encode(payload))
+                await writer.drain()
+        except (asyncio.CancelledError, ConnectionResetError, BrokenPipeError):
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, line: bytes, connection: int):
+        """Handle one request line; returns (message, subscribe?, shutdown?)."""
+        request_id: Optional[object] = None
+        try:
+            request = parse_request(line)
+            request_id = request.get("id")
+            op = request["op"]
+            if op == "lookup":
+                result = self.service.lookup(
+                    request.get("src"),
+                    request.get("dst"),
+                    engine=request.get("engine"),
+                    want_path=bool(request.get("path", False)),
+                )
+                return response(request_id, **result), False, False
+            if op == "lookup_batch":
+                result = self.service.lookup_batch(
+                    request.get("pairs"), engine=request.get("engine")
+                )
+                return response(request_id, **result), False, False
+            if op == "mutate":
+                result = self.service.mutate(request.get("mutation"))
+                return response(request_id, **result), False, False
+            if op == "step":
+                payload = self.service.tick()
+                return (
+                    response(
+                        request_id,
+                        epoch=payload["epoch"],
+                        digest=payload["digest"],
+                    ),
+                    False,
+                    False,
+                )
+            if op == "subscribe":
+                return response(request_id, subscribed=True), True, False
+            if op == "snapshot":
+                snapshot = self.service.snapshot()
+                snapshot["protocol"] = PROTOCOL_VERSION
+                return response(request_id, **snapshot), False, False
+            if op == "stats":
+                stats = self.service.stats()
+                stats["protocol"] = PROTOCOL_VERSION
+                return response(request_id, **stats), False, False
+            # op == "shutdown" (parse_request already rejected unknown ops)
+            return response(request_id, shutting_down=True), False, True
+        except ProtocolError as error:
+            if request_id is None:
+                request_id = _recover_request_id(line)
+            return error_response(request_id, "bad-request", str(error)), False, False
+        except ServeError as error:
+            return error_response(request_id, error.code, str(error)), False, False
+        except ValidationError as error:
+            return error_response(request_id, "invalid", str(error)), False, False
+
+    # ------------------------------------------------------------------ #
+    # Entry points
+    # ------------------------------------------------------------------ #
+
+
+def _recover_request_id(line: bytes):
+    """Best-effort ``id`` of a request that failed protocol parsing.
+
+    A client pipelining by id deserves the echo even on an unknown op;
+    a line that is not a JSON object at all has no id to recover.
+    """
+    try:
+        request = json.loads(line)
+    except (UnicodeDecodeError, ValueError):
+        return None
+    if isinstance(request, dict) and isinstance(request.get("id"), (str, int)):
+        return request["id"]
+    return None
+
+
+def run_server(
+    service: OverlayService,
+    *,
+    host: str = "127.0.0.1",
+    port: Optional[int] = None,
+    socket_path: Optional[str] = None,
+    cadence: float = 0.0,
+    ready: Optional[threading.Event] = None,
+    announce=None,
+) -> None:
+    """Run a server until shutdown (blocking; the CLI entry point)."""
+
+    async def main() -> None:
+        server = OverlayServer(service, cadence=cadence)
+        address = await server.start(
+            host=host, port=port, socket_path=socket_path
+        )
+        if announce is not None:
+            announce(address)
+        if ready is not None:
+            ready.set()
+        await server.serve_until_shutdown()
+
+    asyncio.run(main())
+
+
+def start_background_server(
+    service: OverlayService,
+    *,
+    host: str = "127.0.0.1",
+    port: Optional[int] = None,
+    socket_path: Optional[str] = None,
+    cadence: float = 0.0,
+) -> threading.Thread:
+    """Run a server on a daemon thread; returns once it is accepting.
+
+    The test/benchmark harness: the thread exits when a client sends
+    ``shutdown``.
+    """
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=run_server,
+        kwargs=dict(
+            host=host,
+            port=port,
+            socket_path=socket_path,
+            cadence=cadence,
+            ready=ready,
+        ),
+        args=(service,),
+        daemon=True,
+    )
+    thread.start()
+    if not ready.wait(timeout=30):
+        raise RuntimeError("overlay server failed to start within 30s")
+    return thread
+
+
+__all__ = [
+    "OverlayServer",
+    "SUBSCRIBER_QUEUE_LIMIT",
+    "run_server",
+    "start_background_server",
+]

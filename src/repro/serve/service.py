@@ -1,0 +1,424 @@
+"""The live overlay service core: one lifecycle Session, served hot.
+
+:class:`OverlayService` is the synchronous heart of ``repro serve`` (the
+asyncio server in :mod:`repro.serve.server` is a thin transport around
+it, and tests drive it directly).  It owns a
+:class:`~repro.scenario.lifecycle.Session`, advances it epoch by epoch
+(:meth:`tick`), answers route lookups between ticks, enqueues mutations
+for the next tick, and appends every mutation — plus the digest of every
+served epoch — to a replayable JSONL log.
+
+Lookup semantics
+----------------
+A lookup answers "what does the best overlay route from ``src`` to
+``dst`` cost (or carry) on the live overlay right now", on the announced
+metric the last committed epoch wired under.  The row of route values
+for ``src`` is produced one of two ways:
+
+* **cache** — ``src``'s residual matrix sits in the engine's shared
+  :class:`~repro.core.route_cache.ResidualRouteCache` under a token
+  whose wiring version matches the live overlay (a version-stamped
+  read); the full row is then one vectorised reduction over ``src``'s
+  wired first hops: ``min_v (w(src,v) + resid[v, :])`` for minimised
+  metrics, ``max_v min(w(src,v), resid[v, :])`` for bandwidth.  The
+  residual matrix excludes ``src``'s own out-links, so routes never
+  revisit the source.
+* **sweep** — one single-source sweep over the live overlay graph
+  (memoised per wiring version, so repeated lookups from one source pay
+  it once).
+
+Either way the answer is stamped with ``(epoch, version)``: the epoch
+that committed the overlay and the :class:`GlobalWiring` version the row
+is valid under.  Mutations accepted but not yet committed never leak
+into an answer — they only apply inside the next ``begin_epoch``.
+
+Replay parity
+-------------
+The serve path is a scheduler around the existing kernels, never a
+second engine: ``tick`` is exactly one :meth:`Session.step`.  Replaying
+the mutation log through a fresh batch Session (``repro serve-replay``)
+therefore reproduces every served epoch byte-identically, which the log
+digests assert.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.codec import (
+    cache_stats_to_json,
+    encode_float,
+    epoch_record_digest,
+    epoch_record_to_json,
+)
+from repro.core.cost import DISCONNECTION_COST
+from repro.routing.shortest_path import shortest_path, shortest_path_costs_from
+from repro.routing.widest_path import widest_path, widest_path_bandwidths_from
+from repro.scenario.lifecycle import Mutation, Session
+from repro.scenario.spec import ScenarioSpec
+from repro.util.validation import ValidationError
+
+#: Mutation-log schema version (the ``open`` header carries it).
+LOG_SCHEMA_VERSION = 1
+
+
+class ServeError(ValidationError):
+    """A request the service cannot serve, with a machine-readable code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+class OverlayService:
+    """Serve lookups and session mutations over one live Session.
+
+    Parameters
+    ----------
+    spec:
+        The scenario to hold live (one engine per (policy, k) cell).
+    batched:
+        Kernel path for the underlying engines (results are identical).
+    log_path:
+        Optional mutation-log path (JSONL, append-only, flushed per
+        entry).  Without it the service keeps no log and cannot be
+        replayed.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        *,
+        batched: bool = True,
+        log_path: Optional[str] = None,
+    ):
+        self.spec = spec
+        self.batched = bool(batched)
+        self.session = Session.open(spec, batched=batched)
+        self.closed = False
+        self._subscribers: List[Callable[[Dict[str, object]], None]] = []
+        #: Per-(label, src) route-value rows valid at a wiring version.
+        self._rows: Dict[Tuple[str, int], Tuple[int, np.ndarray, str]] = {}
+        #: Per-label overlay graphs valid at a wiring version.
+        self._graphs: Dict[str, Tuple[int, object]] = {}
+        self.counters: Dict[str, int] = {
+            "lookups": 0,
+            "rows_from_cache": 0,
+            "rows_from_sweep": 0,
+            "row_memo_hits": 0,
+            "mutations": 0,
+            "epochs": 0,
+        }
+        self._log = open(log_path, "a") if log_path else None
+        self._log_entry(
+            {
+                "kind": "open",
+                "schema": LOG_SCHEMA_VERSION,
+                "spec": spec.to_dict(),
+                "batched": self.batched,
+            }
+        )
+
+    # ------------------------------------------------------------------ #
+    # Epoch scheduling
+    # ------------------------------------------------------------------ #
+    def tick(self) -> Dict[str, object]:
+        """Advance one epoch and notify subscribers.
+
+        The returned payload is the ``subscribe`` stream's event line:
+        the committed epoch's records (codec JSON) per deployment, the
+        pooled cache diagnostics, and the epoch digest that the mutation
+        log records for replay parity.
+        """
+        self._check_open()
+        records = self.session.step()
+        self._rows.clear()
+        self._graphs.clear()
+        epoch = self.session.epochs_completed - 1
+        digest = epoch_record_digest(records)
+        self.counters["epochs"] += 1
+        self._log_entry({"kind": "epoch", "epoch": epoch, "digest": digest})
+        payload: Dict[str, object] = {
+            "event": "epoch",
+            "epoch": epoch,
+            "digest": digest,
+            "records": {
+                label: epoch_record_to_json(record)
+                for label, record in zip(self.session.labels, records)
+            },
+            "cache": cache_stats_to_json(self.session.batch.cache_stats()),
+        }
+        for notify in list(self._subscribers):
+            notify(payload)
+        return payload
+
+    def subscribe(self, notify: Callable[[Dict[str, object]], None]) -> None:
+        """Register a callback receiving every :meth:`tick` payload."""
+        self._subscribers.append(notify)
+
+    def unsubscribe(self, notify: Callable[[Dict[str, object]], None]) -> None:
+        """Remove a subscriber (ignores unknown callbacks)."""
+        try:
+            self._subscribers.remove(notify)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+    def _view(self, label: Optional[str]):
+        engine = self.session.engine(label)
+        view = engine.last_epoch_view
+        if view is None:
+            raise ServeError(
+                "no-epoch",
+                "no epoch has been committed yet; step the session (or start "
+                "the server with warmup epochs) before looking up routes",
+            )
+        return engine, view
+
+    def _graph(self, label: str, engine, view):
+        version = engine.wiring.version
+        cached = self._graphs.get(label)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        graph = engine.wiring.to_graph(active=view.active_list)
+        self._graphs[label] = (version, graph)
+        return graph
+
+    def _cache_row(self, engine, view, src: int) -> Optional[np.ndarray]:
+        """``src``'s route-value row from the residual cache, or None.
+
+        A version-stamped read, mirroring the validity screen
+        :meth:`Engine.repair_route_entry` applies between epochs: the
+        entry must carry the live metric fingerprint and membership key,
+        and the wiring changelog since its stamped version may name no
+        node but ``src`` itself — ``src``'s residual matrix excludes its
+        own out-links, so its own re-wire (and the per-epoch announced
+        weight refresh that trails the stamp by one bump) cannot stale
+        it.  Anything else falls back to the sweep path.
+        """
+        cache = engine.route_cache
+        if cache is None or view.metric_fp is None:
+            return None
+        hops = tuple(c for c in view.active_list if c != src)
+        if not hops:
+            return None
+        got = cache.versioned_get(src, hops)
+        if got is None:
+            return None
+        matrix, token = got
+        if not (isinstance(token, tuple) and len(token) == 3):
+            return None
+        version, metric_fp, active_key = token
+        if metric_fp != view.metric_fp or active_key != view.active_key:
+            return None
+        if not isinstance(version, int):
+            return None
+        changed = engine.wiring.changed_since(version)
+        if changed is None or not changed <= {src}:
+            return None
+        weights = engine.wiring.weights_of(src)
+        if not weights:
+            return None
+        row_of = {hop: index for index, hop in enumerate(hops)}
+        neighbors = sorted(v for v in weights if v in row_of)
+        if not neighbors:
+            return None
+        first_hop_rows = matrix[[row_of[v] for v in neighbors], :]
+        link = np.array([weights[v] for v in neighbors])[:, None]
+        if view.announced.maximize:
+            row = np.max(np.minimum(link, first_hop_rows), axis=0)
+            row[src] = np.inf
+        else:
+            row = np.min(link + first_hop_rows, axis=0)
+            row[src] = 0.0
+        return row
+
+    def _route_row(
+        self, engine, view, label: str, src: int
+    ) -> Tuple[np.ndarray, str]:
+        version = engine.wiring.version
+        memo = self._rows.get((label, src))
+        if memo is not None and memo[0] == version:
+            self.counters["row_memo_hits"] += 1
+            return memo[1], memo[2]
+        row = self._cache_row(engine, view, src)
+        if row is not None:
+            source = "cache"
+            self.counters["rows_from_cache"] += 1
+        else:
+            graph = self._graph(label, engine, view)
+            if view.announced.maximize:
+                row = widest_path_bandwidths_from(graph, src)
+            else:
+                row = shortest_path_costs_from(
+                    graph, src, disconnection_cost=float("inf")
+                )
+            source = "sweep"
+            self.counters["rows_from_sweep"] += 1
+        self._rows[(label, src)] = (version, row, source)
+        return row, source
+
+    def _value(self, view, row: np.ndarray, dst: int) -> Tuple[object, bool]:
+        value = float(row[dst])
+        if view.announced.maximize:
+            reachable = np.isfinite(value) and value > 0.0
+        else:
+            reachable = np.isfinite(value) and value < DISCONNECTION_COST
+        return (encode_float(value) if reachable else None), bool(reachable)
+
+    def _check_pair(self, src: int, dst: int) -> Tuple[int, int]:
+        try:
+            src, dst = int(src), int(dst)
+        except (TypeError, ValueError):
+            raise ServeError("bad-request", "src and dst must be node ids")
+        n = self.spec.n
+        if not (0 <= src < n and 0 <= dst < n):
+            raise ServeError("bad-request", f"src/dst out of range for n={n}")
+        if src == dst:
+            raise ServeError("bad-request", "src and dst must differ")
+        return src, dst
+
+    def lookup(
+        self,
+        src: int,
+        dst: int,
+        *,
+        engine: Optional[str] = None,
+        want_path: bool = False,
+    ) -> Dict[str, object]:
+        """Route value (optionally the path) from ``src`` to ``dst``."""
+        self._check_open()
+        src, dst = self._check_pair(src, dst)
+        eng, view = self._view(engine)
+        label = engine if engine is not None else self.session.labels[0]
+        row, source = self._route_row(eng, view, label, src)
+        value, reachable = self._value(view, row, dst)
+        self.counters["lookups"] += 1
+        result: Dict[str, object] = {
+            "src": src,
+            "dst": dst,
+            "value": value,
+            "reachable": reachable,
+            "engine": label,
+            "epoch": view.epoch,
+            "version": eng.wiring.version,
+            "source": source,
+        }
+        if want_path:
+            graph = self._graph(label, eng, view)
+            finder = widest_path if view.announced.maximize else shortest_path
+            path = finder(graph, src, dst) if reachable else None
+            result["path"] = list(path) if path is not None else None
+        return result
+
+    def lookup_batch(
+        self, pairs: Sequence[Sequence[int]], *, engine: Optional[str] = None
+    ) -> Dict[str, object]:
+        """Route values for many ``(src, dst)`` pairs in one call.
+
+        The workload generator's hot path: rows are fetched once per
+        distinct source and shared across the batch.  ``values`` holds
+        one entry per pair (None when unreachable), in pair order.
+        """
+        self._check_open()
+        if not isinstance(pairs, (list, tuple)):
+            raise ServeError("bad-request", "pairs must be a list of [src, dst] pairs")
+        eng, view = self._view(engine)
+        label = engine if engine is not None else self.session.labels[0]
+        values: List[object] = []
+        for pair in pairs:
+            if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                raise ServeError("bad-request", "each pair must be [src, dst]")
+            src, dst = self._check_pair(pair[0], pair[1])
+            row, _source = self._route_row(eng, view, label, src)
+            value, _reachable = self._value(view, row, dst)
+            values.append(value)
+        self.counters["lookups"] += len(values)
+        return {
+            "values": values,
+            "engine": label,
+            "epoch": view.epoch,
+            "version": eng.wiring.version,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Mutations
+    # ------------------------------------------------------------------ #
+    def mutate(self, data: Dict[str, object]) -> Dict[str, object]:
+        """Enqueue a mutation for the next epoch; logs the resolved form.
+
+        A ``failure`` mutation whose event omits ``epoch`` is resolved
+        to the next epoch index here, *before* logging, so the log
+        replays deterministically.
+        """
+        self._check_open()
+        if not isinstance(data, dict):
+            raise ServeError("bad-request", "mutation must be a JSON object")
+        if (
+            data.get("kind") == "failure"
+            and isinstance(data.get("event"), dict)
+            and "epoch" not in data["event"]
+        ):
+            data = dict(data)
+            data["event"] = {**data["event"], "epoch": self.session.epochs_completed}
+        mutation = Mutation.from_dict(data)
+        applied_epoch = self.session.mutate(mutation)
+        self.counters["mutations"] += 1
+        self._log_entry(
+            {
+                "kind": "mutate",
+                "applied_epoch": applied_epoch,
+                "mutation": mutation.to_dict(),
+            }
+        )
+        return {"applied_epoch": applied_epoch}
+
+    # ------------------------------------------------------------------ #
+    # Introspection / shutdown
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, object]:
+        """The live session snapshot plus service identity."""
+        self._check_open()
+        snapshot = self.session.snapshot()
+        snapshot["batched"] = self.batched
+        return snapshot
+
+    def stats(self) -> Dict[str, object]:
+        """Service counters plus the pooled route-cache diagnostics."""
+        self._check_open()
+        return {
+            "counters": dict(self.counters),
+            "cache": cache_stats_to_json(self.session.batch.cache_stats()),
+            "epochs_completed": self.session.epochs_completed,
+        }
+
+    def close(self) -> None:
+        """Close the session and seal the mutation log."""
+        if self.closed:
+            return
+        self.closed = True
+        epochs = self.session.epochs_completed
+        self.session.close()
+        self._log_entry({"kind": "close", "epochs": epochs})
+        if self._log is not None:
+            self._log.close()
+            self._log = None
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise ServeError("closed", "the service is shut down")
+
+    def _log_entry(self, entry: Dict[str, object]) -> None:
+        if self._log is None:
+            return
+        json.dump(entry, self._log, separators=(",", ":"))
+        self._log.write("\n")
+        self._log.flush()
+
+
+__all__ = ["LOG_SCHEMA_VERSION", "OverlayService", "ServeError"]

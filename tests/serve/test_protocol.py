@@ -1,0 +1,75 @@
+"""The newline-delimited JSON wire format."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    OPS,
+    ProtocolError,
+    encode,
+    error_response,
+    parse_request,
+    response,
+)
+
+
+class TestParseRequest:
+    def test_accepts_every_op(self):
+        for op in OPS:
+            assert parse_request(json.dumps({"op": op}))["op"] == op
+
+    def test_accepts_bytes(self):
+        assert parse_request(b'{"op": "stats"}')["op"] == "stats"
+
+    def test_rejects_bad_json(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b"{nope")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b'["lookup"]')
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b'{"op": "teleport"}')
+
+    def test_rejects_missing_op(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b'{"src": 1}')
+
+    def test_rejects_non_scalar_id(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b'{"op": "stats", "id": {"nested": true}}')
+
+    def test_rejects_non_utf8(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b'\xff\xfe{"op": "stats"}')
+
+
+class TestEncode:
+    def test_newline_framed_compact_json(self):
+        line = encode({"ok": True, "value": 1.5})
+        assert line.endswith(b"\n")
+        assert b" " not in line
+        assert json.loads(line) == {"ok": True, "value": 1.5}
+
+    def test_rejects_non_finite_floats(self):
+        # Non-finite values must be folded through the codec upstream.
+        with pytest.raises(ValueError):
+            encode({"ok": True, "value": float("nan")})
+
+
+class TestResponses:
+    def test_response_echoes_id(self):
+        assert response(7, value=1) == {"ok": True, "id": 7, "value": 1}
+        assert response(None, value=1) == {"ok": True, "value": 1}
+
+    def test_error_response(self):
+        message = error_response("abc", "bad-request", "nope")
+        assert message == {
+            "ok": False,
+            "error": "bad-request",
+            "message": "nope",
+            "id": "abc",
+        }

@@ -1,0 +1,217 @@
+"""The synchronous service core: lookups, mutations, the event stream."""
+
+import numpy as np
+import pytest
+
+from repro.routing.shortest_path import shortest_path_costs_from
+from repro.routing.widest_path import widest_path_bandwidths_from
+from repro.scenario.spec import ScenarioSpec
+from repro.serve.service import OverlayService, ServeError
+
+
+def _spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        experiment="live-overlay",
+        n=16,
+        k_grid=(3,),
+        policies=("best-response",),
+        metric="delay-ping",
+        epochs=3,
+        seed=7,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+@pytest.fixture
+def service():
+    svc = OverlayService(_spec())
+    yield svc
+    if not svc.closed:
+        svc.close()
+
+
+class TestLookup:
+    def test_lookup_before_first_epoch_is_an_error(self, service):
+        with pytest.raises(ServeError) as err:
+            service.lookup(0, 1)
+        assert err.value.code == "no-epoch"
+
+    def test_lookup_is_version_stamped(self, service):
+        service.tick()
+        result = service.lookup(0, 5)
+        assert result["reachable"] is True
+        assert result["value"] > 0
+        assert result["epoch"] == 0
+        assert result["version"] == service.session.engine().wiring.version
+        assert result["source"] in ("cache", "sweep")
+
+    def test_lookup_matches_fresh_sweep(self, service):
+        service.tick()
+        engine = service.session.engine()
+        view = engine.last_epoch_view
+        graph = engine.wiring.to_graph(active=view.active_list)
+        costs = shortest_path_costs_from(graph, 0, disconnection_cost=float("inf"))
+        for dst in (3, 7, 11):
+            assert service.lookup(0, dst)["value"] == pytest.approx(
+                float(costs[dst]), rel=1e-12
+            )
+
+    def test_want_path_returns_a_consistent_route(self, service):
+        service.tick()
+        result = service.lookup(0, 5, want_path=True)
+        path = result["path"]
+        assert path[0] == 0 and path[-1] == 5
+        assert len(path) == len(set(path))
+
+    def test_bandwidth_metric_lookup(self):
+        service = OverlayService(_spec(metric="bandwidth"))
+        service.tick()
+        engine = service.session.engine()
+        view = engine.last_epoch_view
+        graph = engine.wiring.to_graph(active=view.active_list)
+        widths = widest_path_bandwidths_from(graph, 2)
+        result = service.lookup(2, 9)
+        assert result["value"] == pytest.approx(float(widths[9]), rel=1e-12)
+        service.close()
+
+    def test_departed_node_is_unreachable(self, service):
+        service.tick()
+        service.mutate({"kind": "leave", "nodes": [5]})
+        service.tick()
+        result = service.lookup(0, 5)
+        assert result["value"] is None
+        assert result["reachable"] is False
+
+    def test_bad_pairs_rejected(self, service):
+        service.tick()
+        for src, dst in ((0, 0), (-1, 2), (0, 99), ("x", 1)):
+            with pytest.raises(ServeError):
+                service.lookup(src, dst)
+
+    def test_unknown_engine_rejected(self, service):
+        service.tick()
+        with pytest.raises(Exception):
+            service.lookup(0, 1, engine="nonesuch")
+
+
+class TestLookupBatch:
+    def test_batch_matches_single_lookups(self, service):
+        service.tick()
+        pairs = [[0, 5], [0, 7], [3, 4], [5, 0]]
+        batch = service.lookup_batch(pairs)
+        singles = [service.lookup(s, d)["value"] for s, d in pairs]
+        assert batch["values"] == singles
+        assert batch["epoch"] == 0
+
+    def test_batch_rejects_malformed_pairs(self, service):
+        service.tick()
+        with pytest.raises(ServeError):
+            service.lookup_batch([[0]])
+        with pytest.raises(ServeError):
+            service.lookup_batch("not-pairs")
+
+    def test_rows_are_memoized_within_a_version(self, service):
+        service.tick()
+        service.lookup_batch([[0, d] for d in range(1, 10)])
+        sweeps_before = service.counters["rows_from_sweep"]
+        cache_before = service.counters["rows_from_cache"]
+        service.lookup_batch([[0, d] for d in range(1, 10)])
+        assert service.counters["rows_from_sweep"] == sweeps_before
+        assert service.counters["rows_from_cache"] == cache_before
+
+    def test_memo_cleared_on_tick(self, service):
+        service.tick()
+        service.lookup(0, 5)
+        rows_before = (
+            service.counters["rows_from_sweep"] + service.counters["rows_from_cache"]
+        )
+        service.tick()
+        service.lookup(0, 5)
+        assert (
+            service.counters["rows_from_sweep"] + service.counters["rows_from_cache"]
+            == rows_before + 1
+        )
+
+
+class TestResidualCachePath:
+    def test_cache_row_matches_sweep_when_valid(self):
+        service = OverlayService(_spec(n=20))
+        for _ in range(6):
+            service.tick()
+        engine = service.session.engine()
+        view = engine.last_epoch_view
+        graph = engine.wiring.to_graph(active=view.active_list)
+        served_from_cache = 0
+        for src in view.active_list:
+            row = service._cache_row(engine, view, src)
+            if row is None:
+                continue
+            served_from_cache += 1
+            sweep = shortest_path_costs_from(
+                graph, src, disconnection_cost=float("inf")
+            )
+            finite = np.isfinite(sweep)
+            assert np.allclose(row[finite], sweep[finite], rtol=1e-12)
+        # The changelog screen accepts at least the last-stepped node's
+        # entry (its own trailing install cannot stale its residual).
+        assert served_from_cache >= 1
+        service.close()
+
+
+class TestMutateAndSubscribe:
+    def test_mutation_applies_next_epoch(self, service):
+        service.tick()
+        result = service.mutate({"kind": "leave", "nodes": [3]})
+        assert result["applied_epoch"] == 1
+        payload = service.tick()
+        (record,) = payload["records"].values()
+        assert record["active_nodes"] == 15
+
+    def test_failure_event_epoch_defaults_to_next(self, service):
+        service.tick()
+        service.mutate(
+            {"kind": "failure", "event": {"action": "node-down", "nodes": [2]}}
+        )
+        payload = service.tick()
+        (record,) = payload["records"].values()
+        assert record["active_nodes"] == 15
+
+    def test_malformed_mutation_rejected(self, service):
+        with pytest.raises(Exception):
+            service.mutate({"kind": "explode"})
+        with pytest.raises(ServeError):
+            service.mutate("leave 5")
+
+    def test_subscribers_see_every_tick(self, service):
+        seen = []
+        service.subscribe(seen.append)
+        service.tick()
+        service.tick()
+        assert [payload["epoch"] for payload in seen] == [0, 1]
+        assert all(payload["event"] == "epoch" for payload in seen)
+        assert all("digest" in payload and "cache" in payload for payload in seen)
+        service.unsubscribe(seen.append)
+        service.tick()
+        assert len(seen) == 2
+
+
+class TestLifecycleAndStats:
+    def test_snapshot_and_stats(self, service):
+        service.tick()
+        service.lookup(0, 1)
+        snapshot = service.snapshot()
+        assert snapshot["epochs_completed"] == 1
+        assert snapshot["batched"] is True
+        stats = service.stats()
+        assert stats["counters"]["lookups"] == 1
+        assert stats["counters"]["epochs"] == 1
+        assert "hit_rate" in stats["cache"]
+
+    def test_closed_service_refuses_requests(self, service):
+        service.tick()
+        service.close()
+        with pytest.raises(ServeError) as err:
+            service.lookup(0, 1)
+        assert err.value.code == "closed"
+        service.close()  # idempotent
