@@ -8,6 +8,8 @@ Usage::
     python -m repro.cli run --spec scenario.json
     python -m repro.cli spec fig3-epsilon --n 30 --output scenario.json
     python -m repro.cli sweep scenarios/fig_all.json --workers 4 --resume
+    python -m repro.cli sweep scenarios/fig_all.json --status --store /mnt/sweeps/run1
+    python -m repro.cli sweep-worker scenarios/fig_all.json --store shared-fs:/mnt/sweeps/run1
     python -m repro.cli serve --spec scenarios/serve_smoke.json --socket /tmp/overlay.sock
     python -m repro.cli serve-load --socket /tmp/overlay.sock --model multipath --lookups 1000000
     python -m repro.cli serve-replay serve-log.jsonl
@@ -28,7 +30,17 @@ executes the cells across a worker pool into a content-addressed
 cells, so an interrupted sweep picks up where it died), and prints the
 aggregated per-experiment tables.  ``--dry-run`` prints the plan —
 which cells exist, their spec hashes, and which are already complete —
-without running anything.
+without running anything.  ``--status`` reports live corpus progress
+(done/claimed/orphaned/failed/pending, per-host throughput) from the
+store's claim and completion records.
+
+``sweep-worker`` is the distributed counterpart: it drains unclaimed
+cells of a corpus from a (typically shared) store until everything is
+done, speaking the coordinator-free claim protocol of
+:mod:`repro.sweep.dist` — run any number of workers on any number of
+hosts against one ``--store`` directory (``shared-fs:PATH`` for NFS-style
+mounts) and they partition the corpus between them, reclaiming the cells
+of workers that die mid-cell once their lease expires.
 
 ``serve`` holds a spec's deployments live behind a local socket (see
 :mod:`repro.serve`), ``serve-load`` measures a running server with a
@@ -204,15 +216,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the expanded cell plan (and completion state) without running",
     )
     sweep_cmd.add_argument(
+        "--status",
+        action="store_true",
+        help=(
+            "report corpus progress (done/claimed/orphaned/failed/pending and "
+            "per-host throughput) from the store's claim records, without running"
+        ),
+    )
+    sweep_cmd.add_argument(
         "--json",
         action="store_true",
-        help="emit the --dry-run plan as JSON (for tooling)",
+        help="emit the --dry-run plan (or --status report) as JSON (for tooling)",
     )
     sweep_cmd.add_argument(
         "--store",
         type=str,
         default=None,
-        help="sweep store directory (default: sweep-store/<template-name>)",
+        help=(
+            "sweep store directory (default: sweep-store/<template-name>); "
+            "prefix with a backend, e.g. shared-fs:/mnt/sweeps/run1"
+        ),
+    )
+    sweep_cmd.add_argument(
+        "--lease",
+        type=float,
+        default=None,
+        help="work-claim lease seconds (matters when other workers share the store)",
     )
     sweep_cmd.add_argument(
         "--output",
@@ -221,6 +250,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for the aggregated per-experiment result JSON files",
     )
     sweep_cmd.add_argument(
+        "--sequential",
+        action="store_true",
+        help="use the bit-identical sequential reference kernels in every cell",
+    )
+
+    worker_cmd = sub.add_parser(
+        "sweep-worker",
+        help=(
+            "drain a sweep corpus cooperatively: claim, execute, and store "
+            "unclaimed cells until the corpus is done (run N of these on N hosts)"
+        ),
+    )
+    worker_cmd.add_argument(
+        "template", help="sweep template (or corpus 'include') JSON file"
+    )
+    worker_cmd.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        help=(
+            "shared sweep store directory (default: sweep-store/<template-name>); "
+            "prefix with a backend, e.g. shared-fs:/mnt/sweeps/run1"
+        ),
+    )
+    worker_cmd.add_argument(
+        "--lease",
+        type=float,
+        default=None,
+        help="claim lease seconds (heartbeats renew at lease/4; default 60)",
+    )
+    worker_cmd.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        help="seconds between rescans while waiting on other workers' cells",
+    )
+    worker_cmd.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        help="stop after executing this many cells here (default: unlimited)",
+    )
+    worker_cmd.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="give up waiting after this many idle seconds (default: wait forever)",
+    )
+    worker_cmd.add_argument(
+        "--retry-failed",
+        action="store_true",
+        help="re-attempt cells other workers marked failed (clears their records)",
+    )
+    worker_cmd.add_argument(
         "--sequential",
         action="store_true",
         help="use the bit-identical sequential reference kernels in every cell",
@@ -395,15 +478,35 @@ def _load_spec(path: str) -> ScenarioSpec:
         raise ValidationError(f"spec file {path!r}: {error}")
 
 
-def _sweep(args: argparse.Namespace) -> int:
-    """The ``sweep`` subcommand: expand, (dry-)run, aggregate."""
-    if args.json and not args.dry_run:
-        raise ValidationError("--json is the machine-readable plan: pass --dry-run with it")
+def _sweep_setup(args: argparse.Namespace):
+    """Expand the corpus and open its store (shared by sweep/sweep-worker)."""
     templates = load_templates(args.template)
     cells = expand_corpus(templates)
     corpus = os.path.splitext(os.path.basename(args.template))[0]
     store_dir = args.store or os.path.join("sweep-store", corpus)
-    store = SweepStore(store_dir)
+    return cells, corpus, store_dir, SweepStore(store_dir)
+
+
+def _sweep(args: argparse.Namespace) -> int:
+    """The ``sweep`` subcommand: expand, (dry-)run/status, aggregate."""
+    if args.json and not (args.dry_run or args.status):
+        raise ValidationError(
+            "--json is the machine-readable plan: pass --dry-run (or --status) with it"
+        )
+    if args.dry_run and args.status:
+        raise ValidationError("pass at most one of --dry-run and --status")
+    cells, corpus, store_dir, store = _sweep_setup(args)
+
+    if args.status:
+        from repro.sweep.dist import corpus_status, format_status
+
+        status = corpus_status(cells, store)
+        if args.json:
+            print(json.dumps(status.as_dict(), indent=2))
+        else:
+            for line in format_status(status, corpus, store_dir):
+                print(line)
+        return 0
 
     if args.dry_run:
         complete = sum(1 for cell in cells if store.has(cell.key))
@@ -440,6 +543,9 @@ def _sweep(args: argparse.Namespace) -> int:
                 )
         return 0
 
+    sweep_options = {}
+    if args.lease is not None:
+        sweep_options["lease_seconds"] = args.lease
     report = run_sweep(
         cells,
         store,
@@ -449,17 +555,25 @@ def _sweep(args: argparse.Namespace) -> int:
         on_cell=lambda cell: print(
             f"# cell {cell.key[:12]} done: {cell.spec.experiment} ({cell.describe()})"
         ),
+        **sweep_options,
     )
     print(f"# {report.summary()} store={store_dir}")
     if report.failed:
-        for key, error in report.failed:
-            print(f"# cell {key[:12]} FAILED: {error}", file=sys.stderr)
+        _print_failures(report.failed)
         print(
             f"error: {len(report.failed)} of {report.total} sweep cells failed; "
             "aggregation skipped (fix the cells and re-run with --resume)",
             file=sys.stderr,
         )
         return 1
+    if report.deferred:
+        print(
+            f"# {len(report.deferred)} cells deferred to other live workers; "
+            "aggregation skipped (re-run with --resume once they finish, or "
+            "check progress with --status)",
+            file=sys.stderr,
+        )
+        return 0
     merged = aggregate_cells(cells, store)
     for result in merged.values():
         print(f"# {result.figure}: {result.description}")
@@ -477,13 +591,92 @@ def _sweep(args: argparse.Namespace) -> int:
                 "workers": report.workers,
                 "executed": report.executed,
                 "skipped": report.skipped,
-                "failed": report.failed,
+                "failed": [failure.as_dict() for failure in report.failed],
+                "deferred": report.deferred,
             },
             "experiments": sorted(merged),
         }
         with open(os.path.join(args.output, "summary.json"), "w") as handle:
             json.dump(summary, handle, indent=2)
         print(f"# aggregated results written to {args.output}")
+    return 0
+
+
+def _print_failures(failures) -> None:
+    """Per-cell error lines plus the stored traceback, to stderr."""
+    for failure in failures:
+        print(f"# cell {failure.key[:12]} FAILED: {failure.error}", file=sys.stderr)
+        if failure.traceback:
+            for line in failure.traceback.rstrip().splitlines():
+                print(f"#   {line}", file=sys.stderr)
+
+
+def _sweep_worker(args: argparse.Namespace) -> int:
+    """The ``sweep-worker`` subcommand: drain a (shared) store's corpus."""
+    from repro.sweep.dist import run_worker
+
+    cells, corpus, store_dir, store = _sweep_setup(args)
+    print(f"# sweep-worker draining {corpus}: {len(cells)} cells -> {store_dir}")
+
+    def on_event(kind: str, cell, outcome) -> None:
+        if kind == "done":
+            suffix = " (reclaimed)" if outcome.get("reclaimed") else ""
+            print(
+                f"# cell {cell.key[:12]} done in {outcome.get('elapsed', 0.0):.2f}s: "
+                f"{cell.spec.experiment} ({cell.describe()}){suffix}",
+                flush=True,
+            )
+        elif kind == "failed":
+            print(f"# cell {cell.key[:12]} FAILED here", flush=True)
+        elif kind == "skipped-failed":
+            print(
+                f"# cell {cell.key[:12]} skipped: failure record from "
+                f"{outcome.get('host', '?')}:{outcome.get('pid', '?')}",
+                flush=True,
+            )
+        elif kind == "waiting":
+            print(
+                f"# waiting on {outcome.get('pending', '?')} cells claimed by "
+                "other workers...",
+                flush=True,
+            )
+
+    worker_options = {}
+    if args.lease is not None:
+        worker_options["lease_seconds"] = args.lease
+    report = run_worker(
+        cells,
+        store,
+        poll_seconds=args.poll,
+        batched=not args.sequential,
+        max_cells=args.max_cells,
+        retry_failed=args.retry_failed,
+        wait_timeout=args.timeout,
+        on_event=on_event,
+        **worker_options,
+    )
+    print(f"# {report.summary()} store={store_dir}")
+    if report.failed:
+        _print_failures(report.failed)
+    for key in report.skipped_failed:
+        print(
+            f"# cell {key[:12]} failed on another worker (see claims/{key}.failed)",
+            file=sys.stderr,
+        )
+    if report.timed_out:
+        print(
+            f"error: timed out with {len(report.pending)} cells still pending "
+            "(other workers hold live leases); re-run to keep waiting",
+            file=sys.stderr,
+        )
+        return 1
+    if report.failed_total():
+        print(
+            f"error: {report.failed_total()} of {report.total} sweep cells failed; "
+            "fix the cells and re-run (failure records carry the tracebacks)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -603,6 +796,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         if args.command == "sweep":
             return _sweep(args)
+
+        if args.command == "sweep-worker":
+            return _sweep_worker(args)
 
         if args.command == "spec":
             spec = _spec_from_args(args)

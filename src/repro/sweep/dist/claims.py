@@ -1,0 +1,354 @@
+"""Coordinator-free work claiming: atomic claim files with leases.
+
+The protocol (``docs/sweep_distributed.md`` is the narrative version):
+
+* To claim cell ``<key>``, a worker ``O_EXCL``-creates
+  ``claims/<key>.claim`` containing ``{key, host, pid, started,
+  lease_expiry, renewals}``.  Exactly one of any number of racing
+  creators wins; the rest move on to other cells.
+* While executing, the owner heartbeats: it atomically rewrites its
+  claim with a pushed-out ``lease_expiry`` (every lease/4 seconds).  A
+  renewal that finds the claim gone — or owned by someone else — means
+  the lease was lost; the owner keeps running (results are write-once
+  and byte-deterministic, so a double execution wastes time, never
+  correctness) but stops renewing.
+* Any worker may *reclaim* a claim whose lease has expired (the owner
+  died, or is wedged past its lease): it atomically renames the expired
+  claim to a private name, then ``O_EXCL``-creates a fresh claim.  Of N
+  racing reclaimers exactly one wins the rename; a reclaimer racing a
+  fresh claimer (who saw no file at all) is settled by the ``O_EXCL``
+  create.  No step reads-modifies-writes in place, so there is no
+  window in which two workers both believe they hold a live lease —
+  up to clock skew between hosts, which the lease length must dominate
+  (leases are wall-clock; keep them well above NTP-grade skew).
+* On completion the owner writes ``claims/<key>.done`` (host, pid,
+  started/finished timestamps — the per-host throughput record) and
+  deletes its claim.  On a crash *inside the cell*, it writes
+  ``claims/<key>.failed`` carrying the full traceback, so a remote
+  worker's failure is debuggable from the store directory alone.
+
+Everything is keyed by the store's content-addressed cell keys, so the
+claim layer composes with ``--resume`` for free: a completed cell is
+visible to every host as ``<key>.json``, and claims only ever gate the
+cells still missing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.sweep.dist.backend import StoreBackend
+from repro.util.validation import ValidationError
+
+#: Default lease length (seconds).  Heartbeats renew at lease/4, so a
+#: worker must be wedged for a full lease before its cell is up for
+#: reclamation; cells typically run seconds-to-minutes, making 60 s a
+#: safe floor that still reclaims a dead host's cells quickly.
+DEFAULT_LEASE_SECONDS = 60.0
+
+CLAIMS_DIR = "claims"
+
+_HOST_SANITIZER = re.compile(r"[^A-Za-z0-9_-]")
+
+
+def local_host() -> str:
+    """This host's name, sanitized for embedding in file names.
+
+    Dots and other separators become ``-`` so host names never collide
+    with the ``.``-delimited fields of temp/claim file names.
+    """
+    return _HOST_SANITIZER.sub("-", socket.gethostname()) or "unknown-host"
+
+
+@dataclass(frozen=True)
+class ClaimRecord:
+    """One claim file's contents: who holds the cell, until when."""
+
+    key: str
+    host: str
+    pid: int
+    started: float
+    lease_expiry: float
+    renewals: int = 0
+    #: True when this claim was taken over from an expired one.
+    reclaimed: bool = False
+
+    def owner(self) -> str:
+        """Display identity of the claim holder."""
+        return f"{self.host}:{self.pid}"
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "key": self.key,
+                "host": self.host,
+                "pid": self.pid,
+                "started": self.started,
+                "lease_expiry": self.lease_expiry,
+                "renewals": self.renewals,
+                "reclaimed": self.reclaimed,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ClaimRecord":
+        data = json.loads(text)
+        return cls(
+            key=str(data["key"]),
+            host=str(data["host"]),
+            pid=int(data["pid"]),
+            started=float(data["started"]),
+            lease_expiry=float(data["lease_expiry"]),
+            renewals=int(data.get("renewals", 0)),
+            reclaimed=bool(data.get("reclaimed", False)),
+        )
+
+
+class ClaimLost(RuntimeError):
+    """Raised by :meth:`ClaimStore.renew` when the lease is no longer ours."""
+
+
+class ClaimStore:
+    """Claim, heartbeat, and completion records under ``<root>/claims/``."""
+
+    def __init__(
+        self,
+        backend: StoreBackend,
+        *,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        host: Optional[str] = None,
+        pid: Optional[int] = None,
+        clock=time.time,
+    ):
+        if lease_seconds <= 0:
+            raise ValidationError(f"lease_seconds must be > 0, got {lease_seconds}")
+        self.backend = backend
+        self.lease_seconds = float(lease_seconds)
+        self.host = host if host is not None else local_host()
+        self.pid = int(pid) if pid is not None else os.getpid()
+        self.clock = clock
+
+    # ------------------------------------------------------------------ #
+    # Relative paths
+    # ------------------------------------------------------------------ #
+    def claim_rel(self, key: str) -> str:
+        return f"{CLAIMS_DIR}/{key}.claim"
+
+    def done_rel(self, key: str) -> str:
+        return f"{CLAIMS_DIR}/{key}.done"
+
+    def failed_rel(self, key: str) -> str:
+        return f"{CLAIMS_DIR}/{key}.failed"
+
+    # ------------------------------------------------------------------ #
+    # The claim protocol
+    # ------------------------------------------------------------------ #
+    def read(self, key: str) -> Optional[ClaimRecord]:
+        """The current claim on ``key``, or None when unclaimed.
+
+        A claim file that does not parse (a torn write on a misbehaving
+        mount — atomic writes should make this impossible) is treated as
+        expired-at-epoch, so it is reclaimable rather than wedging the
+        cell forever.
+        """
+        return self._parse(key, self.backend.read_text(self.claim_rel(key)))
+
+    @staticmethod
+    def _parse(key: str, text: Optional[str]) -> Optional[ClaimRecord]:
+        if text is None:
+            return None
+        try:
+            return ClaimRecord.from_json(text)
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return ClaimRecord(
+                key=key, host="corrupt", pid=0, started=0.0, lease_expiry=0.0
+            )
+
+    def expired(self, record: ClaimRecord, now: Optional[float] = None) -> bool:
+        """Whether the claim's lease has lapsed."""
+        return (self.clock() if now is None else now) >= record.lease_expiry
+
+    def try_claim(self, key: str) -> Optional[ClaimRecord]:
+        """Attempt to claim ``key``; None when a live claim holds it.
+
+        An expired claim is taken over: the stale file is atomically
+        renamed to a private name (of N racing reclaimers exactly one
+        wins the rename), then a fresh claim is created the normal way.
+        """
+        now = self.clock()
+        record = ClaimRecord(
+            key=key,
+            host=self.host,
+            pid=self.pid,
+            started=now,
+            lease_expiry=now + self.lease_seconds,
+        )
+        if self.backend.create_exclusive(self.claim_rel(key), record.to_json()):
+            return record
+        existing = self.read(key)
+        if existing is None:
+            # Released between our create and read; retry the create once.
+            if self.backend.create_exclusive(self.claim_rel(key), record.to_json()):
+                return record
+            return None
+        if not self.expired(existing, now):
+            return None
+        takeover_rel = f"{CLAIMS_DIR}/.{key}.{self.host}.{self.pid}.takeover"
+        if not self.backend.rename(self.claim_rel(key), takeover_rel):
+            return None  # another reclaimer won the rename
+        stolen_text = self.backend.read_text(takeover_rel)
+        if self._parse(key, stolen_text) != existing:
+            # ABA: between our read and rename another reclaimer took the
+            # slot and a *live* claim replaced the expired one — we just
+            # renamed away someone's active lease.  Hand it back (unless a
+            # third claimer already refilled the slot, in which case the
+            # stolen owner notices at its next renew and keeps running;
+            # write-once determinism makes the double execution harmless).
+            if stolen_text is not None:
+                self.backend.create_exclusive(self.claim_rel(key), stolen_text)
+            self.backend.unlink(takeover_rel)
+            return None
+        self.backend.unlink(takeover_rel)
+        record = replace(record, reclaimed=True)
+        if self.backend.create_exclusive(self.claim_rel(key), record.to_json()):
+            return record
+        return None  # a fresh claimer slipped in after our rename
+
+    def renew(self, record: ClaimRecord) -> ClaimRecord:
+        """Push the lease out; raises :class:`ClaimLost` when not ours.
+
+        The rewrite is atomic (temp + rename) so readers on other hosts
+        never observe a torn claim.
+        """
+        current = self.read(record.key)
+        if current is None or current.host != record.host or current.pid != record.pid:
+            raise ClaimLost(
+                f"claim on {record.key} is no longer held by {record.owner()} "
+                f"(now: {current.owner() if current else 'unclaimed'})"
+            )
+        renewed = replace(
+            record,
+            lease_expiry=self.clock() + self.lease_seconds,
+            renewals=record.renewals + 1,
+        )
+        tmp_rel = f"{CLAIMS_DIR}/.{record.key}.{self.host}.{self.pid}.renew.tmp"
+        self.backend.write_atomic(self.claim_rel(record.key), renewed.to_json(), tmp_rel)
+        return renewed
+
+    def release(self, record: ClaimRecord) -> None:
+        """Drop our claim (after the result — or failure record — landed).
+
+        Only releases a claim we still hold: if the lease was reclaimed
+        while we ran, the new owner's claim is left untouched.
+        """
+        current = self.read(record.key)
+        if current is not None and (
+            current.host == record.host and current.pid == record.pid
+        ):
+            self.backend.unlink(self.claim_rel(record.key))
+
+    # ------------------------------------------------------------------ #
+    # Completion and failure records
+    # ------------------------------------------------------------------ #
+    def mark_done(
+        self,
+        key: str,
+        *,
+        started: float,
+        finished: float,
+        experiment: str = "",
+        reclaimed: bool = False,
+    ) -> None:
+        """Persist the per-host completion record for ``key``."""
+        document = {
+            "key": key,
+            "host": self.host,
+            "pid": self.pid,
+            "started": started,
+            "finished": finished,
+            "elapsed": max(0.0, finished - started),
+            "experiment": experiment,
+            "reclaimed": reclaimed,
+        }
+        tmp_rel = f"{CLAIMS_DIR}/.{key}.{self.host}.{self.pid}.done.tmp"
+        self.backend.write_atomic(self.done_rel(key), json.dumps(document, sort_keys=True), tmp_rel)
+
+    def mark_failed(self, key: str, *, error: str, traceback_text: str) -> None:
+        """Persist a failure record (with the full traceback) for ``key``."""
+        document = {
+            "key": key,
+            "host": self.host,
+            "pid": self.pid,
+            "time": self.clock(),
+            "error": error,
+            "traceback": traceback_text,
+        }
+        tmp_rel = f"{CLAIMS_DIR}/.{key}.{self.host}.{self.pid}.failed.tmp"
+        self.backend.write_atomic(
+            self.failed_rel(key), json.dumps(document, sort_keys=True), tmp_rel
+        )
+
+    def clear_failed(self, key: str) -> bool:
+        """Remove a failure record (a fresh attempt is about to run)."""
+        return self.backend.unlink(self.failed_rel(key))
+
+    def done_record(self, key: str) -> Optional[Dict[str, object]]:
+        return self._read_json(self.done_rel(key))
+
+    def failed_record(self, key: str) -> Optional[Dict[str, object]]:
+        return self._read_json(self.failed_rel(key))
+
+    def _read_json(self, rel: str) -> Optional[Dict[str, object]]:
+        text = self.backend.read_text(rel)
+        if text is None:
+            return None
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError:
+            return None
+
+    # ------------------------------------------------------------------ #
+    # Listings (the status layer's raw material)
+    # ------------------------------------------------------------------ #
+    def _keys_with_suffix(self, suffix: str) -> List[str]:
+        keys = []
+        for entry in self.backend.listdir(CLAIMS_DIR):
+            if entry.startswith("."):
+                continue
+            if entry.endswith(suffix):
+                keys.append(entry[: -len(suffix)])
+        return keys
+
+    def claim_records(self) -> Dict[str, ClaimRecord]:
+        """Every current claim, keyed by cell key."""
+        records = {}
+        for key in self._keys_with_suffix(".claim"):
+            record = self.read(key)
+            if record is not None:
+                records[key] = record
+        return records
+
+    def done_records(self) -> Dict[str, Dict[str, object]]:
+        """Every completion record, keyed by cell key."""
+        records = {}
+        for key in self._keys_with_suffix(".done"):
+            record = self.done_record(key)
+            if record is not None:
+                records[key] = record
+        return records
+
+    def failed_records(self) -> Dict[str, Dict[str, object]]:
+        """Every failure record, keyed by cell key."""
+        records = {}
+        for key in self._keys_with_suffix(".failed"):
+            record = self.failed_record(key)
+            if record is not None:
+                records[key] = record
+        return records

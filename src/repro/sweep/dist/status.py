@@ -1,0 +1,216 @@
+"""Corpus progress from claim + result metadata: ``repro sweep --status``.
+
+The status view is computed purely from the store directory — cell
+files, claim files, done/failed markers — so it can be asked from any
+host sharing the store, with no worker cooperation:
+
+* **done** — the cell's result file exists;
+* **claimed** — a claim with a live (unexpired) lease holds the cell;
+* **orphaned** — a claim exists but its lease has expired: the owner
+  died or stalled, and the next worker to scan will reclaim it;
+* **failed** — a worker left a ``claims/<key>.failed`` record (with the
+  traceback) and no result exists;
+* **pending** — none of the above: unclaimed, waiting for a worker.
+
+Per-host throughput comes from the ``claims/<key>.done`` completion
+records each worker writes next to the result: cells per host, total
+compute seconds, and the wall-clock span from the host's first claim to
+its last completion.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.sweep.dist.claims import ClaimStore
+
+if TYPE_CHECKING:  # imported lazily at run time to avoid a package cycle
+    from repro.sweep.store import SweepStore
+    from repro.sweep.template import SweepCell
+
+
+@dataclass(frozen=True)
+class CellStatus:
+    """One cell's state in the corpus."""
+
+    key: str
+    state: str  # done | claimed | orphaned | failed | pending
+    experiment: str
+    coordinates: str
+    #: ``host:pid`` of the claim/failure holder, when one exists.
+    owner: Optional[str] = None
+    #: Seconds until (claimed) or since (orphaned) lease expiry.
+    lease_seconds: Optional[float] = None
+    #: One-line error for failed cells.
+    error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class HostThroughput:
+    """Completion-record aggregate for one host."""
+
+    host: str
+    cells: int
+    #: Summed per-cell execution seconds.
+    elapsed: float
+    #: Wall-clock span from first start to last finish on this host.
+    span: float
+    reclaimed: int
+
+    @property
+    def throughput(self) -> float:
+        """Completed cells per wall-clock second (0 when span is 0)."""
+        return self.cells / self.span if self.span > 0 else 0.0
+
+
+@dataclass
+class SweepStatus:
+    """The whole corpus' progress snapshot."""
+
+    total: int
+    done: int = 0
+    claimed: int = 0
+    orphaned: int = 0
+    failed: int = 0
+    pending: int = 0
+    cells: List[CellStatus] = field(default_factory=list)
+    hosts: List[HostThroughput] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One machine-greppable line (the CI smoke asserts on it)."""
+        return (
+            f"SWEEP-STATUS total={self.total} done={self.done} "
+            f"claimed={self.claimed} orphaned={self.orphaned} "
+            f"failed={self.failed} pending={self.pending}"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "total": self.total,
+            "done": self.done,
+            "claimed": self.claimed,
+            "orphaned": self.orphaned,
+            "failed": self.failed,
+            "pending": self.pending,
+            "cells": [
+                {
+                    "key": cell.key,
+                    "state": cell.state,
+                    "experiment": cell.experiment,
+                    "coordinates": cell.coordinates,
+                    "owner": cell.owner,
+                    "lease_seconds": cell.lease_seconds,
+                    "error": cell.error,
+                }
+                for cell in self.cells
+            ],
+            "hosts": [
+                {
+                    "host": host.host,
+                    "cells": host.cells,
+                    "elapsed": host.elapsed,
+                    "span": host.span,
+                    "reclaimed": host.reclaimed,
+                    "throughput": host.throughput,
+                }
+                for host in self.hosts
+            ],
+        }
+
+
+def corpus_status(
+    cells: "Sequence[SweepCell]",
+    store: "SweepStore",
+    *,
+    now: Optional[float] = None,
+) -> SweepStatus:
+    """Classify every cell of the corpus against the store's records."""
+    claims = ClaimStore(store.backend)
+    moment = time.time() if now is None else now
+    claim_records = claims.claim_records()
+    failed_records = claims.failed_records()
+    done_records = claims.done_records()
+
+    status = SweepStatus(total=len(cells))
+    for cell in cells:
+        owner = None
+        lease = None
+        error = None
+        if store.has(cell.key):
+            state = "done"
+            record = done_records.get(cell.key)
+            if record is not None:
+                owner = f"{record.get('host', '?')}:{record.get('pid', '?')}"
+        elif cell.key in claim_records:
+            claim = claim_records[cell.key]
+            owner = claim.owner()
+            lease = claim.lease_expiry - moment
+            state = "claimed" if lease > 0 else "orphaned"
+        elif cell.key in failed_records:
+            record = failed_records[cell.key]
+            state = "failed"
+            owner = f"{record.get('host', '?')}:{record.get('pid', '?')}"
+            error = str(record.get("error", ""))
+        else:
+            state = "pending"
+        setattr(status, state, getattr(status, state) + 1)
+        status.cells.append(
+            CellStatus(
+                key=cell.key,
+                state=state,
+                experiment=cell.spec.experiment,
+                coordinates=cell.describe(),
+                owner=owner,
+                lease_seconds=lease,
+                error=error,
+            )
+        )
+
+    by_host: Dict[str, List[Dict[str, object]]] = {}
+    for record in done_records.values():
+        by_host.setdefault(str(record.get("host", "?")), []).append(record)
+    for host in sorted(by_host):
+        records = by_host[host]
+        starts = [float(r.get("started", 0.0)) for r in records]
+        finishes = [float(r.get("finished", 0.0)) for r in records]
+        status.hosts.append(
+            HostThroughput(
+                host=host,
+                cells=len(records),
+                elapsed=sum(float(r.get("elapsed", 0.0)) for r in records),
+                span=max(finishes) - min(starts) if records else 0.0,
+                reclaimed=sum(1 for r in records if r.get("reclaimed")),
+            )
+        )
+    return status
+
+
+def format_status(status: SweepStatus, corpus: str, store_root: str) -> List[str]:
+    """Human-readable status lines, ending with the greppable summary."""
+    lines = [
+        f"# sweep status {corpus}: {status.total} cells -> {store_root}",
+    ]
+    for cell in status.cells:
+        detail = ""
+        if cell.state == "claimed" and cell.lease_seconds is not None:
+            detail = f" by {cell.owner} (lease expires in {cell.lease_seconds:.1f}s)"
+        elif cell.state == "orphaned" and cell.lease_seconds is not None:
+            detail = f" by {cell.owner} (lease expired {-cell.lease_seconds:.1f}s ago)"
+        elif cell.state == "failed":
+            detail = f" on {cell.owner}: {cell.error}"
+        elif cell.state == "done" and cell.owner is not None:
+            detail = f" by {cell.owner}"
+        lines.append(
+            f"{cell.key[:12]}  {cell.state:>8}  {cell.experiment}  "
+            f"{cell.coordinates}{detail}"
+        )
+    for host in status.hosts:
+        lines.append(
+            f"# host {host.host}: cells={host.cells} "
+            f"compute={host.elapsed:.1f}s span={host.span:.1f}s "
+            f"rate={host.throughput:.2f} cells/s reclaimed={host.reclaimed}"
+        )
+    lines.append(status.summary())
+    return lines

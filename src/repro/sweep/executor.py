@@ -4,15 +4,23 @@
 cell grid against the :class:`~repro.sweep.store.SweepStore` (``resume``
 skips completed cells), fans the pending cells across a
 ``multiprocessing`` pool, and persists every finished cell as soon as its
-result arrives — so killing the sweep loses at most the cells in flight.
+result is computed — so killing the sweep loses at most the cells in
+flight.
 
-Workers run whole cells through the existing
-:class:`~repro.scenario.session.SimulationSession` facade: each cell is
-an independent deterministic simulation seeded by its own spec, and the
-fused ``DeploymentBatch``/``EngineBatch`` kernels are reused inside every
-worker.  Because a cell's result is a pure function of its spec, results
-are byte-identical across ``workers=1`` and ``workers=N`` regardless of
-scheduling order.
+Since the distributed layer landed, the local pool is *one backend of
+the same claim protocol* that ``repro sweep-worker`` speaks across
+hosts: every pool worker claims its cell
+(:func:`repro.sweep.dist.worker.execute_cell_claimed` — ``O_EXCL`` claim
+file, heartbeat lease renewal, done/failed side records), executes it
+through the existing :class:`~repro.scenario.session.SimulationSession`
+facade, and writes the result itself.  A ``repro sweep`` and any number
+of ``sweep-worker`` processes (local or remote, via a ``shared-fs``
+store) can therefore share one store without duplicating work: a cell
+another live worker holds is *deferred*, not re-run.
+
+Because a cell's result is a pure function of its spec, results are
+byte-identical across ``workers=1`` and ``workers=N`` regardless of
+scheduling order — and across hosts.
 
 The pool prefers the cheap ``fork`` start method (Linux) and falls back
 to ``spawn`` elsewhere; the worker entry point is a module-level function
@@ -25,30 +33,44 @@ import multiprocessing
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.scenario.spec import ScenarioSpec
+from repro.sweep.dist.claims import DEFAULT_LEASE_SECONDS
+from repro.sweep.dist.worker import CellFailure, execute_cell_claimed
 from repro.sweep.store import SweepStore
 from repro.sweep.template import SweepCell
 from repro.util.validation import ValidationError
 
 
-def _execute_cell(payload: Tuple[int, Dict[str, object], bool]):
-    """Worker entry point: run one cell's scenario, return its outcome.
+def _execute_cell(payload: Tuple[int, str, Dict[str, object], Dict[str, object]]):
+    """Pool entry point: claim and run one cell, return its outcome.
 
-    Returns ``(index, result_dict, None)`` on success and
-    ``(index, None, "ExcType: message")`` on failure.  A crashing cell
-    must surface as a per-cell failure record, not as the pool's own
+    Returns ``(index, outcome_dict)``; the outcome's ``status`` is
+    ``done`` / ``failed`` / ``claimed`` / ``already-done`` (see
+    :func:`repro.sweep.dist.worker.execute_cell_claimed`).  A crashing
+    cell surfaces as a ``failed`` outcome, not as the pool's own
     exception — ``imap_unordered`` would re-raise it in the parent and
     abort every other in-flight cell with a bare traceback.
     """
-    index, spec_dict, batched = payload
-    from repro.scenario.session import SimulationSession
-
+    index, key, spec_dict, options = payload
     try:
-        spec = ScenarioSpec.from_dict(spec_dict)
-        result = SimulationSession(spec, batched=batched).run()
-    except Exception as error:  # noqa: BLE001 - contained per cell by design
-        return index, None, f"{type(error).__name__}: {error}"
-    return index, result.as_dict(), None
+        outcome = execute_cell_claimed(
+            key,
+            spec_dict,
+            store_spec=str(options["store_spec"]),
+            batched=bool(options["batched"]),
+            lease_seconds=float(options["lease_seconds"]),
+            skip_done=bool(options["skip_done"]),
+            clear_failed=True,
+        )
+    except Exception as error:  # noqa: BLE001 - protocol errors contained too
+        import traceback
+
+        outcome = {
+            "key": key,
+            "status": "failed",
+            "error": f"{type(error).__name__}: {error}",
+            "traceback": traceback.format_exc(),
+        }
+    return index, outcome
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -65,16 +87,22 @@ class SweepReport:
     workers: int
     executed: List[str] = field(default_factory=list)
     skipped: List[str] = field(default_factory=list)
-    #: ``(cell key, error string)`` of every cell whose run raised.
-    failed: List[Tuple[str, str]] = field(default_factory=list)
+    #: Every cell whose run raised: key, one-line error, full traceback.
+    failed: List[CellFailure] = field(default_factory=list)
+    #: Cells another live worker held (their lease was valid): nothing
+    #: ran here; a concurrent ``sweep-worker`` — possibly on another
+    #: host — owns them.
+    deferred: List[str] = field(default_factory=list)
 
     def summary(self) -> str:
         """One machine-greppable line (CI asserts on ``skipped=...``)."""
-        return (
+        line = (
             f"SWEEP total={self.total} executed={len(self.executed)} "
-            f"skipped={len(self.skipped)} failed={len(self.failed)} "
-            f"workers={self.workers}"
+            f"skipped={len(self.skipped)} failed={len(self.failed)}"
         )
+        if self.deferred:
+            line += f" deferred={len(self.deferred)}"
+        return f"{line} workers={self.workers}"
 
 
 def run_sweep(
@@ -84,6 +112,7 @@ def run_sweep(
     workers: int = 1,
     batched: bool = True,
     resume: bool = False,
+    lease_seconds: float = DEFAULT_LEASE_SECONDS,
     on_cell: Optional[Callable[[SweepCell], None]] = None,
 ) -> SweepReport:
     """Execute ``cells`` into ``store``; returns the execution report.
@@ -105,19 +134,25 @@ def run_sweep(
     resume:
         Skip cells whose key is already in the store.  Without it every
         cell re-executes (and overwrites its content-identical file).
+    lease_seconds:
+        Claim lease length for the work-claiming protocol (matters only
+        when other workers share the store).
     on_cell:
         Optional progress callback, invoked with each cell as its result
         is persisted.
 
-    A cell whose run raises is recorded in ``report.failed`` (key plus a
-    one-line error) and the remaining cells keep draining; nothing is
-    stored for failed cells, so a fixed-up re-run with ``resume`` picks
-    exactly them up again.
+    A cell whose run raises is recorded in ``report.failed`` (key,
+    one-line error, and the full traceback — also persisted as
+    ``claims/<key>.failed`` in the store) and the remaining cells keep
+    draining; nothing is stored for failed cells, so a fixed-up re-run
+    with ``resume`` picks exactly them up again.  A cell held by another
+    live worker's lease lands in ``report.deferred`` instead of being
+    duplicated.
     """
     if workers < 1:
         raise ValidationError("workers must be >= 1")
-    # A sweep killed mid-write may have left .<key>.<pid>.tmp orphans
-    # behind; every sweep start reclaims the ones whose writer is gone.
+    # A sweep killed mid-write may have left .<key>.<host>.<pid>.tmp
+    # orphans behind; every sweep start reclaims this host's dead ones.
     store.purge_stale_tmp()
     report = SweepReport(total=len(cells), workers=int(workers))
     pending: List[SweepCell] = []
@@ -130,31 +165,50 @@ def run_sweep(
         return report
 
     by_index = dict(enumerate(pending))
+    options = {
+        "store_spec": store.backend.describe(),
+        "batched": bool(batched),
+        "lease_seconds": float(lease_seconds),
+        # Without --resume a re-run must re-execute even completed cells;
+        # with it, skip_done also absorbs races with concurrent workers
+        # that finish a cell between our filter and our claim.
+        "skip_done": bool(resume),
+    }
     payloads = [
-        (index, cell.spec.to_dict(), bool(batched))
+        (index, cell.key, cell.spec.to_dict(), options)
         for index, cell in by_index.items()
     ]
 
-    def record(index: int, result: Optional[Dict[str, object]], error: Optional[str]) -> None:
+    def record(index: int, outcome: Dict[str, object]) -> None:
         cell = by_index[index]
-        if error is not None:
-            report.failed.append((cell.key, error))
-            return
-        store.put(cell.key, cell.spec.to_dict(), result)
-        report.executed.append(cell.key)
-        if on_cell is not None:
-            on_cell(cell)
+        status = outcome.get("status")
+        if status == "failed":
+            report.failed.append(
+                CellFailure(
+                    key=cell.key,
+                    error=str(outcome.get("error", "")),
+                    traceback=str(outcome.get("traceback", "")),
+                )
+            )
+        elif status == "claimed":
+            report.deferred.append(cell.key)
+        elif status == "already-done":
+            report.skipped.append(cell.key)
+        else:  # done
+            report.executed.append(cell.key)
+            if on_cell is not None:
+                on_cell(cell)
 
     if workers == 1 or len(pending) == 1:
         for payload in payloads:
-            index, result, error = _execute_cell(payload)
-            record(index, result, error)
+            index, outcome = _execute_cell(payload)
+            record(index, outcome)
         return report
 
     context = _pool_context()
     with context.Pool(processes=min(workers, len(pending))) as pool:
-        for index, result, error in pool.imap_unordered(
+        for index, outcome in pool.imap_unordered(
             _execute_cell, payloads, chunksize=1
         ):
-            record(index, result, error)
+            record(index, outcome)
     return report

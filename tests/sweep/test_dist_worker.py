@@ -1,0 +1,214 @@
+"""Tests for the sweep-worker drain loop and multi-process store sharing."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.sweep import SweepStore, SweepTemplate, run_sweep
+from repro.sweep.dist import ClaimStore, local_host, run_worker
+from repro.util.validation import ValidationError
+
+TEMPLATE = {
+    "name": "dist-test",
+    "base": {
+        "experiment": "fig1-delay-ping",
+        "n": 10,
+        "k_grid": [2],
+        "br_rounds": 1,
+        "seed": 3,
+    },
+    "axes": {
+        "panel": [
+            {"label": "ping", "experiment": "fig1-delay-ping", "metric": "delay-ping"},
+            {"label": "load", "experiment": "fig1-node-load", "metric": "load"},
+        ],
+        "n": [10, 12],
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return SweepTemplate.from_dict(TEMPLATE).expand()
+
+
+def store_bytes(root):
+    """Every result file's exact bytes, keyed by file name."""
+    return {
+        name: (root / name).read_bytes()
+        for name in os.listdir(root)
+        if name.endswith(".json")
+    }
+
+
+class TestRunWorker:
+    def test_drains_corpus_byte_identical_to_run_sweep(self, cells, tmp_path):
+        reference = SweepStore(str(tmp_path / "ref"))
+        run_sweep(cells, reference, workers=1)
+        store = SweepStore(str(tmp_path / "worker"))
+        report = run_worker(cells, store, lease_seconds=30.0)
+        assert sorted(report.executed) == sorted(cell.key for cell in cells)
+        assert report.failed == [] and report.pending == []
+        assert not report.timed_out
+        assert store_bytes(tmp_path / "worker") == store_bytes(tmp_path / "ref")
+        # Completion records landed for every cell.
+        claims = ClaimStore(store.backend)
+        assert sorted(claims.done_records()) == sorted(c.key for c in cells)
+        assert claims.claim_records() == {}  # every claim released
+
+    def test_skips_cells_already_done(self, cells, tmp_path):
+        store = SweepStore(str(tmp_path))
+        run_sweep(cells[:2], store, workers=1)
+        report = run_worker(cells, store, lease_seconds=30.0)
+        assert sorted(report.skipped_done) == sorted(c.key for c in cells[:2])
+        assert sorted(report.executed) == sorted(c.key for c in cells[2:])
+
+    def test_reclaims_a_dead_workers_expired_lease(self, cells, tmp_path):
+        """Satellite: lease expiry + reclamation of a dead worker's cell."""
+        store = SweepStore(str(tmp_path))
+        dead = ClaimStore(
+            store.backend, lease_seconds=1e-9, host="dead-host", pid=12345
+        )
+        assert dead.try_claim(cells[0].key) is not None
+        report = run_worker(cells, store, lease_seconds=30.0)
+        assert sorted(report.executed) == sorted(cell.key for cell in cells)
+        assert report.reclaimed == [cells[0].key]
+        assert store.has(cells[0].key)
+        done = ClaimStore(store.backend).done_record(cells[0].key)
+        assert done["reclaimed"] is True
+
+    def test_waits_out_live_leases_then_times_out(self, cells, tmp_path):
+        store = SweepStore(str(tmp_path))
+        holder = ClaimStore(
+            store.backend, lease_seconds=300.0, host="other-host", pid=1
+        )
+        assert holder.try_claim(cells[0].key) is not None
+        events = []
+        report = run_worker(
+            cells,
+            store,
+            lease_seconds=30.0,
+            poll_seconds=0.05,
+            wait_timeout=0.3,
+            on_event=lambda kind, cell, outcome: events.append(kind),
+        )
+        assert report.timed_out
+        assert report.pending == [cells[0].key]
+        assert sorted(report.executed) == sorted(c.key for c in cells[1:])
+        assert report.waited_rounds >= 1
+        assert "waiting" in events
+        assert "pending=1" in report.summary()
+
+    def test_skips_failure_marked_cells_by_default(self, cells, tmp_path):
+        store = SweepStore(str(tmp_path))
+        marker = ClaimStore(store.backend, host="other-host", pid=1)
+        marker.mark_failed(cells[0].key, error="Boom: x", traceback_text="TB")
+        report = run_worker(cells, store, lease_seconds=30.0)
+        assert report.skipped_failed == [cells[0].key]
+        assert not store.has(cells[0].key)
+        assert report.failed_total() == 1
+        assert "failed=1" in report.summary()
+        # retry_failed clears the record and executes the cell.
+        retry = run_worker(cells, store, lease_seconds=30.0, retry_failed=True)
+        assert retry.executed == [cells[0].key]
+        assert store.has(cells[0].key)
+        assert marker.failed_record(cells[0].key) is None
+
+    def test_max_cells_bounds_own_executions(self, cells, tmp_path):
+        store = SweepStore(str(tmp_path))
+        report = run_worker(cells, store, lease_seconds=30.0, max_cells=2)
+        assert len(report.executed) == 2
+        assert len(report.pending) == len(cells) - 2
+        assert "pending=2" in report.summary()
+
+    def test_invalid_poll_rejected(self, cells, tmp_path):
+        with pytest.raises(ValidationError, match="poll_seconds"):
+            run_worker(cells, SweepStore(str(tmp_path)), poll_seconds=0.0)
+
+
+class TestConcurrentWorkerProcesses:
+    def test_two_worker_processes_share_one_store(self, cells, tmp_path):
+        """Satellite: byte-identical store for workers=1 vs two concurrent
+        ``sweep-worker`` processes, with the corpus partitioned between
+        them (no cell executed twice)."""
+        import json
+
+        template_path = tmp_path / "template.json"
+        template_path.write_text(json.dumps(TEMPLATE))
+        reference = SweepStore(str(tmp_path / "ref"))
+        run_sweep(cells, reference, workers=1)
+
+        shared = tmp_path / "shared"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath("src")
+        command = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "sweep-worker",
+            str(template_path),
+            "--store",
+            str(shared),
+            "--lease",
+            "30",
+            "--poll",
+            "0.05",
+            "--timeout",
+            "120",
+        ]
+        procs = [
+            subprocess.Popen(
+                command, env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                text=True,
+            )
+            for _ in range(2)
+        ]
+        outputs = [proc.communicate(timeout=180)[0] for proc in procs]
+        assert [proc.returncode for proc in procs] == [0, 0], outputs
+        assert store_bytes(shared) == store_bytes(tmp_path / "ref")
+
+        # Parse each worker's summary: together they cover the corpus,
+        # and no cell ran twice (executed counts sum to the total).
+        summaries = []
+        for output in outputs:
+            lines = [l for l in output.splitlines() if "SWEEP total=" in l]
+            assert lines, output
+            summaries.append(lines[-1])
+        executed = [
+            int(summary.split("executed=")[1].split()[0]) for summary in summaries
+        ]
+        assert sum(executed) == len(cells), summaries
+        for summary in summaries:
+            assert "failed=0" in summary
+            assert "pending" not in summary
+        # The done records partition the corpus across the worker pids.
+        # (On a loaded single-core box one worker may drain everything
+        # before the other finishes starting, so require coverage and
+        # containment, not that both pids appear.)
+        done = ClaimStore(SweepStore(str(shared)).backend).done_records()
+        assert sorted(done) == sorted(cell.key for cell in cells)
+        pids = {record["pid"] for record in done.values()}
+        assert pids and pids <= {proc.pid for proc in procs}
+        assert all(record["host"] == local_host() for record in done.values())
+
+    def test_worker_process_completes_after_owner_dies(self, cells, tmp_path):
+        """A worker killed mid-cell leaves an expired claim; a fresh
+        worker reclaims it and finishes the corpus."""
+        store = SweepStore(str(tmp_path))
+        # Fake the dead worker: a claim from a pid that no longer runs,
+        # with a lease that expires almost immediately.
+        dying = ClaimStore(
+            store.backend, lease_seconds=0.05, host=local_host(), pid=999999999
+        )
+        assert dying.try_claim(cells[0].key) is not None
+        import time
+
+        time.sleep(0.06)
+        report = run_worker(cells, store, lease_seconds=30.0, poll_seconds=0.05)
+        assert sorted(report.executed) == sorted(cell.key for cell in cells)
+        assert cells[0].key in report.reclaimed
+        assert report.pending == [] and not report.timed_out

@@ -119,8 +119,18 @@ class TestExecution:
         assert sorted(report.executed) == sorted(
             c.key for c in (mixed[0], mixed[2])
         )
-        assert [key for key, _ in report.failed] == [bad.key]
-        assert "churn" in report.failed[0][1]
+        assert [failure.key for failure in report.failed] == [bad.key]
+        assert "churn" in report.failed[0].error
+        # The full traceback travels with the failure record — and is
+        # persisted next to the store, so a remote worker's crash is
+        # debuggable from the store directory alone.
+        assert "Traceback (most recent call last)" in report.failed[0].traceback
+        from repro.sweep.dist import ClaimStore
+
+        stored_failure = ClaimStore(store.backend).failed_record(bad.key)
+        assert stored_failure is not None
+        assert "churn" in stored_failure["error"]
+        assert "Traceback (most recent call last)" in stored_failure["traceback"]
         assert store.has(mixed[0].key) and store.has(mixed[2].key)
         assert not store.has(bad.key)  # failed cells store nothing
         assert "failed=1" in report.summary()
@@ -129,12 +139,42 @@ class TestExecution:
         assert resumed.skipped == [mixed[0].key]
 
     def test_run_sweep_purges_stale_tmp_files(self, cells, tmp_path):
+        from repro.sweep.dist import local_host
+
         store = SweepStore(str(tmp_path))
         run_sweep(cells[:1], store, workers=1)
-        orphan = tmp_path / f".{cells[0].key}.999999999.tmp"
+        orphan = tmp_path / f".{cells[0].key}.{local_host()}.999999999.tmp"
         orphan.write_text("truncated")
         run_sweep(cells[:1], store, workers=1, resume=True)
         assert not orphan.exists()
+
+    def test_run_sweep_defers_cells_claimed_by_live_workers(self, cells, tmp_path):
+        """A cell another live worker holds is not duplicated here."""
+        from repro.sweep.dist import ClaimStore
+
+        store = SweepStore(str(tmp_path))
+        foreign = ClaimStore(
+            store.backend, lease_seconds=300.0, host="other-host", pid=1
+        )
+        held = foreign.try_claim(cells[0].key)
+        assert held is not None
+        report = run_sweep(cells, store, workers=1)
+        assert report.deferred == [cells[0].key]
+        assert sorted(report.executed) == sorted(c.key for c in cells[1:])
+        assert not store.has(cells[0].key)
+        assert "deferred=1" in report.summary()
+        # Once the foreign worker's lease expires, a re-run reclaims it.
+        expired = ClaimStore(
+            store.backend, lease_seconds=1e-9, host="other-host", pid=1
+        )
+        foreign.release(held)
+        assert expired.try_claim(cells[0].key) is not None
+        import time
+
+        time.sleep(0.01)
+        rerun = run_sweep(cells, store, workers=1, resume=True)
+        assert rerun.executed == [cells[0].key]
+        assert store.has(cells[0].key)
 
     def test_sequential_kernel_path_matches_batched(self, cells, tmp_path):
         """batched is an execution detail: stored bytes are identical."""

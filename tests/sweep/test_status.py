@@ -1,0 +1,127 @@
+"""Tests for the sweep status view (``repro sweep --status``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sweep import SweepStore, SweepTemplate, run_sweep
+from repro.sweep.dist import (
+    ClaimStore,
+    HostThroughput,
+    corpus_status,
+    format_status,
+)
+
+
+@pytest.fixture(scope="module")
+def cells():
+    template = SweepTemplate.from_dict(
+        {
+            "name": "status-test",
+            "base": {
+                "experiment": "fig1-delay-ping",
+                "n": 10,
+                "k_grid": [2],
+                "br_rounds": 1,
+                "seed": 3,
+            },
+            "axes": {"n": [10, 11, 12, 13, 14]},
+        }
+    )
+    return template.expand()
+
+
+class TestCorpusStatus:
+    def test_every_state_is_classified(self, cells, tmp_path):
+        """One cell per state: done, claimed, orphaned, failed, pending."""
+        store = SweepStore(str(tmp_path))
+        run_sweep(cells[:1], store, workers=1)  # -> done
+        live = ClaimStore(store.backend, lease_seconds=300.0, host="host-a", pid=1)
+        assert live.try_claim(cells[1].key) is not None  # -> claimed
+        dead = ClaimStore(store.backend, lease_seconds=1e-9, host="host-b", pid=2)
+        assert dead.try_claim(cells[2].key) is not None  # -> orphaned
+        marker = ClaimStore(store.backend, host="host-c", pid=3)
+        marker.mark_failed(
+            cells[3].key, error="ValueError: boom", traceback_text="TB"
+        )  # -> failed; cells[4] stays pending
+
+        status = corpus_status(cells, store)
+        assert (status.total, status.done, status.claimed) == (5, 1, 1)
+        assert (status.orphaned, status.failed, status.pending) == (1, 1, 1)
+        states = {cell.key: cell for cell in status.cells}
+        assert states[cells[0].key].state == "done"
+        claimed = states[cells[1].key]
+        assert claimed.state == "claimed"
+        assert claimed.owner == "host-a:1"
+        assert claimed.lease_seconds > 0
+        orphaned = states[cells[2].key]
+        assert orphaned.state == "orphaned"
+        assert orphaned.owner == "host-b:2"
+        assert orphaned.lease_seconds <= 0
+        failed = states[cells[3].key]
+        assert failed.state == "failed"
+        assert failed.owner == "host-c:3"
+        assert failed.error == "ValueError: boom"
+        assert states[cells[4].key].state == "pending"
+        assert status.summary() == (
+            "SWEEP-STATUS total=5 done=1 claimed=1 orphaned=1 failed=1 pending=1"
+        )
+
+    def test_done_result_outranks_stale_records(self, cells, tmp_path):
+        """A cell with a result is done even if claim/failed debris remains."""
+        store = SweepStore(str(tmp_path))
+        run_sweep(cells[:1], store, workers=1)
+        debris = ClaimStore(store.backend, lease_seconds=300.0, host="h", pid=1)
+        debris.try_claim(cells[0].key)
+        debris.mark_failed(cells[0].key, error="stale", traceback_text="TB")
+        status = corpus_status(cells[:1], store)
+        assert status.done == 1 and status.failed == 0 and status.claimed == 0
+
+    def test_per_host_throughput_from_done_records(self, cells, tmp_path):
+        store = SweepStore(str(tmp_path))
+        fast = ClaimStore(store.backend, host="host-fast", pid=1)
+        slow = ClaimStore(store.backend, host="host-slow", pid=2)
+        fast.mark_done(cells[0].key, started=100.0, finished=101.0)
+        fast.mark_done(cells[1].key, started=101.0, finished=102.0, reclaimed=True)
+        slow.mark_done(cells[2].key, started=100.0, finished=104.0)
+        status = corpus_status(cells[:3], store)
+        hosts = {host.host: host for host in status.hosts}
+        assert set(hosts) == {"host-fast", "host-slow"}
+        assert hosts["host-fast"].cells == 2
+        assert hosts["host-fast"].elapsed == pytest.approx(2.0)
+        assert hosts["host-fast"].span == pytest.approx(2.0)
+        assert hosts["host-fast"].throughput == pytest.approx(1.0)
+        assert hosts["host-fast"].reclaimed == 1
+        assert hosts["host-slow"].throughput == pytest.approx(0.25)
+
+    def test_zero_span_throughput_is_zero(self):
+        assert HostThroughput(
+            host="h", cells=1, elapsed=0.0, span=0.0, reclaimed=0
+        ).throughput == 0.0
+
+    def test_as_dict_roundtrips_through_json(self, cells, tmp_path):
+        import json
+
+        store = SweepStore(str(tmp_path))
+        run_sweep(cells[:1], store, workers=1)
+        document = json.loads(json.dumps(corpus_status(cells, store).as_dict()))
+        assert document["total"] == 5 and document["done"] == 1
+        assert len(document["cells"]) == 5
+        assert {c["state"] for c in document["cells"]} == {"done", "pending"}
+
+
+class TestFormatStatus:
+    def test_lines_end_with_greppable_summary(self, cells, tmp_path):
+        store = SweepStore(str(tmp_path))
+        run_sweep(cells[:1], store, workers=1)
+        live = ClaimStore(store.backend, lease_seconds=300.0, host="host-a", pid=1)
+        live.try_claim(cells[1].key)
+        status = corpus_status(cells, store)
+        lines = format_status(status, "status-test", str(tmp_path))
+        assert lines[0].startswith("# sweep status status-test: 5 cells")
+        assert lines[-1] == status.summary()
+        body = "\n".join(lines)
+        assert "claimed" in body and "host-a:1" in body
+        assert "lease expires in" in body
+        # One host line for the cell this host completed.
+        assert any(line.startswith("# host ") for line in lines)

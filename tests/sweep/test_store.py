@@ -65,22 +65,34 @@ class TestSweepStore:
         # The original decode error is chained, not swallowed.
         assert isinstance(excinfo.value.__cause__, json.JSONDecodeError)
 
-    def test_purge_removes_only_dead_writer_tmp_files(self, tmp_path):
+    def test_purge_removes_only_dead_local_writer_tmp_files(self, tmp_path):
+        from repro.sweep.dist import local_host
+
         store = SweepStore(str(tmp_path))
         store.put(KEY_A, {}, {})
+        host = local_host()
         # A pid that existed and is guaranteed dead after wait().
         proc = subprocess.Popen([sys.executable, "-c", ""])
         proc.wait()
-        dead = tmp_path / f".{KEY_B}.{proc.pid}.tmp"
+        dead = tmp_path / f".{KEY_B}.{host}.{proc.pid}.tmp"
         dead.write_text("truncated")
-        live = tmp_path / f".{KEY_A}.{os.getpid()}.tmp"
+        live = tmp_path / f".{KEY_A}.{host}.{os.getpid()}.tmp"
         live.write_text("mid-write")
+        # Same dead pid but recorded on another host: on a shared
+        # filesystem that pid may be alive remotely — never purged here.
+        remote = tmp_path / f".{KEY_B}.some-other-host.{proc.pid}.tmp"
+        remote.write_text("mid-write elsewhere")
+        # Legacy pid-only names carry no host: conservatively kept too.
+        legacy = tmp_path / f".{KEY_B}.{proc.pid}.tmp"
+        legacy.write_text("truncated")
         foreign = tmp_path / "notes.tmp"
         foreign.write_text("not a cell tmp")
         removed = store.purge_stale_tmp()
         assert removed == [dead.name]
         assert not dead.exists()
         assert live.exists()  # a live writer keeps its temp file
+        assert remote.exists()  # a foreign host's pid is unknowable locally
+        assert legacy.exists()  # host-less names are never liveness-checked
         assert foreign.exists()  # non-matching names are never touched
         assert store.get(KEY_A) is not None
 

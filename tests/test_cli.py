@@ -332,6 +332,137 @@ class TestSweep:
         assert main(["sweep", template, "--json"]) == 2
         assert "--dry-run" in capsys.readouterr().err
 
+    def test_sweep_failure_output_carries_the_traceback(self, tmp_path, capsys):
+        """The stderr report includes the failing cell's full traceback."""
+        template = dict(self.TEMPLATE)
+        template["axes"] = {
+            "panel": [
+                {"label": "bad", "experiment": "fig2-efficiency-vs-k",
+                 "metric": "delay-true", "epochs": 1},
+            ]
+        }
+        path = tmp_path / "template.json"
+        path.write_text(json.dumps(template))
+        assert main(["sweep", str(path), "--store", str(tmp_path / "s")]) == 1
+        err = capsys.readouterr().err
+        assert "FAILED" in err
+        assert "Traceback (most recent call last)" in err
+
+
+class TestSweepStatus:
+    def _write_template(self, tmp_path):
+        path = tmp_path / "template.json"
+        path.write_text(json.dumps(TestSweep.TEMPLATE))
+        return str(path)
+
+    def test_status_reports_store_progress(self, tmp_path, capsys):
+        template = self._write_template(tmp_path)
+        store = str(tmp_path / "store")
+        assert main(["sweep", template, "--status", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "SWEEP-STATUS total=2 done=0 claimed=0 orphaned=0 failed=0 pending=2" in out
+        assert main(["sweep", template, "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["sweep", template, "--status", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "SWEEP-STATUS total=2 done=2 claimed=0 orphaned=0 failed=0 pending=0" in out
+        assert "# host " in out  # per-host throughput line
+
+    def test_status_json_is_machine_readable(self, tmp_path, capsys):
+        template = self._write_template(tmp_path)
+        store = str(tmp_path / "store")
+        assert main(["sweep", template, "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["sweep", template, "--status", "--json", "--store", store]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["total"] == 2 and document["done"] == 2
+        assert len(document["cells"]) == 2
+        assert document["hosts"][0]["cells"] == 2
+
+    def test_status_shows_orphaned_claims(self, tmp_path, capsys):
+        from repro.sweep import SweepStore
+        from repro.sweep.dist import ClaimStore
+
+        template = self._write_template(tmp_path)
+        store = str(tmp_path / "store")
+        dead = ClaimStore(
+            SweepStore(store).backend, lease_seconds=1e-9, host="dead-host", pid=7
+        )
+        from repro.sweep import expand_corpus, load_templates
+
+        cells = expand_corpus(load_templates(template))
+        assert dead.try_claim(cells[0].key) is not None
+        assert main(["sweep", template, "--status", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "orphaned=1" in out
+        assert "dead-host:7" in out and "lease expired" in out
+
+    def test_status_with_dry_run_rejected(self, tmp_path, capsys):
+        template = self._write_template(tmp_path)
+        assert main(["sweep", template, "--status", "--dry-run"]) == 2
+        assert "at most one" in capsys.readouterr().err
+
+
+class TestSweepWorker:
+    def _write_template(self, tmp_path):
+        path = tmp_path / "template.json"
+        path.write_text(json.dumps(TestSweep.TEMPLATE))
+        return str(path)
+
+    def test_worker_drains_the_corpus(self, tmp_path, capsys):
+        template = self._write_template(tmp_path)
+        store = str(tmp_path / "store")
+        assert main(["sweep-worker", template, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "SWEEP total=2 executed=2 skipped=0 failed=0 workers=1" in out
+        assert "host=" in out and "pid=" in out
+        # A second worker over the complete store executes nothing.
+        assert main(["sweep-worker", template, "--store", store]) == 0
+        assert "executed=0 skipped=2" in capsys.readouterr().out
+
+    def test_worker_output_byte_identical_to_sweep(self, tmp_path, capsys):
+        template = self._write_template(tmp_path)
+        assert main(["sweep", template, "--store", str(tmp_path / "a")]) == 0
+        assert main(["sweep-worker", template, "--store", str(tmp_path / "b")]) == 0
+        capsys.readouterr()
+        for cell in sorted((tmp_path / "a").glob("*.json")):
+            assert cell.read_bytes() == (tmp_path / "b" / cell.name).read_bytes()
+
+    def test_worker_timeout_on_foreign_lease_exits_1(self, tmp_path, capsys):
+        from repro.sweep import SweepStore, expand_corpus, load_templates
+        from repro.sweep.dist import ClaimStore
+
+        template = self._write_template(tmp_path)
+        store = str(tmp_path / "store")
+        cells = expand_corpus(load_templates(template))
+        holder = ClaimStore(
+            SweepStore(store).backend, lease_seconds=300.0, host="other", pid=1
+        )
+        assert holder.try_claim(cells[0].key) is not None
+        code = main(
+            ["sweep-worker", template, "--store", store,
+             "--poll", "0.05", "--timeout", "0.3"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "timed out" in captured.err
+        assert "executed=1" in captured.out
+
+    def test_worker_reports_foreign_failure_records(self, tmp_path, capsys):
+        from repro.sweep import SweepStore, expand_corpus, load_templates
+        from repro.sweep.dist import ClaimStore
+
+        template = self._write_template(tmp_path)
+        store = str(tmp_path / "store")
+        cells = expand_corpus(load_templates(template))
+        marker = ClaimStore(SweepStore(store).backend, host="other", pid=1)
+        marker.mark_failed(cells[0].key, error="Boom", traceback_text="TB")
+        code = main(["sweep-worker", template, "--store", store])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "failed on another worker" in captured.err
+        assert "failed=1" in captured.out
+
 
 class TestVerbose:
     def test_verbose_prints_cache_stats_for_epoch_scenarios(self, capsys):
