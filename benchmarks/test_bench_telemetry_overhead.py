@@ -1,0 +1,119 @@
+"""The zero-cost-when-off gate: disabled telemetry stays under 2% of an epoch.
+
+The instrumented hot paths (engine epochs, batch kernels, routing
+kernels, caches) call the :mod:`repro.telemetry.runtime` helpers
+unconditionally; when telemetry is off each helper is one global read
+plus a ``None`` check.  This bench makes the "(nearly) free" claim a
+number instead of a promise:
+
+1. time one full scenario run with telemetry disabled (the baseline);
+2. count how many times each disabled helper actually fires during an
+   identical run (wrapping the module attributes — call sites resolve
+   them at call time);
+3. microbenchmark each disabled helper's unit cost;
+4. assert ``sum(calls * unit_cost) < 2%`` of the baseline wall-clock.
+
+The product of measured call counts and measured unit costs bounds the
+instrumentation's contribution without trying to resolve a sub-1%
+difference between two noisy end-to-end timings.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+from benchmarks.conftest import run_once
+from repro.scenario.session import run_spec
+from repro.scenario.spec import ScenarioSpec
+from repro.telemetry import runtime as telemetry
+
+#: Maximum tolerated disabled-telemetry overhead (fraction of wall-clock).
+OVERHEAD_BUDGET = 0.02
+
+#: Per-helper microbenchmark bodies, with representative arguments.
+_UNIT_BODIES: Dict[str, Callable[[], None]] = {
+    "span": lambda: telemetry.span("epoch.steps", epoch=3).__enter__(),
+    "count": lambda: telemetry.count("engine.steps"),
+    "observe": lambda: telemetry.observe("serve.request.lookup", 0.001),
+    "set_gauge": lambda: telemetry.set_gauge("depth", 1.0),
+    "kernel_call": lambda: telemetry.kernel_call("shortest.multi", 16),
+    "event": lambda: telemetry.event("mark", key="k"),
+    "record_span": lambda: telemetry.record_span("cell", 0.01, key="k"),
+    "register_cache": lambda: telemetry.register_cache(None),
+}
+
+
+def _spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        experiment="live-overlay",
+        n=50,
+        k_grid=(4,),
+        policies=("best-response",),
+        metric="delay-ping",
+        epochs=5,
+        seed=2008,
+    )
+
+
+def _count_helper_calls(spec: ScenarioSpec) -> Dict[str, int]:
+    """How often each runtime helper fires during one (disabled) run."""
+    calls = {name: 0 for name in _UNIT_BODIES}
+    originals = {name: getattr(telemetry, name) for name in _UNIT_BODIES}
+
+    def counting(name: str, real):
+        def wrapper(*args, **kwargs):
+            calls[name] += 1
+            return real(*args, **kwargs)
+
+        return wrapper
+
+    try:
+        for name, real in originals.items():
+            setattr(telemetry, name, counting(name, real))
+        run_spec(spec)
+    finally:
+        for name, real in originals.items():
+            setattr(telemetry, name, real)
+    return calls
+
+
+def _unit_cost(body: Callable[[], None], iterations: int = 50_000) -> float:
+    """Seconds per call of one disabled helper (spin-measured)."""
+    body()  # warm: interning, bytecode specialisation
+    start = time.perf_counter()
+    for _ in range(iterations):
+        body()
+    return (time.perf_counter() - start) / iterations
+
+
+def test_disabled_telemetry_overhead_under_budget(benchmark):
+    assert not telemetry.enabled()
+    spec = _spec()
+
+    start = time.perf_counter()
+    run_once(benchmark, run_spec, spec)
+    baseline = time.perf_counter() - start
+
+    calls = _count_helper_calls(spec)
+    costs = {name: _unit_cost(body) for name, body in _UNIT_BODIES.items()}
+    overhead = sum(calls[name] * costs[name] for name in calls)
+    fraction = overhead / baseline
+
+    print()
+    print("=== telemetry: disabled-hook overhead ===")
+    for name in sorted(calls, key=lambda n: -calls[n] * costs[n]):
+        print(
+            f"{name:<14} calls={calls[name]:>8d} "
+            f"unit={costs[name] * 1e9:7.1f} ns "
+            f"total={calls[name] * costs[name] * 1e6:9.2f} us"
+        )
+    print(
+        f"baseline={baseline:.4f}s overhead={overhead * 1e3:.3f}ms "
+        f"({fraction:.3%} of wall-clock, budget {OVERHEAD_BUDGET:.0%})"
+    )
+    assert sum(calls.values()) > 0, "instrumentation hooks never fired"
+    assert fraction < OVERHEAD_BUDGET, (
+        f"disabled telemetry costs {fraction:.3%} of an epoch run, "
+        f"over the {OVERHEAD_BUDGET:.0%} budget"
+    )

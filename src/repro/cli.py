@@ -13,6 +13,8 @@ Usage::
     python -m repro.cli serve --spec scenarios/serve_smoke.json --socket /tmp/overlay.sock
     python -m repro.cli serve-load --socket /tmp/overlay.sock --model multipath --lookups 1000000
     python -m repro.cli serve-replay serve-log.jsonl
+    python -m repro.cli run fig3-rewirings --trace trace.jsonl
+    python -m repro.cli trace summarize trace.jsonl --check-coverage 0.9
 
 ``run`` builds the named experiment's default
 :class:`~repro.scenario.spec.ScenarioSpec`, applies the command-line
@@ -46,6 +48,17 @@ of workers that die mid-cell once their lease expires.
 :mod:`repro.serve`), ``serve-load`` measures a running server with a
 traffic-model workload, and ``serve-replay`` re-runs a server's mutation
 log through the batch engine and digest-checks every served epoch.
+
+Telemetry (see :mod:`repro.telemetry` and ``docs/observability.md``):
+``run --trace out.jsonl`` and ``sweep --trace out.jsonl`` record a
+span-level JSONL trace of the execution (``sweep --telemetry`` enables
+the metrics registry without a trace file); both print a greppable
+``# TELEMETRY spans=... events=...`` line.  ``trace summarize`` turns a
+trace into a per-phase self-time table and can gate on attribution
+coverage (``--check-coverage 0.9``).  ``serve --metrics-port`` exposes
+the live registry as a Prometheus text endpoint.  None of it changes any
+result: records and stored cells are byte-identical with telemetry on or
+off.
 """
 
 from __future__ import annotations
@@ -66,6 +79,7 @@ from repro.sweep import (
     load_templates,
     run_sweep,
 )
+from repro.telemetry import runtime as telemetry
 from repro.util.validation import ValidationError
 
 
@@ -180,6 +194,16 @@ def build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="use the bit-identical sequential reference kernels",
             )
+            command.add_argument(
+                "--trace",
+                type=str,
+                default=None,
+                metavar="PATH",
+                help=(
+                    "record a telemetry trace (JSONL) of the run to this path; "
+                    "summarize it with 'repro trace summarize PATH'"
+                ),
+            )
         command.add_argument(
             "--output",
             type=str,
@@ -253,6 +277,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--sequential",
         action="store_true",
         help="use the bit-identical sequential reference kernels in every cell",
+    )
+    sweep_cmd.add_argument(
+        "--telemetry",
+        action="store_true",
+        help=(
+            "enable the telemetry metrics registry for this sweep and print "
+            "the TELEMETRY summary line (stored cells stay byte-identical)"
+        ),
+    )
+    sweep_cmd.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="record a telemetry trace (JSONL) of the sweep to this path",
     )
 
     worker_cmd = sub.add_parser(
@@ -339,6 +378,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the bit-identical sequential reference kernels",
     )
+    serve_cmd.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help=(
+            "also expose the telemetry registry as a Prometheus text "
+            "endpoint on this TCP port (0 = ephemeral)"
+        ),
+    )
 
     load_cmd = sub.add_parser(
         "serve-load", help="measure a running server with a traffic-model workload"
@@ -392,6 +440,33 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "replay on the sequential reference kernels regardless of what "
             "the serving process used (a cross-kernel parity check)"
+        ),
+    )
+
+    trace_cmd = sub.add_parser(
+        "trace", help="inspect telemetry traces written by --trace"
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    summarize_cmd = trace_sub.add_parser(
+        "summarize",
+        help="per-phase self-time table (and coverage) of a trace JSONL",
+    )
+    summarize_cmd.add_argument(
+        "trace", help="trace file written by 'run --trace' / 'sweep --trace'"
+    )
+    summarize_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the summary as JSON instead of the table",
+    )
+    summarize_cmd.add_argument(
+        "--check-coverage",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "exit non-zero unless named spans attribute at least this "
+            "fraction of the trace's wall-clock (e.g. 0.9)"
         ),
     )
 
@@ -546,18 +621,28 @@ def _sweep(args: argparse.Namespace) -> int:
     sweep_options = {}
     if args.lease is not None:
         sweep_options["lease_seconds"] = args.lease
-    report = run_sweep(
-        cells,
-        store,
-        workers=args.workers,
-        batched=not args.sequential,
-        resume=args.resume,
-        on_cell=lambda cell: print(
-            f"# cell {cell.key[:12]} done: {cell.spec.experiment} ({cell.describe()})"
-        ),
-        **sweep_options,
-    )
+    telemetry_on = bool(args.telemetry or args.trace)
+    if telemetry_on:
+        telemetry.enable(trace=args.trace)
+    try:
+        report = run_sweep(
+            cells,
+            store,
+            workers=args.workers,
+            batched=not args.sequential,
+            resume=args.resume,
+            on_cell=lambda cell: print(
+                f"# cell {cell.key[:12]} done: {cell.spec.experiment} ({cell.describe()})"
+            ),
+            **sweep_options,
+        )
+    finally:
+        if telemetry_on:
+            telemetry_line = telemetry.summary_line()
+            telemetry.disable()
     print(f"# {report.summary()} store={store_dir}")
+    if telemetry_on:
+        print(f"# {telemetry_line}")
     if report.failed:
         _print_failures(report.failed)
         print(
@@ -688,6 +773,10 @@ def _serve(args: argparse.Namespace) -> int:
     if (args.port is None) == (args.socket is None):
         raise ValidationError("pass exactly one of --port or --socket")
     spec = _load_spec(args.spec)
+    # The serve process always runs with a live metrics registry, so the
+    # 'metrics' op and --metrics-port have something to report; tracing
+    # stays off (serving is open-ended — there is no file to seal).
+    telemetry.enable()
     service = OverlayService(
         spec, batched=not args.sequential, log_path=args.log
     )
@@ -704,9 +793,14 @@ def _serve(args: argparse.Namespace) -> int:
         port=args.port,
         socket_path=args.socket,
         cadence=args.cadence,
+        metrics_port=args.metrics_port,
         announce=lambda address: print(f"# serve listening on {address}", flush=True),
+        announce_metrics=lambda address: print(
+            f"# serve metrics on {address}", flush=True
+        ),
     )
     print(f"# serve shut down after {service.counters['epochs']} epochs")
+    telemetry.disable()
     return 0
 
 
@@ -741,6 +835,28 @@ def _serve_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_summarize(args: argparse.Namespace) -> int:
+    """The ``trace summarize`` subcommand: per-phase table or JSON."""
+    from repro.telemetry.summarize import format_summary, read_trace, summarize
+
+    trace = read_trace(args.trace)
+    summary = summarize(trace)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(format_summary(summary))
+    if args.check_coverage is not None:
+        coverage = float(summary["coverage"])
+        if coverage < args.check_coverage:
+            print(
+                f"error: trace attributes {coverage:.1%} of wall-clock to "
+                f"named spans, below the required {args.check_coverage:.1%}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def _serve_replay(args: argparse.Namespace) -> int:
     """The ``serve-replay`` subcommand: digest-check a mutation log."""
     from repro.serve.replay import replay_log
@@ -772,6 +888,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         if args.command == "serve-replay":
             return _serve_replay(args)
+
+        if args.command == "trace":
+            return _trace_summarize(args)
 
         if args.command == "list":
             names = scenario_names()
@@ -818,23 +937,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             spec = _apply_overrides(_load_spec(args.spec), args)
         else:
             spec = _spec_from_args(args)
-        session = SimulationSession(spec, batched=not getattr(args, "sequential", False))
-        result = session.run()
+        trace_to = getattr(args, "trace", None)
+        if trace_to is not None:
+            telemetry.enable(trace=trace_to)
+        telemetry_line = None
+        try:
+            session = SimulationSession(
+                spec, batched=not getattr(args, "sequential", False)
+            )
+            with telemetry.span("run", experiment=spec.experiment):
+                result = session.run()
+        finally:
+            if trace_to is not None:
+                telemetry_line = telemetry.summary_line()
+                telemetry.disable()
     except ValidationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
     print(f"# {result.figure}: {result.description}")
     print(result.table())
+    if telemetry_line is not None:
+        print(f"# {telemetry_line}")
     if getattr(args, "verbose", False):
         cache = result.metadata.get("cache")
         if cache is None:
             print("# cache: n/a (no epoch-loop engine batches in this scenario)")
         else:
-            print(
+            line = (
                 "# cache: hits={hits:.0f} misses={misses:.0f} repairs={repairs:.0f} "
                 "restamps={restamps:.0f} hit_rate={hit_rate:.3f}".format(**cache)
             )
+            if "drops" in cache:
+                line += " drops={drops:.0f}".format(**cache)
+            print(line)
     if args.output:
         with open(args.output, "w") as handle:
             json.dump(result.as_dict(), handle, indent=2)

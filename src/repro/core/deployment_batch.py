@@ -81,6 +81,7 @@ from repro.core.route_cache import (
 )
 from repro.core.wiring import GlobalWiring, Wiring
 from repro.routing.graph import OverlayGraph
+from repro.telemetry import runtime as telemetry
 from repro.routing.widest_path import (
     CLOSURE_MAX_NODES,
     bottleneck_avoid_one,
@@ -355,6 +356,10 @@ def _batched_route_matrices(
     engine batch) pass a lower cap than the sweep default.
     """
     members, n, _ = stack.shape
+    telemetry.kernel_call(
+        "batched_route_matrices.widest" if maximize else "batched_route_matrices.dijkstra",
+        members * n,
+    )
     out = np.empty_like(stack)
     if maximize:
         adjacency = np.where(np.isnan(stack), 0.0, stack)

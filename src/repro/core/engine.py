@@ -37,6 +37,7 @@ from repro.core.route_cache import ResidualRouteCache, metric_fingerprint
 from repro.core.wiring import GlobalWiring, Wiring
 from repro.routing.linkstate import LinkStateProtocol
 from repro.routing.shortest_path import all_pairs_shortest_costs
+from repro.telemetry import runtime as telemetry
 from repro.util.rng import SeedLike, as_generator, spawn_generators
 from repro.util.simclock import SimClock
 from repro.util.validation import ValidationError
@@ -503,24 +504,25 @@ class EgoistEngine:
         :meth:`step_node` / :meth:`finish_epoch`.
         """
         epoch = self.clock.epoch
-        if self._failure_state is not None:
-            self._failure_state.advance_to(epoch)
-        active = self._active_nodes()
-        self._handle_membership_change(active)
-        self._enforce_link_failures(active)
-        announced = self._announced_metric()
-        truth = self._true_metric()
+        with telemetry.span("epoch.begin", epoch=epoch):
+            if self._failure_state is not None:
+                self._failure_state.advance_to(epoch)
+            active = self._active_nodes()
+            self._handle_membership_change(active)
+            self._enforce_link_failures(active)
+            announced = self._announced_metric()
+            truth = self._true_metric()
 
-        active_list = sorted(active)
-        order = list(active_list)
-        self._rng.shuffle(order)
-        bits_before = self.protocol.stats.announcement_bits
-        # Residual route values depend on the announced metric, the global
-        # wiring, and the active membership; a token of the three keeps
-        # cache entries valid exactly as long as nothing re-wires.
-        metric_fp = (
-            metric_fingerprint(announced) if self.route_cache is not None else None
-        )
+            active_list = sorted(active)
+            order = list(active_list)
+            self._rng.shuffle(order)
+            bits_before = self.protocol.stats.announcement_bits
+            # Residual route values depend on the announced metric, the global
+            # wiring, and the active membership; a token of the three keeps
+            # cache entries valid exactly as long as nothing re-wires.
+            metric_fp = (
+                metric_fingerprint(announced) if self.route_cache is not None else None
+            )
         return EpochPlan(
             epoch=epoch,
             active_list=active_list,
@@ -569,6 +571,25 @@ class EgoistEngine:
         cache = self.route_cache
         if cache is None or plan.metric_fp is None:
             return False
+        repaired = self._repair_route_entry(
+            plan, node_id, hops, tables=tables, max_fraction=max_fraction
+        )
+        # The repair-vs-sweep decision ledger: a False here means the
+        # caller takes its fresh-sweep path for this node.  The cache's
+        # own repairs/restamps/drops counters say *how* a hit was kept.
+        telemetry.count("engine.repair.hit" if repaired else "engine.repair.sweep")
+        return repaired
+
+    def _repair_route_entry(
+        self,
+        plan: EpochPlan,
+        node_id: int,
+        hops: Optional[Tuple[int, ...]] = None,
+        *,
+        tables=None,
+        max_fraction: Optional[float] = None,
+    ) -> bool:
+        cache = self.route_cache
         if hops is None:
             hops = tuple(c for c in plan.active_list if c != node_id)
         token = (self.wiring.version, plan.metric_fp, plan.active_key)
@@ -698,59 +719,61 @@ class EgoistEngine:
         sequentially, an additive-metric epoch that needs the efficiency
         metric derives both from a single sweep instead of two.
         """
-        graph = None
-        if route_values is None or (self.compute_efficiency and distances is None):
-            graph = self.wiring.to_graph(active=plan.active_list)
-        if (
-            self.compute_efficiency
-            and distances is None
-            and not plan.truth.maximize
-        ):
-            # One all-pairs sweep serves both the cost objective (its
-            # active rows are exactly the multi-source sweep's rows) and
-            # the efficiency reduction.
-            distances = all_pairs_shortest_costs(graph)
+        with telemetry.span("epoch.finish", epoch=plan.epoch):
+            graph = None
+            if route_values is None or (self.compute_efficiency and distances is None):
+                graph = self.wiring.to_graph(active=plan.active_list)
+            if (
+                self.compute_efficiency
+                and distances is None
+                and not plan.truth.maximize
+            ):
+                # One all-pairs sweep serves both the cost objective (its
+                # active rows are exactly the multi-source sweep's rows) and
+                # the efficiency reduction.
+                distances = all_pairs_shortest_costs(graph)
+                if route_values is None:
+                    route_values = distances[np.asarray(plan.active_list, dtype=int)]
             if route_values is None:
-                route_values = distances[np.asarray(plan.active_list, dtype=int)]
-        if route_values is None:
-            route_values = plan.truth.route_values_rows(graph, plan.active_list)
-        costs = plan.truth.all_node_costs(
-            graph,
-            self.preferences,
-            nodes=plan.active_list,
-            destinations=plan.active_list,
-            route_values=route_values,
-        )
-        mean_cost = float(np.mean(list(costs.values()))) if costs else float("nan")
-        social = float(np.sum(list(costs.values()))) if costs else float("nan")
-        efficiency = (
-            overlay_efficiency(graph, active=plan.active_list, distances=distances)
-            if self.compute_efficiency
-            else float("nan")
-        )
-        routes_stuck = self._count_stuck_routes(plan, route_values)
-        record = EpochRecord(
-            epoch=plan.epoch,
-            time=self.clock.now,
-            active_nodes=len(plan.active_list),
-            rewirings=plan.rewirings,
-            mean_cost=mean_cost,
-            mean_efficiency=efficiency,
-            social_cost=social,
-            linkstate_bits=self.protocol.stats.announcement_bits - plan.bits_before,
-            routes_stuck=routes_stuck,
-        )
-        self.history.records.append(record)
-        self.last_epoch_view = EpochView(
-            epoch=plan.epoch,
-            version=self.wiring.version,
-            active_list=list(plan.active_list),
-            active_key=plan.active_key,
-            announced=plan.announced,
-            metric_fp=plan.metric_fp,
-        )
-        self.clock.advance(self.clock.epoch_length)
-        self.provider.advance(1)
+                route_values = plan.truth.route_values_rows(graph, plan.active_list)
+            costs = plan.truth.all_node_costs(
+                graph,
+                self.preferences,
+                nodes=plan.active_list,
+                destinations=plan.active_list,
+                route_values=route_values,
+            )
+            mean_cost = float(np.mean(list(costs.values()))) if costs else float("nan")
+            social = float(np.sum(list(costs.values()))) if costs else float("nan")
+            efficiency = (
+                overlay_efficiency(graph, active=plan.active_list, distances=distances)
+                if self.compute_efficiency
+                else float("nan")
+            )
+            routes_stuck = self._count_stuck_routes(plan, route_values)
+            record = EpochRecord(
+                epoch=plan.epoch,
+                time=self.clock.now,
+                active_nodes=len(plan.active_list),
+                rewirings=plan.rewirings,
+                mean_cost=mean_cost,
+                mean_efficiency=efficiency,
+                social_cost=social,
+                linkstate_bits=self.protocol.stats.announcement_bits - plan.bits_before,
+                routes_stuck=routes_stuck,
+            )
+            self.history.records.append(record)
+            self.last_epoch_view = EpochView(
+                epoch=plan.epoch,
+                version=self.wiring.version,
+                active_list=list(plan.active_list),
+                active_key=plan.active_key,
+                announced=plan.announced,
+                metric_fp=plan.metric_fp,
+            )
+            self.clock.advance(self.clock.epoch_length)
+            self.provider.advance(1)
+        telemetry.count("engine.epochs")
         return record
 
     def _count_stuck_routes(
@@ -795,10 +818,14 @@ class EgoistEngine:
         if count is not None and count < 0:
             raise ValidationError("span count must be >= 0")
         before = plan.rewirings
+        pos_before = plan.pos
         remaining = len(plan.order) - plan.pos if count is None else count
-        while remaining > 0 and not plan.done:
-            self.step_node(plan)
-            remaining -= 1
+        with telemetry.span("epoch.steps", epoch=plan.epoch):
+            while remaining > 0 and not plan.done:
+                self.step_node(plan)
+                remaining -= 1
+        telemetry.count("engine.steps", plan.pos - pos_before)
+        telemetry.count("engine.rewirings", plan.rewirings - before)
         return plan.rewirings - before
 
     def run_epoch(self) -> EpochRecord:

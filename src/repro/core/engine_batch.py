@@ -79,6 +79,8 @@ from repro.routing.widest_path import (
     bottleneck_closure_fw,
     widest_inbound_tables,
 )
+from repro.telemetry import runtime as telemetry
+from repro.telemetry.diagnostics import pooled_cache_stats
 from repro.util.rng import SeedLike
 from repro.util.validation import ValidationError
 
@@ -410,23 +412,13 @@ class EngineBatch:
 
         Summed counters plus the pooled hit rate — what the churn bench
         gate and ``ExperimentResult.metadata["cache"]`` report.
+
+        Deprecation shim: the aggregation lives in
+        :func:`repro.telemetry.diagnostics.pooled_cache_stats` (and,
+        live, in the metrics registry's ``cache.*`` snapshot); this
+        method remains for the dict shape existing callers expect.
         """
-        totals = {
-            "hits": 0.0,
-            "misses": 0.0,
-            "repairs": 0.0,
-            "restamps": 0.0,
-            "entries": 0.0,
-        }
-        for engine in self.engines:
-            if engine.route_cache is None:
-                continue
-            stats = engine.route_cache.stats()
-            for key in totals:
-                totals[key] += stats[key]
-        lookups = totals["hits"] + totals["misses"]
-        totals["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
-        return totals
+        return pooled_cache_stats(engine.route_cache for engine in self.engines)
 
     def run_epoch(self) -> List[EpochRecord]:
         """Advance every deployment by one wiring epoch, in lockstep.
@@ -439,11 +431,13 @@ class EngineBatch:
         if self._states is None:
             self._states = [_LockstepState(engine) for engine in self.engines]
         states = self._states
-        for st in states:
-            st.begin_epoch()
+        with telemetry.span("batch.begin"):
+            for st in states:
+                st.begin_epoch()
         live = [st for st in states if not st.plan.done]
         while live:
-            self._prefill(live)
+            with telemetry.span("batch.prefill"):
+                self._prefill(live)
             # Fused groups must share the full objective convention —
             # direction AND disconnection value — since the broadcast
             # clamps use one value for the whole group; a fusable engine
@@ -466,12 +460,20 @@ class EngineBatch:
                     groups.setdefault(key, []).append((st, resid))
                 else:
                     fallback.append(st)
-            for group in groups.values():
-                self._fused_engine_steps(group)
-            for st in fallback:
-                st.step()
+            # The fused-vs-sequential ledger: opportunities served by the
+            # broadcast kernels vs engines stepping their own path.
+            telemetry.count(
+                "batch.steps.fused", sum(len(members) for members in groups.values())
+            )
+            telemetry.count("batch.steps.sequential", len(fallback))
+            with telemetry.span("batch.steps"):
+                for group in groups.values():
+                    self._fused_engine_steps(group)
+                for st in fallback:
+                    st.step()
             live = [st for st in live if not st.plan.done]
-        return self._finish_epochs(states)
+        with telemetry.span("batch.finish"):
+            return self._finish_epochs(states)
 
     def _finish_epochs(self, states: Sequence[_LockstepState]) -> List[EpochRecord]:
         """Score every deployment's finished epoch through stacked sweeps.

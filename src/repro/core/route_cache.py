@@ -31,6 +31,7 @@ from typing import Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
+from repro.telemetry import runtime as telemetry
 from repro.util.validation import ValidationError
 
 
@@ -85,9 +86,13 @@ class ResidualRouteCache:
         self.misses: int = 0
         self.repairs: int = 0
         self.restamps: int = 0
+        self.drops: int = 0
         self._store: "OrderedDict[int, Tuple[Hashable, Tuple[int, ...], np.ndarray]]" = (
             OrderedDict()
         )
+        # Fold this cache's counters into the process metrics registry
+        # (weakly held; a no-op when telemetry is off).
+        telemetry.register_cache(self)
 
     # ------------------------------------------------------------------ #
     # Token management
@@ -161,10 +166,12 @@ class ResidualRouteCache:
         self._store.move_to_end(node)
         while len(self._store) > self.max_entries:
             self._store.popitem(last=False)
+            self.drops += 1
 
     def drop(self, node: int) -> None:
         """Remove ``node``'s entry (mispredicted speculative state)."""
-        self._store.pop(node, None)
+        if self._store.pop(node, None) is not None:
+            self.drops += 1
 
     # ------------------------------------------------------------------ #
     # Incremental repair
@@ -270,6 +277,7 @@ class ResidualRouteCache:
                 suspect = matrix >= cols.min(axis=1)[:, None]
             if suspect.mean() > max_fraction:
                 self._store.pop(node, None)
+                self.drops += 1
                 return None
         if changed:
             # Resolved only past the refusal screen: shared tables and
@@ -316,12 +324,21 @@ class ResidualRouteCache:
         return self.hits / total if total else 0.0
 
     def stats(self) -> Dict[str, float]:
-        """Hit/miss/repair counters for benchmarks and tests."""
+        """Hit/miss/repair counters for benchmarks and tests.
+
+        Compatibility shim: the forward-looking surface for these
+        counters is the process metrics registry (they appear in
+        :meth:`~repro.telemetry.MetricsRegistry.snapshot` under
+        ``cache.*`` when telemetry is enabled); this dict form remains
+        the stable shape behind ``metadata["cache"]`` and the pooled
+        aggregations in :mod:`repro.telemetry.diagnostics`.
+        """
         return {
             "hits": float(self.hits),
             "misses": float(self.misses),
             "repairs": float(self.repairs),
             "restamps": float(self.restamps),
+            "drops": float(self.drops),
             "entries": float(len(self._store)),
             "hit_rate": self.hit_rate,
         }

@@ -37,6 +37,7 @@ from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
 
 from repro.routing.graph import OverlayGraph
+from repro.telemetry import runtime as telemetry
 from repro.util.validation import check_index
 
 #: Default cost assigned to unreachable destinations ("M >> n" in the paper).
@@ -102,6 +103,7 @@ def shortest_path_costs_multi(
         return np.zeros((0, graph.n))
     for src in sources:
         check_index(src, graph.n, "src")
+    telemetry.kernel_call("shortest.multi", len(sources))
     dist = _csgraph_dijkstra(_to_csr(graph), directed=True, indices=sources)
     dist = np.atleast_2d(np.asarray(dist, dtype=float))
     if not np.isinf(disconnection_cost):
@@ -249,6 +251,7 @@ def repair_shortest_rows(
     repaired = old.copy()
     if rows == 0 or not changed:
         return repaired
+    telemetry.kernel_call("shortest.repair", rows)
     if tables is None:
         tables = shortest_inbound_tables(adjacency)
 

@@ -35,6 +35,7 @@ from typing import Iterable, Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro.routing.graph import OverlayGraph
+from repro.telemetry import runtime as telemetry
 from repro.util.validation import check_index
 
 #: Above this node count the dense closure's O(n^3) squarings stop paying
@@ -170,6 +171,7 @@ def bottleneck_closure_fw(adjacency: np.ndarray) -> np.ndarray:
     sweep kernels close per re-wiring opportunity.
     """
     closure = np.array(adjacency, dtype=float, copy=True)
+    telemetry.kernel_call("widest.closure_fw", closure.shape[0])
     for pivot in range(closure.shape[0]):
         _apply_bottleneck_pivot(closure, pivot)
     return closure
@@ -200,6 +202,7 @@ def bottleneck_avoid_one(adjacency: np.ndarray) -> np.ndarray:
     out = np.empty((n, n, n))
     if n == 0:
         return out
+    telemetry.kernel_call("widest.avoid_one", n)
 
     def recurse(pivots: List[int], matrix: np.ndarray) -> None:
         if len(pivots) == 1:
@@ -288,6 +291,7 @@ def repair_widest_rows(
     repaired = old.copy()
     if rows == 0 or not changed:
         return repaired
+    telemetry.kernel_call("widest.repair", rows)
     if tables is None:
         tables = widest_inbound_tables(adjacency)
 

@@ -42,6 +42,7 @@ from repro.netsim.load import NodeLoadModel
 from repro.netsim.planetlab import synthetic_planetlab
 from repro.scenario import registry
 from repro.scenario.spec import ScenarioSpec, parse_policy, policy_label
+from repro.telemetry.diagnostics import merge_cache_stats
 from repro.util.rng import SeedLike, as_generator, spawn_generators
 from repro.util.validation import ValidationError
 
@@ -92,17 +93,17 @@ class SimulationSession:
 
     def cache_stats(self) -> Optional[Dict[str, float]]:
         """Aggregated route-cache counters of the engine batches run so
-        far (None when the scenario dispatched no epoch loops)."""
+        far (None when the scenario dispatched no epoch loops).
+
+        Deprecation shim over
+        :func:`repro.telemetry.diagnostics.merge_cache_stats` — the
+        registry's ``cache.*`` snapshot is the forward-looking surface.
+        """
         if not self._engine_batches:
             return None
-        totals: Dict[str, float] = {}
-        for batch in self._engine_batches:
-            for key, value in batch.cache_stats().items():
-                if key != "hit_rate":
-                    totals[key] = totals.get(key, 0.0) + value
-        lookups = totals.get("hits", 0.0) + totals.get("misses", 0.0)
-        totals["hit_rate"] = totals.get("hits", 0.0) / lookups if lookups else 0.0
-        return totals
+        return merge_cache_stats(
+            batch.cache_stats() for batch in self._engine_batches
+        )
 
     # ------------------------------------------------------------------ #
     # Facade: substrate + configuration builders

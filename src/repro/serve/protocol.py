@@ -15,6 +15,7 @@ Requests::
     {"op": "subscribe"}
     {"op": "snapshot"}
     {"op": "stats"}
+    {"op": "metrics"}
     {"op": "shutdown"}
 
 Every lookup answer is version-stamped (``epoch``, ``version``) so a
@@ -42,6 +43,7 @@ OPS = (
     "subscribe",
     "snapshot",
     "stats",
+    "metrics",
     "shutdown",
 )
 

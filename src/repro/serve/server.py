@@ -23,6 +23,7 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 from typing import Dict, Optional
 
 from repro.serve.protocol import (
@@ -35,6 +36,7 @@ from repro.serve.protocol import (
     response,
 )
 from repro.serve.service import OverlayService, ServeError
+from repro.telemetry import runtime as telemetry
 from repro.util.validation import ValidationError
 
 #: Pending epoch events per subscriber before the oldest is dropped.
@@ -48,9 +50,17 @@ class OverlayServer:
         self.service = service
         self.cadence = float(cadence)
         self._server: Optional[asyncio.base_events.Server] = None
+        self._metrics_server: Optional[asyncio.base_events.Server] = None
         self._shutdown = asyncio.Event()
         self._subscriber_queues: Dict[int, asyncio.Queue] = {}
         self._next_connection = 0
+        #: Drop-oldest backpressure ledger: events dropped in total, per
+        #: subscriber connection, and the deepest queue ever observed —
+        #: surfaced by ``stats``/``metrics`` so a slow consumer is
+        #: visible instead of silently losing epochs.
+        self._dropped_events = 0
+        self._drops_by_connection: Dict[int, int] = {}
+        self._max_queue_depth = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -80,6 +90,52 @@ class OverlayServer:
             asyncio.get_running_loop().create_task(self._tick_loop())
         return address
 
+    async def start_metrics(
+        self, *, host: str = "127.0.0.1", port: int = 0
+    ) -> str:
+        """Expose the telemetry registry as Prometheus text over HTTP.
+
+        A deliberately minimal endpoint: every request — whatever the
+        path — answers ``200 text/plain`` with the current
+        :meth:`~repro.telemetry.registry.MetricsRegistry.render_prometheus`
+        dump (empty body when the process has no registry).  Returns the
+        bound ``host:port``.
+        """
+        self._metrics_server = await asyncio.start_server(
+            self._handle_metrics_request, host=host, port=port
+        )
+        bound = self._metrics_server.sockets[0].getsockname()
+        return f"{bound[0]}:{bound[1]}"
+
+    async def _handle_metrics_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            # Drain the request line and headers; the reply is the same
+            # for every path, so nothing in them matters.
+            while True:
+                header = await reader.readline()
+                if not header.strip():
+                    break
+            registry = telemetry.metrics()
+            body = (registry.render_prometheus() if registry else "").encode()
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/plain; charset=utf-8\r\n"
+                b"Connection: close\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                + body
+            )
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
     async def serve_until_shutdown(self) -> None:
         """Block until a ``shutdown`` request (or :meth:`stop`) lands."""
         await self._shutdown.wait()
@@ -92,6 +148,10 @@ class OverlayServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+            self._metrics_server = None
         self._subscriber_queues.clear()
         if not self.service.closed:
             self.service.close()
@@ -138,7 +198,9 @@ class OverlayServer:
                     queue: asyncio.Queue = asyncio.Queue()
                     self._subscriber_queues[connection] = queue
                     self.service.subscribe(
-                        lambda payload, q=queue: self._enqueue(q, payload)
+                        lambda payload, q=queue, c=connection: self._enqueue(
+                            c, q, payload
+                        )
                     )
                     writer_task = asyncio.get_running_loop().create_task(
                         self._drain_events(queue, writer)
@@ -160,14 +222,37 @@ class OverlayServer:
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
-    @staticmethod
-    def _enqueue(queue: asyncio.Queue, payload: Dict[str, object]) -> None:
+    def _enqueue(
+        self, connection: int, queue: asyncio.Queue, payload: Dict[str, object]
+    ) -> None:
         if queue.qsize() >= SUBSCRIBER_QUEUE_LIMIT:
             try:
                 queue.get_nowait()
             except asyncio.QueueEmpty:
                 pass
+            else:
+                self._dropped_events += 1
+                self._drops_by_connection[connection] = (
+                    self._drops_by_connection.get(connection, 0) + 1
+                )
+                telemetry.count("serve.subscribers.dropped")
         queue.put_nowait(payload)
+        depth = queue.qsize()
+        if depth > self._max_queue_depth:
+            self._max_queue_depth = depth
+
+    def _subscriber_stats(self) -> Dict[str, object]:
+        """The subscriber/backpressure block of ``stats`` and ``metrics``."""
+        return {
+            "count": len(self._subscriber_queues),
+            "queue_limit": SUBSCRIBER_QUEUE_LIMIT,
+            "dropped_events": self._dropped_events,
+            "dropped_by_connection": {
+                str(connection): drops
+                for connection, drops in sorted(self._drops_by_connection.items())
+            },
+            "max_depth": self._max_queue_depth,
+        }
 
     async def _drain_events(
         self, queue: asyncio.Queue, writer: asyncio.StreamWriter
@@ -184,8 +269,21 @@ class OverlayServer:
     # Dispatch
     # ------------------------------------------------------------------ #
     def _dispatch(self, line: bytes, connection: int):
-        """Handle one request line; returns (message, subscribe?, shutdown?)."""
+        """Handle one request line; returns (message, subscribe?, shutdown?).
+
+        Every request's handling latency lands in the per-op
+        ``serve.request.<op>`` histogram (a no-op without a registry);
+        lines that fail protocol parsing are pooled under ``invalid``.
+        """
+        start = time.perf_counter()
+        op, message, subscribe, shutdown = self._handle_request(line)
+        telemetry.observe(f"serve.request.{op}", time.perf_counter() - start)
+        return message, subscribe, shutdown
+
+    def _handle_request(self, line: bytes):
+        """Dispatch one request; returns (op, message, subscribe?, shutdown?)."""
         request_id: Optional[object] = None
+        op = "invalid"
         try:
             request = parse_request(line)
             request_id = request.get("id")
@@ -197,18 +295,19 @@ class OverlayServer:
                     engine=request.get("engine"),
                     want_path=bool(request.get("path", False)),
                 )
-                return response(request_id, **result), False, False
+                return op, response(request_id, **result), False, False
             if op == "lookup_batch":
                 result = self.service.lookup_batch(
                     request.get("pairs"), engine=request.get("engine")
                 )
-                return response(request_id, **result), False, False
+                return op, response(request_id, **result), False, False
             if op == "mutate":
                 result = self.service.mutate(request.get("mutation"))
-                return response(request_id, **result), False, False
+                return op, response(request_id, **result), False, False
             if op == "step":
                 payload = self.service.tick()
                 return (
+                    op,
                     response(
                         request_id,
                         epoch=payload["epoch"],
@@ -218,25 +317,36 @@ class OverlayServer:
                     False,
                 )
             if op == "subscribe":
-                return response(request_id, subscribed=True), True, False
+                return op, response(request_id, subscribed=True), True, False
             if op == "snapshot":
                 snapshot = self.service.snapshot()
                 snapshot["protocol"] = PROTOCOL_VERSION
-                return response(request_id, **snapshot), False, False
+                return op, response(request_id, **snapshot), False, False
             if op == "stats":
                 stats = self.service.stats()
                 stats["protocol"] = PROTOCOL_VERSION
-                return response(request_id, **stats), False, False
+                stats["subscribers"] = self._subscriber_stats()
+                return op, response(request_id, **stats), False, False
+            if op == "metrics":
+                data = self.service.metrics()
+                data["protocol"] = PROTOCOL_VERSION
+                data["subscribers"] = self._subscriber_stats()
+                return op, response(request_id, **data), False, False
             # op == "shutdown" (parse_request already rejected unknown ops)
-            return response(request_id, shutting_down=True), False, True
+            return op, response(request_id, shutting_down=True), False, True
         except ProtocolError as error:
             if request_id is None:
                 request_id = _recover_request_id(line)
-            return error_response(request_id, "bad-request", str(error)), False, False
+            return (
+                op,
+                error_response(request_id, "bad-request", str(error)),
+                False,
+                False,
+            )
         except ServeError as error:
-            return error_response(request_id, error.code, str(error)), False, False
+            return op, error_response(request_id, error.code, str(error)), False, False
         except ValidationError as error:
-            return error_response(request_id, "invalid", str(error)), False, False
+            return op, error_response(request_id, "invalid", str(error)), False, False
 
     # ------------------------------------------------------------------ #
     # Entry points
@@ -265,16 +375,29 @@ def run_server(
     port: Optional[int] = None,
     socket_path: Optional[str] = None,
     cadence: float = 0.0,
+    metrics_port: Optional[int] = None,
     ready: Optional[threading.Event] = None,
     announce=None,
+    announce_metrics=None,
 ) -> None:
-    """Run a server until shutdown (blocking; the CLI entry point)."""
+    """Run a server until shutdown (blocking; the CLI entry point).
+
+    ``metrics_port`` additionally binds the Prometheus-text endpoint of
+    :meth:`OverlayServer.start_metrics` on ``host``;
+    ``announce_metrics`` receives its bound address.
+    """
 
     async def main() -> None:
         server = OverlayServer(service, cadence=cadence)
         address = await server.start(
             host=host, port=port, socket_path=socket_path
         )
+        if metrics_port is not None:
+            metrics_address = await server.start_metrics(
+                host=host, port=metrics_port
+            )
+            if announce_metrics is not None:
+                announce_metrics(metrics_address)
         if announce is not None:
             announce(address)
         if ready is not None:

@@ -59,6 +59,7 @@ from repro.routing.shortest_path import shortest_path, shortest_path_costs_from
 from repro.routing.widest_path import widest_path, widest_path_bandwidths_from
 from repro.scenario.lifecycle import Mutation, Session
 from repro.scenario.spec import ScenarioSpec
+from repro.telemetry import runtime as telemetry
 from repro.util.validation import ValidationError
 
 #: Mutation-log schema version (the ``open`` header carries it).
@@ -112,6 +113,12 @@ class OverlayService:
             "mutations": 0,
             "epochs": 0,
         }
+        registry = telemetry.metrics()
+        if registry is not None:
+            # Snapshot-time folding, like the route caches: the service
+            # keeps bumping its plain-int counters and the registry reads
+            # them (prefixed ``serve.``) whenever someone snapshots.
+            registry.register_collector(self._collect_counters)
         self._log = open(log_path, "a") if log_path else None
         self._log_entry(
             {
@@ -134,7 +141,8 @@ class OverlayService:
         log records for replay parity.
         """
         self._check_open()
-        records = self.session.step()
+        with telemetry.span("serve.tick", epoch=self.session.epochs_completed):
+            records = self.session.step()
         self._rows.clear()
         self._graphs.clear()
         epoch = self.session.epochs_completed - 1
@@ -395,6 +403,24 @@ class OverlayService:
             "counters": dict(self.counters),
             "cache": cache_stats_to_json(self.session.batch.cache_stats()),
             "epochs_completed": self.session.epochs_completed,
+        }
+
+    def metrics(self) -> Dict[str, object]:
+        """:meth:`stats` superset: adds the telemetry registry snapshot.
+
+        ``metrics`` is ``None`` when the process runs without a registry
+        (``repro serve`` always enables one); the ``stats`` fields are
+        unchanged so existing clients can upgrade by switching ops.
+        """
+        data = self.stats()
+        registry = telemetry.metrics()
+        data["metrics"] = registry.snapshot() if registry is not None else None
+        return data
+
+    def _collect_counters(self) -> Dict[str, float]:
+        """The service counters as registry-snapshot entries."""
+        return {
+            f"serve.{name}": float(value) for name, value in self.counters.items()
         }
 
     def close(self) -> None:

@@ -77,6 +77,11 @@ class SweepStatus:
     pending: int = 0
     cells: List[CellStatus] = field(default_factory=list)
     hosts: List[HostThroughput] = field(default_factory=list)
+    #: Claim-protocol traffic per host: ``claims`` (completed + live),
+    #: ``reclaims`` (taken over from an expired lease), ``defers``
+    #: (currently-expired leases another worker will take over) — plus
+    #: corpus-wide ``totals``.  Derived from done + claim records alone.
+    telemetry: Dict[str, object] = field(default_factory=dict)
 
     def summary(self) -> str:
         """One machine-greppable line (the CI smoke asserts on it)."""
@@ -117,6 +122,7 @@ class SweepStatus:
                 }
                 for host in self.hosts
             ],
+            "telemetry": self.telemetry,
         }
 
 
@@ -184,6 +190,34 @@ def corpus_status(
                 reclaimed=sum(1 for r in records if r.get("reclaimed")),
             )
         )
+
+    # Claim-protocol traffic, from the same records the states came from:
+    # a done record is a completed claim, a live claim file an in-flight
+    # one, an expired claim a deferral waiting to be reclaimed.
+    per_host: Dict[str, Dict[str, int]] = {}
+
+    def bucket(host: str) -> Dict[str, int]:
+        return per_host.setdefault(host, {"claims": 0, "reclaims": 0, "defers": 0})
+
+    for record in done_records.values():
+        counts = bucket(str(record.get("host", "?")))
+        counts["claims"] += 1
+        if record.get("reclaimed"):
+            counts["reclaims"] += 1
+    for claim in claim_records.values():
+        counts = bucket(claim.host)
+        counts["claims"] += 1
+        if claim.reclaimed:
+            counts["reclaims"] += 1
+        if claim.lease_expiry <= moment:
+            counts["defers"] += 1
+    status.telemetry = {
+        "hosts": {host: per_host[host] for host in sorted(per_host)},
+        "totals": {
+            field_name: sum(counts[field_name] for counts in per_host.values())
+            for field_name in ("claims", "reclaims", "defers")
+        },
+    }
     return status
 
 
@@ -211,6 +245,12 @@ def format_status(status: SweepStatus, corpus: str, store_root: str) -> List[str
             f"# host {host.host}: cells={host.cells} "
             f"compute={host.elapsed:.1f}s span={host.span:.1f}s "
             f"rate={host.throughput:.2f} cells/s reclaimed={host.reclaimed}"
+        )
+    totals = status.telemetry.get("totals")
+    if totals:
+        lines.append(
+            f"# claims: total={totals['claims']} "
+            f"reclaimed={totals['reclaims']} deferred={totals['defers']}"
         )
     lines.append(status.summary())
     return lines

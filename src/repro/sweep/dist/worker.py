@@ -33,6 +33,7 @@ from repro.sweep.dist.claims import (
     ClaimRecord,
     ClaimStore,
 )
+from repro.telemetry import runtime as telemetry
 from repro.util.validation import ValidationError
 
 if TYPE_CHECKING:  # imported lazily at run time to avoid a package cycle
@@ -272,75 +273,89 @@ def run_worker(
         if on_event is not None:
             on_event(kind, cell, outcome)
 
-    while True:
-        progressed = False
-        for cell in ordered:
-            if cell.key in accounted:
-                continue
-            if max_cells is not None and len(report.executed) >= max_cells:
-                break
-            if store.has(cell.key):
-                accounted.add(cell.key)
-                report.skipped_done.append(cell.key)
-                emit("skipped-done", cell, {})
-                progressed = True
-                continue
-            if not retry_failed and claims.failed_record(cell.key) is not None:
-                accounted.add(cell.key)
-                report.skipped_failed.append(cell.key)
-                emit("skipped-failed", cell, claims.failed_record(cell.key) or {})
-                progressed = True
-                continue
-            outcome = execute_cell_claimed(
-                cell.key,
-                cell.spec.to_dict(),
-                store_spec=store.backend.describe(),
-                batched=batched,
-                lease_seconds=lease_seconds,
-                skip_done=True,
-                clear_failed=retry_failed,
-            )
-            status = outcome["status"]
-            if status == "done":
-                accounted.add(cell.key)
-                report.executed.append(cell.key)
-                if outcome.get("reclaimed"):
-                    report.reclaimed.append(cell.key)
-                emit("done", cell, outcome)
-                progressed = True
-            elif status == "already-done":
-                accounted.add(cell.key)
-                report.skipped_done.append(cell.key)
-                emit("skipped-done", cell, outcome)
-                progressed = True
-            elif status == "failed":
-                accounted.add(cell.key)
-                report.failed.append(
-                    CellFailure(
-                        key=cell.key,
-                        error=str(outcome.get("error", "")),
-                        traceback=str(outcome.get("traceback", "")),
-                    )
+    with telemetry.span("worker.run", cells=len(cells), host=claims.host):
+        while True:
+            progressed = False
+            for cell in ordered:
+                if cell.key in accounted:
+                    continue
+                if max_cells is not None and len(report.executed) >= max_cells:
+                    break
+                if store.has(cell.key):
+                    accounted.add(cell.key)
+                    report.skipped_done.append(cell.key)
+                    telemetry.count("worker.cells.skipped")
+                    emit("skipped-done", cell, {})
+                    progressed = True
+                    continue
+                if not retry_failed and claims.failed_record(cell.key) is not None:
+                    accounted.add(cell.key)
+                    report.skipped_failed.append(cell.key)
+                    telemetry.count("worker.cells.skipped")
+                    emit("skipped-failed", cell, claims.failed_record(cell.key) or {})
+                    progressed = True
+                    continue
+                outcome = execute_cell_claimed(
+                    cell.key,
+                    cell.spec.to_dict(),
+                    store_spec=store.backend.describe(),
+                    batched=batched,
+                    lease_seconds=lease_seconds,
+                    skip_done=True,
+                    clear_failed=retry_failed,
                 )
-                emit("failed", cell, outcome)
-                progressed = True
-            # "claimed": leave unaccounted; a later round re-checks it.
+                status = outcome["status"]
+                if status == "done":
+                    accounted.add(cell.key)
+                    report.executed.append(cell.key)
+                    telemetry.count("worker.cells.done")
+                    telemetry.record_span(
+                        "worker.cell",
+                        float(outcome.get("elapsed", 0.0)),
+                        key=cell.key,
+                        reclaimed=bool(outcome.get("reclaimed", False)),
+                    )
+                    if outcome.get("reclaimed"):
+                        report.reclaimed.append(cell.key)
+                        telemetry.count("worker.cells.reclaimed")
+                    emit("done", cell, outcome)
+                    progressed = True
+                elif status == "already-done":
+                    accounted.add(cell.key)
+                    report.skipped_done.append(cell.key)
+                    telemetry.count("worker.cells.skipped")
+                    emit("skipped-done", cell, outcome)
+                    progressed = True
+                elif status == "failed":
+                    accounted.add(cell.key)
+                    report.failed.append(
+                        CellFailure(
+                            key=cell.key,
+                            error=str(outcome.get("error", "")),
+                            traceback=str(outcome.get("traceback", "")),
+                        )
+                    )
+                    telemetry.count("worker.cells.failed")
+                    emit("failed", cell, outcome)
+                    progressed = True
+                else:  # "claimed": leave unaccounted; a later round re-checks.
+                    telemetry.count("worker.cells.deferred")
 
-        pending = [cell.key for cell in cells if cell.key not in accounted]
-        if max_cells is not None and len(report.executed) >= max_cells:
-            report.pending = pending
-            break
-        if not pending:
-            report.pending = []
-            break
-        if not progressed:
-            if deadline is not None and time.monotonic() >= deadline:
+            pending = [cell.key for cell in cells if cell.key not in accounted]
+            if max_cells is not None and len(report.executed) >= max_cells:
                 report.pending = pending
-                report.timed_out = True
                 break
-            report.waited_rounds += 1
-            for cell in cells:
-                if cell.key in pending[:1]:
-                    emit("waiting", cell, {"pending": len(pending)})
-            time.sleep(poll_seconds)
+            if not pending:
+                report.pending = []
+                break
+            if not progressed:
+                if deadline is not None and time.monotonic() >= deadline:
+                    report.pending = pending
+                    report.timed_out = True
+                    break
+                report.waited_rounds += 1
+                for cell in cells:
+                    if cell.key in pending[:1]:
+                        emit("waiting", cell, {"pending": len(pending)})
+                time.sleep(poll_seconds)
     return report

@@ -37,6 +37,7 @@ from repro.sweep.dist.claims import DEFAULT_LEASE_SECONDS
 from repro.sweep.dist.worker import CellFailure, execute_cell_claimed
 from repro.sweep.store import SweepStore
 from repro.sweep.template import SweepCell
+from repro.telemetry import runtime as telemetry
 from repro.util.validation import ValidationError
 
 
@@ -151,64 +152,81 @@ def run_sweep(
     """
     if workers < 1:
         raise ValidationError("workers must be >= 1")
-    # A sweep killed mid-write may have left .<key>.<host>.<pid>.tmp
-    # orphans behind; every sweep start reclaims this host's dead ones.
-    store.purge_stale_tmp()
-    report = SweepReport(total=len(cells), workers=int(workers))
-    pending: List[SweepCell] = []
-    for cell in cells:
-        if resume and store.has(cell.key):
-            report.skipped.append(cell.key)
-        else:
-            pending.append(cell)
-    if not pending:
-        return report
+    with telemetry.span("sweep.run", cells=len(cells), workers=int(workers)):
+        # A sweep killed mid-write may have left .<key>.<host>.<pid>.tmp
+        # orphans behind; every sweep start reclaims this host's dead ones.
+        store.purge_stale_tmp()
+        report = SweepReport(total=len(cells), workers=int(workers))
+        pending: List[SweepCell] = []
+        for cell in cells:
+            if resume and store.has(cell.key):
+                report.skipped.append(cell.key)
+            else:
+                pending.append(cell)
+        if report.skipped:
+            telemetry.count("sweep.cells.skipped", len(report.skipped))
+        if not pending:
+            return report
 
-    by_index = dict(enumerate(pending))
-    options = {
-        "store_spec": store.backend.describe(),
-        "batched": bool(batched),
-        "lease_seconds": float(lease_seconds),
-        # Without --resume a re-run must re-execute even completed cells;
-        # with it, skip_done also absorbs races with concurrent workers
-        # that finish a cell between our filter and our claim.
-        "skip_done": bool(resume),
-    }
-    payloads = [
-        (index, cell.key, cell.spec.to_dict(), options)
-        for index, cell in by_index.items()
-    ]
+        by_index = dict(enumerate(pending))
+        options = {
+            "store_spec": store.backend.describe(),
+            "batched": bool(batched),
+            "lease_seconds": float(lease_seconds),
+            # Without --resume a re-run must re-execute even completed cells;
+            # with it, skip_done also absorbs races with concurrent workers
+            # that finish a cell between our filter and our claim.
+            "skip_done": bool(resume),
+        }
+        payloads = [
+            (index, cell.key, cell.spec.to_dict(), options)
+            for index, cell in by_index.items()
+        ]
 
-    def record(index: int, outcome: Dict[str, object]) -> None:
-        cell = by_index[index]
-        status = outcome.get("status")
-        if status == "failed":
-            report.failed.append(
-                CellFailure(
-                    key=cell.key,
-                    error=str(outcome.get("error", "")),
-                    traceback=str(outcome.get("traceback", "")),
+        def record(index: int, outcome: Dict[str, object]) -> None:
+            cell = by_index[index]
+            status = outcome.get("status")
+            if status == "failed":
+                telemetry.count("sweep.cells.failed")
+                report.failed.append(
+                    CellFailure(
+                        key=cell.key,
+                        error=str(outcome.get("error", "")),
+                        traceback=str(outcome.get("traceback", "")),
+                    )
                 )
-            )
-        elif status == "claimed":
-            report.deferred.append(cell.key)
-        elif status == "already-done":
-            report.skipped.append(cell.key)
-        else:  # done
-            report.executed.append(cell.key)
-            if on_cell is not None:
-                on_cell(cell)
+            elif status == "claimed":
+                telemetry.count("sweep.cells.deferred")
+                report.deferred.append(cell.key)
+            elif status == "already-done":
+                telemetry.count("sweep.cells.skipped")
+                report.skipped.append(cell.key)
+            else:  # done
+                telemetry.count("sweep.cells.done")
+                # Pool cells execute in child processes, where the parent's
+                # tracer is invisible; the claim protocol's elapsed seconds
+                # travel back in the outcome, so the parent back-dates one
+                # span per completed cell regardless of backend.
+                telemetry.record_span(
+                    "sweep.cell",
+                    float(outcome.get("elapsed", 0.0)),
+                    key=cell.key,
+                    reclaimed=bool(outcome.get("reclaimed", False)),
+                )
+                report.executed.append(cell.key)
+                if on_cell is not None:
+                    on_cell(cell)
 
-    if workers == 1 or len(pending) == 1:
-        for payload in payloads:
-            index, outcome = _execute_cell(payload)
-            record(index, outcome)
+        if workers == 1 or len(pending) == 1:
+            for payload in payloads:
+                index, outcome = _execute_cell(payload)
+                record(index, outcome)
+            return report
+
+        context = _pool_context()
+        with context.Pool(processes=min(workers, len(pending))) as pool:
+            for index, outcome in pool.imap_unordered(
+                _execute_cell, payloads, chunksize=1
+            ):
+                record(index, outcome)
         return report
-
-    context = _pool_context()
-    with context.Pool(processes=min(workers, len(pending))) as pool:
-        for index, outcome in pool.imap_unordered(
-            _execute_cell, payloads, chunksize=1
-        ):
-            record(index, outcome)
-    return report

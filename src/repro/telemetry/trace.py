@@ -1,0 +1,169 @@
+"""Span-based tracer emitting JSONL trace events with monotonic timings.
+
+One trace file is a stream of JSON objects, one per line:
+
+* ``{"kind": "begin", "schema": 1, "clock": "perf_counter"}`` — header;
+* ``{"kind": "span", "seq": 7, "name": "epoch.steps", "ts": 0.0123,
+  "dur": 0.0045, "depth": 1, "attrs": {"epoch": 3}}`` — one completed
+  span (``ts`` is the start offset from the tracer's origin, ``dur``
+  its duration, both from :func:`time.perf_counter`, so timings are
+  monotonic and immune to wall-clock steps);
+* ``{"kind": "event", "seq": 9, "name": "sweep.cell.failed", "ts": ...,
+  "attrs": {...}}`` — one point event;
+* ``{"kind": "end", "spans": N, "events": M}`` — footer.
+
+Spans are written at *exit*, so file order is completion order; the
+``ts``/``dur``/``depth`` fields carry enough structure for
+:mod:`repro.telemetry.summarize` to rebuild nesting.  Nothing here is
+result-bearing: trace timestamps exist only in the trace sink, never in
+an ``EpochRecord`` or a stored sweep cell (``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Dict, List, Optional, TextIO, Union
+
+#: Trace file schema version (bumped on incompatible event changes).
+TRACE_SCHEMA_VERSION = 1
+
+Sink = Union[TextIO, List[Dict[str, object]]]
+
+
+class Span:
+    """One live span; use as a context manager (emitted on exit)."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_start", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+        self._depth = 0
+
+    def __enter__(self) -> "Span":
+        local = self._tracer._local
+        self._depth = getattr(local, "depth", 0)
+        local.depth = self._depth + 1
+        self._start = self._tracer._clock()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        end = self._tracer._clock()
+        self._tracer._local.depth = self._depth
+        self._tracer._emit_span(
+            self.name, self._start, end - self._start, self._depth, self.attrs
+        )
+        return False
+
+
+class Tracer:
+    """Writes spans and point events to a JSONL sink.
+
+    ``sink`` may be an open text file (one JSON object per line) or a
+    plain list (dicts appended — handy in tests).  Thread-safe: emission
+    is serialised by a lock and nesting depth is tracked per thread.
+    """
+
+    def __init__(self, sink: Sink, *, clock=time.perf_counter):
+        self._sink = sink
+        self._clock = clock
+        self._origin = clock()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._seq = 0
+        self._closed = False
+        self.spans = 0
+        self.events = 0
+        self._write(
+            {"kind": "begin", "schema": TRACE_SCHEMA_VERSION, "clock": "perf_counter"}
+        )
+
+    # ------------------------------------------------------------------ #
+    # Emission
+    # ------------------------------------------------------------------ #
+    def span(self, name: str, **attrs: object) -> Span:
+        """A live span; ``with tracer.span("epoch.rewire", node=i): ...``."""
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **attrs: object) -> None:
+        """One point event (no duration)."""
+        record: Dict[str, object] = {
+            "kind": "event",
+            "name": name,
+            "ts": round(self._clock() - self._origin, 9),
+        }
+        if attrs:
+            record["attrs"] = attrs
+        with self._lock:
+            record["seq"] = self._seq
+            self._seq += 1
+            self.events += 1
+            self._write(record)
+
+    def record_span(self, name: str, duration: float, **attrs: object) -> None:
+        """Record a span measured elsewhere (e.g. a pool worker's cell).
+
+        The span is back-dated so it ends now; ``depth`` is the caller's
+        current nesting depth, as if the span had been entered inline.
+        """
+        now = self._clock() - self._origin
+        duration = max(0.0, float(duration))
+        self._emit_span(
+            name,
+            self._origin + now - duration,
+            duration,
+            getattr(self._local, "depth", 0),
+            attrs,
+        )
+
+    def _emit_span(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        depth: int,
+        attrs: Dict[str, object],
+    ) -> None:
+        record: Dict[str, object] = {
+            "kind": "span",
+            "name": name,
+            "ts": round(start - self._origin, 9),
+            "dur": round(duration, 9),
+            "depth": depth,
+        }
+        if attrs:
+            record["attrs"] = attrs
+        with self._lock:
+            record["seq"] = self._seq
+            self._seq += 1
+            self.spans += 1
+            self._write(record)
+
+    def _write(self, record: Dict[str, object]) -> None:
+        if self._closed:
+            return
+        if isinstance(self._sink, list):
+            self._sink.append(record)
+        else:
+            self._sink.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> Dict[str, int]:
+        """Emit the footer, flush, and return ``{"spans": N, "events": M}``."""
+        with self._lock:
+            if not self._closed:
+                self._write({"kind": "end", "spans": self.spans, "events": self.events})
+                self._closed = True
+                flush = getattr(self._sink, "flush", None)
+                if flush is not None:
+                    flush()
+        return {"spans": self.spans, "events": self.events}
+
+
+__all__ = ["Span", "TRACE_SCHEMA_VERSION", "Tracer"]

@@ -347,3 +347,45 @@ class TestRepairPath:
         actual[1, 3] = 0.25
         repaired = cache.repair(3, {1}, actual, maximize=False)
         assert np.array_equal(repaired, self._fresh_rows(actual, sources))
+
+
+class TestDropsCounter:
+    """Every way an entry leaves the cache early shows up in ``drops``."""
+
+    def test_lru_eviction_counts_drops(self):
+        cache = ResidualRouteCache(max_entries=2)
+        cache.set_token("t")
+        for node in range(4):
+            cache.put(node, (1,), np.zeros((1, 1)))
+        assert cache.drops == 2
+        assert cache.stats()["drops"] == 2.0
+
+    def test_explicit_drop_counts_once(self):
+        cache = ResidualRouteCache(max_entries=4)
+        cache.set_token("t")
+        cache.put(0, (1,), np.zeros((1, 1)))
+        cache.drop(0)
+        cache.drop(0)  # absent: not a drop
+        cache.drop(99)  # never present: not a drop
+        assert cache.drops == 1
+
+    def test_repair_refusal_counts_a_drop(self):
+        cache = ResidualRouteCache(max_entries=4)
+        cache.set_token("t1")
+        cache.put(0, (1,), np.array([[0.0, 5.0, 7.0]]))
+        cache.set_token("t2")
+        refused = cache.repair(
+            0,
+            changed_links={1},
+            adjacency=np.full((3, 3), np.nan),
+            maximize=False,
+            max_fraction=0.0,
+        )
+        assert refused is None
+        assert cache.drops == 1
+        assert len(cache) == 0
+
+    def test_fresh_cache_reports_zero_drops(self):
+        stats = ResidualRouteCache().stats()
+        assert stats["drops"] == 0.0
+        assert "drops" in stats

@@ -1,0 +1,142 @@
+"""Serve-layer observability: drop accounting, the metrics op, Prometheus."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.scenario.spec import ScenarioSpec
+from repro.serve.server import SUBSCRIBER_QUEUE_LIMIT, OverlayServer
+from repro.serve.service import OverlayService
+from repro.telemetry import runtime as telemetry
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+def _spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        experiment="live-overlay",
+        n=12,
+        k_grid=(3,),
+        policies=("best-response",),
+        metric="delay-ping",
+        epochs=2,
+        seed=13,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def _request(server: OverlayServer, **request) -> dict:
+    """Drive one request through the synchronous dispatch path."""
+    message, _subscribe, _shutdown = server._dispatch(
+        json.dumps(request).encode(), 0
+    )
+    return message
+
+
+class TestDropAccounting:
+    def _full_queue(self, server: OverlayServer, connection: int = 0):
+        queue: asyncio.Queue = asyncio.Queue()
+        for i in range(SUBSCRIBER_QUEUE_LIMIT):
+            server._enqueue(connection, queue, {"event": "epoch", "epoch": i})
+        return queue
+
+    def test_drop_oldest_counts_per_connection(self):
+        server = OverlayServer(object())
+        queue = self._full_queue(server, connection=0)
+        assert server._dropped_events == 0
+        server._enqueue(0, queue, {"event": "epoch", "epoch": 999})
+        server._enqueue(0, queue, {"event": "epoch", "epoch": 1000})
+        assert queue.qsize() == SUBSCRIBER_QUEUE_LIMIT
+        assert server._dropped_events == 2
+        stats = server._subscriber_stats()
+        assert stats["dropped_events"] == 2
+        assert stats["dropped_by_connection"] == {"0": 2}
+        assert stats["max_depth"] == SUBSCRIBER_QUEUE_LIMIT
+        assert stats["queue_limit"] == SUBSCRIBER_QUEUE_LIMIT
+        # The oldest events went first: the queue now starts at epoch 2.
+        assert queue.get_nowait()["epoch"] == 2
+
+    def test_drops_counted_into_registry(self):
+        telemetry.enable()
+        server = OverlayServer(object())
+        queue = self._full_queue(server)
+        server._enqueue(0, queue, {"event": "epoch", "epoch": 999})
+        counters = telemetry.metrics().snapshot()["counters"]
+        assert counters["serve.subscribers.dropped"] == 1
+
+
+class TestStatsAndMetricsOps:
+    def test_stats_carries_subscriber_block(self):
+        server = OverlayServer(OverlayService(_spec()))
+        server.service.tick()
+        reply = _request(server, op="stats", id=7)
+        assert reply["ok"] is True and reply["id"] == 7
+        assert reply["subscribers"]["dropped_events"] == 0
+        assert reply["subscribers"]["queue_limit"] == SUBSCRIBER_QUEUE_LIMIT
+
+    def test_metrics_op_is_a_stats_superset(self):
+        telemetry.enable()
+        server = OverlayServer(OverlayService(_spec()))
+        server.service.tick()
+        _request(server, op="lookup", src=0, dst=5)
+        stats = _request(server, op="stats")
+        reply = _request(server, op="metrics")
+        for key in stats:
+            assert key in reply
+        snapshot = reply["metrics"]
+        # Service counters are folded in at snapshot time.
+        assert snapshot["counters"]["serve.lookups"] == 1.0
+        assert snapshot["counters"]["serve.epochs"] == 1.0
+
+    def test_metrics_op_without_registry_reports_none(self):
+        server = OverlayServer(OverlayService(_spec()))
+        server.service.tick()
+        reply = _request(server, op="metrics")
+        assert reply["ok"] is True
+        assert reply["metrics"] is None
+
+    def test_request_latency_histogram_per_op(self):
+        telemetry.enable()
+        server = OverlayServer(OverlayService(_spec()))
+        server.service.tick()
+        _request(server, op="stats")
+        _request(server, op="lookup", src=0, dst=5)
+        server._dispatch(b"not json", 0)
+        histograms = telemetry.metrics().snapshot()["histograms"]
+        assert histograms["serve.request.stats"]["count"] == 1
+        assert histograms["serve.request.lookup"]["count"] == 1
+        assert histograms["serve.request.invalid"]["count"] == 1
+
+
+class TestMetricsPort:
+    def test_prometheus_text_over_http(self):
+        telemetry.enable()
+        telemetry.metrics().counter("engine.epochs").inc(3)
+        server = OverlayServer(object())
+
+        async def fetch() -> bytes:
+            address = await server.start_metrics(port=0)
+            host, port = address.rsplit(":", 1)
+            reader, writer = await asyncio.open_connection(host, int(port))
+            writer.write(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+            await writer.drain()
+            payload = await reader.read()
+            writer.close()
+            server._metrics_server.close()
+            await server._metrics_server.wait_closed()
+            return payload
+
+        payload = asyncio.run(fetch())
+        text = payload.decode()
+        assert text.startswith("HTTP/1.1 200 OK")
+        assert "Content-Type: text/plain" in text
+        assert "repro_engine_epochs 3" in text

@@ -110,6 +110,42 @@ class TestCorpusStatus:
         assert {c["state"] for c in document["cells"]} == {"done", "pending"}
 
 
+class TestStatusTelemetry:
+    def test_per_host_claim_reclaim_defer_counts(self, cells, tmp_path):
+        store = SweepStore(str(tmp_path))
+        a = ClaimStore(store.backend, host="host-a", pid=1)
+        a.mark_done(cells[0].key, started=100.0, finished=101.0)
+        a.mark_done(cells[1].key, started=101.0, finished=102.0, reclaimed=True)
+        live = ClaimStore(store.backend, lease_seconds=300.0, host="host-a", pid=1)
+        assert live.try_claim(cells[2].key) is not None  # in-flight claim
+        dead = ClaimStore(store.backend, lease_seconds=1e-9, host="host-b", pid=2)
+        assert dead.try_claim(cells[3].key) is not None  # expired -> defer
+
+        telemetry = corpus_status(cells, store).telemetry
+        hosts = telemetry["hosts"]
+        assert hosts["host-a"] == {"claims": 3, "reclaims": 1, "defers": 0}
+        assert hosts["host-b"] == {"claims": 1, "reclaims": 0, "defers": 1}
+        assert telemetry["totals"] == {"claims": 4, "reclaims": 1, "defers": 1}
+
+    def test_telemetry_block_in_as_dict(self, cells, tmp_path):
+        import json
+
+        store = SweepStore(str(tmp_path))
+        done = ClaimStore(store.backend, host="host-a", pid=1)
+        done.mark_done(cells[0].key, started=1.0, finished=2.0, reclaimed=True)
+        document = json.loads(json.dumps(corpus_status(cells, store).as_dict()))
+        assert document["telemetry"]["totals"] == {
+            "claims": 1,
+            "reclaims": 1,
+            "defers": 0,
+        }
+
+    def test_empty_store_has_empty_telemetry(self, cells, tmp_path):
+        store = SweepStore(str(tmp_path))
+        telemetry = corpus_status(cells, store).telemetry
+        assert telemetry == {"hosts": {}, "totals": {"claims": 0, "reclaims": 0, "defers": 0}}
+
+
 class TestFormatStatus:
     def test_lines_end_with_greppable_summary(self, cells, tmp_path):
         store = SweepStore(str(tmp_path))
@@ -125,3 +161,12 @@ class TestFormatStatus:
         assert "lease expires in" in body
         # One host line for the cell this host completed.
         assert any(line.startswith("# host ") for line in lines)
+
+    def test_claims_line_reports_telemetry_totals(self, cells, tmp_path):
+        store = SweepStore(str(tmp_path))
+        done = ClaimStore(store.backend, host="host-a", pid=1)
+        done.mark_done(cells[0].key, started=1.0, finished=2.0)
+        done.mark_done(cells[1].key, started=2.0, finished=3.0, reclaimed=True)
+        status = corpus_status(cells, store)
+        lines = format_status(status, "status-test", str(tmp_path))
+        assert "# claims: total=2 reclaimed=1 deferred=0" in lines

@@ -1,0 +1,15 @@
+"""Telemetry tests share process-global state; always reset it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import runtime as telemetry
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    """Guarantee every test starts and ends with telemetry disabled."""
+    telemetry.disable()
+    yield
+    telemetry.disable()

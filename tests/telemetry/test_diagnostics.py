@@ -1,0 +1,80 @@
+"""Pooled cache stats and the one diagnostics-stripping helper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.route_cache import ResidualRouteCache
+from repro.telemetry.diagnostics import (
+    DIAGNOSTIC_KEYS,
+    merge_cache_stats,
+    pooled_cache_stats,
+    pop_diagnostics,
+    strip_diagnostics,
+)
+
+
+def _cache_with_traffic(hits: int, misses: int) -> ResidualRouteCache:
+    cache = ResidualRouteCache(max_entries=8)
+    cache.set_token("t")
+    cache.put(0, (1,), np.zeros((1, 2)))
+    for _ in range(hits):
+        cache.get(0, (1,))
+    for _ in range(misses):
+        cache.get(9, (1,))
+    return cache
+
+
+class TestPooling:
+    def test_pooled_stats_sum_and_reweight(self):
+        stats = pooled_cache_stats(
+            [_cache_with_traffic(3, 1), None, _cache_with_traffic(1, 3)]
+        )
+        assert stats["hits"] == 4.0
+        assert stats["misses"] == 4.0
+        assert stats["entries"] == 2.0
+        # Pooled rate from summed traffic, not an average of per-cache rates.
+        assert stats["hit_rate"] == pytest.approx(0.5)
+
+    def test_merge_recomputes_hit_rate(self):
+        merged = merge_cache_stats(
+            [
+                {"hits": 9.0, "misses": 1.0, "hit_rate": 0.9},
+                None,
+                {"hits": 0.0, "misses": 10.0, "hit_rate": 0.0},
+            ]
+        )
+        assert merged["hits"] == 9.0
+        assert merged["hit_rate"] == pytest.approx(0.45)
+
+    def test_empty_inputs(self):
+        assert pooled_cache_stats([])["hit_rate"] == 0.0
+        assert merge_cache_stats([])["hit_rate"] == 0.0
+
+
+class TestStripDiagnostics:
+    def test_reserved_keys(self):
+        assert DIAGNOSTIC_KEYS == ("cache", "telemetry")
+
+    def test_pop_from_bare_metadata(self):
+        metadata = {"cache": {"hits": 1.0}, "telemetry": {}, "spec": "keep"}
+        popped = pop_diagnostics(metadata)
+        assert metadata == {"spec": "keep"}
+        assert popped == {"cache": {"hits": 1.0}, "telemetry": {}}
+
+    def test_strip_result_document(self):
+        document = {"figure": "fig2", "metadata": {"cache": {"hits": 2.0}, "n": 64}}
+        popped = strip_diagnostics(document)
+        assert document["metadata"] == {"n": 64}
+        assert popped["cache"]["hits"] == 2.0
+
+    def test_strip_sweep_cell_document(self):
+        document = {"key": "n=64", "result": {"metadata": {"cache": {}, "n": 64}}}
+        strip_diagnostics(document)
+        assert document["result"]["metadata"] == {"n": 64}
+
+    def test_strip_bare_mapping_without_diagnostics(self):
+        document = {"n": 64}
+        assert strip_diagnostics(document) == {}
+        assert document == {"n": 64}

@@ -1,0 +1,125 @@
+"""The metrics registry: instruments, folding, and the Prometheus dump."""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro.core.route_cache import ResidualRouteCache
+from repro.telemetry.registry import (
+    DEFAULT_LATENCY_EDGES,
+    NULL_SPAN,
+    Histogram,
+    MetricsRegistry,
+    NullSpan,
+)
+
+
+class TestInstruments:
+    def test_counter_create_on_use_and_inc(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc(4)
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.snapshot()["counters"]["a"] == 5
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(3.0)
+        registry.gauge("depth").set(1.5)
+        assert registry.snapshot()["gauges"]["depth"] == 1.5
+
+    def test_histogram_edges_must_strictly_increase(self):
+        for bad in ((), (1.0, 1.0), (2.0, 1.0)):
+            with pytest.raises(ValueError):
+                Histogram("h", bad)
+
+    def test_histogram_le_bucket_semantics(self):
+        hist = Histogram("h", (0.1, 1.0, 10.0))
+        # Each value lands in the first bucket whose edge is >= value
+        # (Prometheus `le`); values on an edge belong to that edge.
+        for value in (0.05, 0.1, 0.5, 1.0, 2.0, 10.0, 11.0):
+            hist.observe(value)
+        assert hist.counts == [2, 2, 2, 1]  # <=0.1, <=1.0, <=10.0, overflow
+        assert hist.count == 7
+        assert hist.sum == pytest.approx(0.05 + 0.1 + 0.5 + 1.0 + 2.0 + 10.0 + 11.0)
+
+    def test_default_edges_are_strictly_increasing(self):
+        assert all(
+            a < b for a, b in zip(DEFAULT_LATENCY_EDGES, DEFAULT_LATENCY_EDGES[1:])
+        )
+
+    def test_histogram_edges_fixed_after_creation(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", (1.0, 2.0))
+        # Re-request with different edges returns the existing instrument.
+        assert registry.histogram("h", (5.0,)) is hist
+        assert hist.edges == (1.0, 2.0)
+
+
+class TestReadTimeFolding:
+    def test_cache_counters_folded_into_snapshot(self):
+        registry = MetricsRegistry()
+        cache = ResidualRouteCache(max_entries=4)
+        registry.attach_cache(cache)
+        cache.set_token("t")
+        import numpy as np
+
+        cache.put(0, (1,), np.zeros((1, 2)))
+        cache.get(0, (1,))  # hit
+        cache.get(9, (1,))  # miss
+        counters = registry.snapshot()["counters"]
+        assert counters["cache.hits"] == 1
+        assert counters["cache.misses"] == 1
+        assert counters["cache.instances"] == 1
+        assert counters["cache.entries"] == 1
+
+    def test_attach_cache_is_weak(self):
+        registry = MetricsRegistry()
+        cache = ResidualRouteCache(max_entries=4)
+        registry.attach_cache(cache)
+        del cache
+        gc.collect()
+        counters = registry.snapshot()["counters"]
+        assert "cache.instances" not in counters
+
+    def test_collector_values_join_and_sum(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.lookups").inc(2)
+        registry.register_collector(lambda: {"serve.lookups": 3.0, "serve.epochs": 1.0})
+        counters = registry.snapshot()["counters"]
+        assert counters["serve.lookups"] == 5.0
+        assert counters["serve.epochs"] == 1.0
+
+
+class TestPrometheus:
+    def test_render_cumulative_buckets_and_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("serve.request.lookup", (0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        registry.counter("engine.epochs").inc(7)
+        registry.gauge("depth").set(2.0)
+        text = registry.render_prometheus()
+        assert text.endswith("\n")
+        assert "# TYPE repro_engine_epochs counter" in text
+        assert "repro_engine_epochs 7" in text
+        assert "# TYPE repro_depth gauge" in text
+        # Dots sanitised to underscores; buckets are cumulative.
+        assert 'repro_serve_request_lookup_bucket{le="0.1"} 1' in text
+        assert 'repro_serve_request_lookup_bucket{le="1.0"} 2' in text
+        assert 'repro_serve_request_lookup_bucket{le="+Inf"} 3' in text
+        assert "repro_serve_request_lookup_count 3" in text
+
+
+class TestNullSpan:
+    def test_singleton_context_manager(self):
+        with NULL_SPAN as span:
+            assert span is NULL_SPAN
+        assert isinstance(NULL_SPAN, NullSpan)
+
+    def test_does_not_swallow_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with NULL_SPAN:
+                raise RuntimeError("boom")

@@ -1,0 +1,120 @@
+"""Self-time attribution and the `repro trace summarize` output."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.summarize import format_summary, summarize
+from repro.telemetry.trace import TRACE_SCHEMA_VERSION
+
+
+def _span(name, ts, dur, depth=0, seq=0):
+    return {
+        "kind": "span",
+        "seq": seq,
+        "name": name,
+        "ts": ts,
+        "dur": dur,
+        "depth": depth,
+    }
+
+
+def _trace(spans, events=()):
+    return {
+        "header": {"kind": "begin", "schema": TRACE_SCHEMA_VERSION},
+        "spans": list(spans),
+        "events": list(events),
+        "end": None,
+    }
+
+
+class TestSummarize:
+    def test_empty_trace(self):
+        summary = summarize(_trace([]))
+        assert summary["wall"] == 0.0
+        assert summary["coverage"] == 0.0
+        assert summary["phases"] == []
+
+    def test_self_time_excludes_children(self):
+        # run [0, 10] containing epoch [1, 4] and epoch [5, 9].
+        summary = summarize(
+            _trace(
+                [
+                    _span("run", 0.0, 10.0, 0),
+                    _span("epoch", 1.0, 3.0, 1),
+                    _span("epoch", 5.0, 4.0, 1),
+                ]
+            )
+        )
+        assert summary["wall"] == pytest.approx(10.0)
+        assert summary["coverage"] == pytest.approx(1.0)
+        by_name = {p["name"]: p for p in summary["phases"]}
+        assert by_name["run"]["total"] == pytest.approx(10.0)
+        assert by_name["run"]["self"] == pytest.approx(3.0)  # 10 - (3 + 4)
+        assert by_name["epoch"]["count"] == 2
+        assert by_name["epoch"]["self"] == pytest.approx(7.0)
+        # Self times sum to wall: every moment attributed exactly once.
+        assert sum(p["self"] for p in summary["phases"]) == pytest.approx(10.0)
+        assert by_name["epoch"]["pct"] == pytest.approx(70.0)
+
+    def test_phases_ranked_by_self_time(self):
+        summary = summarize(
+            _trace([_span("small", 0.0, 1.0), _span("big", 2.0, 5.0)])
+        )
+        assert [p["name"] for p in summary["phases"]] == ["big", "small"]
+
+    def test_coverage_counts_only_top_level_spans(self):
+        # Two top-level spans over a 10 s window, 4 s traced.
+        summary = summarize(
+            _trace([_span("a", 0.0, 3.0), _span("b", 9.0, 1.0)])
+        )
+        assert summary["wall"] == pytest.approx(10.0)
+        assert summary["coverage"] == pytest.approx(0.4)
+
+    def test_backdated_sibling_adopted_as_child(self):
+        # A parent-side recorded sweep.cell span at depth 0 whose interval
+        # contains the inline epoch spans: containment, not depth, decides
+        # nesting, so the cell's self time excludes the epochs.
+        summary = summarize(
+            _trace(
+                [
+                    _span("sweep.cell", 0.0, 4.0, 0),
+                    _span("epoch", 0.5, 1.0, 0),
+                    _span("epoch", 2.0, 1.5, 0),
+                ]
+            )
+        )
+        by_name = {p["name"]: p for p in summary["phases"]}
+        assert by_name["sweep.cell"]["self"] == pytest.approx(1.5)
+        assert summary["coverage"] == pytest.approx(1.0)
+
+    def test_events_counted_by_name(self):
+        summary = summarize(
+            _trace(
+                [_span("s", 0.0, 1.0)],
+                [
+                    {"kind": "event", "name": "fail", "ts": 0.1},
+                    {"kind": "event", "name": "fail", "ts": 0.2},
+                    {"kind": "event", "name": "mark", "ts": 0.3},
+                ],
+            )
+        )
+        assert summary["events_by_name"] == {"fail": 2, "mark": 1}
+        assert summary["events"] == 3
+
+
+class TestFormatSummary:
+    def test_table_and_trace_line(self):
+        summary = summarize(
+            _trace(
+                [
+                    _span("run", 0.0, 10.0, 0),
+                    _span("epoch.steps", 1.0, 8.0, 1),
+                ]
+            )
+        )
+        text = format_summary(summary)
+        lines = text.splitlines()
+        assert lines[0].split() == ["phase", "count", "total", "s", "self", "s", "%", "wall"]
+        assert lines[1].startswith("epoch.steps")  # self-time ranked
+        assert lines[-1] == "TRACE wall=10.0000s coverage=100.0% spans=2 events=0"

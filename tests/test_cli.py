@@ -480,3 +480,92 @@ class TestVerbose:
              "--br-rounds", "1", "--seed", "3", "--verbose"]
         ) == 0
         assert "# cache: n/a" in capsys.readouterr().out
+
+
+class TestTelemetryCLI:
+    def test_run_trace_writes_trace_and_prints_summary_line(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["run", "fig3-rewirings", "--n", "10", "--k", "2",
+             "--epochs", "2", "--seed", "4", "--trace", str(trace)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TELEMETRY spans=" in out
+        assert f"trace={trace}" in out
+        first = json.loads(trace.read_text().splitlines()[0])
+        assert first == {"kind": "begin", "schema": 1, "clock": "perf_counter"}
+
+    def test_trace_summarize_table_json_and_coverage_gate(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["run", "fig3-rewirings", "--n", "10", "--k", "2",
+             "--epochs", "2", "--seed", "4", "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "batch.steps" in out
+        assert "TRACE wall=" in out
+
+        assert main(
+            ["trace", "summarize", str(trace), "--check-coverage", "0.9"]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(["trace", "summarize", str(trace), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["coverage"] >= 0.9
+        assert any(p["name"] == "run" for p in summary["phases"])
+
+    def test_check_coverage_failure_is_exit_1(self, tmp_path, capsys):
+        trace = tmp_path / "sparse.jsonl"
+        trace.write_text(
+            "\n".join(
+                [
+                    '{"kind":"begin","schema":1,"clock":"perf_counter"}',
+                    '{"kind":"span","seq":0,"name":"a","ts":0.0,"dur":1.0,"depth":0}',
+                    '{"kind":"span","seq":1,"name":"b","ts":9.0,"dur":1.0,"depth":0}',
+                    '{"kind":"end","spans":2,"events":0}',
+                ]
+            )
+            + "\n"
+        )
+        assert main(
+            ["trace", "summarize", str(trace), "--check-coverage", "0.9"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "below the required" in captured.err
+
+    def test_sweep_telemetry_prints_summary_line(self, tmp_path, capsys):
+        template = tmp_path / "template.json"
+        template.write_text(
+            json.dumps(
+                {
+                    "name": "cli-telemetry",
+                    "base": {
+                        "experiment": "fig1-delay-ping",
+                        "n": 10,
+                        "k_grid": [2],
+                        "br_rounds": 1,
+                        "seed": 3,
+                    },
+                    "axes": {"n": [10, 11]},
+                }
+            )
+        )
+        trace = tmp_path / "sweep.jsonl"
+        assert main(
+            ["sweep", str(template), "--store", str(tmp_path / "store"),
+             "--workers", "1", "--telemetry", "--trace", str(trace)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TELEMETRY spans=" in out
+        assert trace.exists()
+
+    def test_verbose_cache_line_includes_drops(self, capsys):
+        assert main(
+            ["run", "fig3-rewirings", "--n", "10", "--k", "2",
+             "--epochs", "2", "--seed", "4", "--verbose"]
+        ) == 0
+        assert "drops=" in capsys.readouterr().out
