@@ -1,0 +1,112 @@
+"""Benchmark: checkpoint-bounded recovery vs full-chain replay.
+
+The point of the checkpoint subsystem is that restart cost is bounded by
+the checkpoint interval, not by session age.  This benchmark crashes two
+identical paper-scale (n = 50) sessions after ``EPOCHS`` epochs — one
+with periodic checkpoints, one with only the mutation log — recovers
+both, and gates the checkpointed recovery at **>= 2x** faster than the
+full-chain replay.  The gap widens linearly with session age; at the
+benchmarked 24 epochs the observed ratio is already well clear of the
+gate, so a regression here means checkpoint restore started re-running
+work it should have skipped.
+
+Both timings go to ``BENCH_*.json`` via ``extra_info`` so the recovery
+trajectory is tracked across commits alongside the serve throughput.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import run_once
+
+from repro.scenario.spec import ScenarioSpec
+from repro.serve.service import OverlayService
+
+N = 50
+K = 4
+EPOCHS = 24
+CKPT_EVERY = 4
+SEED = 2008
+REQUIRED_SPEEDUP = 2.0
+
+
+def _spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        experiment="live-overlay",
+        n=N,
+        k_grid=(K,),
+        policies=("best-response",),
+        metric="delay-ping",
+        epochs=EPOCHS,
+        seed=SEED,
+    )
+
+
+def _crashed_chain(root, *, checkpoint_dir):
+    """Drive a session to ``EPOCHS`` epochs and abandon it SIGKILL-style."""
+    log = str(root / "serve.jsonl")
+    service = OverlayService(
+        _spec(),
+        log_path=log,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=CKPT_EVERY,
+    )
+    while service.session.epochs_completed < EPOCHS:
+        if service.session.epochs_completed == EPOCHS // 2:
+            service.mutate({"kind": "drift", "steps": 1}, idem="bench-drift")
+        service.tick()
+    service._log.close()
+    service._log = None
+    service.closed = True
+    return log
+
+
+def test_bounded_recovery_beats_full_replay(benchmark, tmp_path):
+    ckpt_dir = str(tmp_path / "checkpoints")
+    bounded_log = _crashed_chain(tmp_path / "bounded", checkpoint_dir=ckpt_dir)
+    chain_log = _crashed_chain(tmp_path / "chain", checkpoint_dir=None)
+
+    def recover_both():
+        start = time.perf_counter()
+        bounded = OverlayService.recover(
+            bounded_log, checkpoint_dir=ckpt_dir, checkpoint_every=CKPT_EVERY
+        )
+        bounded_s = time.perf_counter() - start
+        start = time.perf_counter()
+        chain = OverlayService.recover(chain_log)
+        chain_s = time.perf_counter() - start
+        return bounded, chain, bounded_s, chain_s
+
+    bounded, chain, bounded_s, chain_s = run_once(benchmark, recover_both)
+    try:
+        # Both recoveries land on the same state ...
+        assert bounded.session.epochs_completed == EPOCHS
+        assert chain.session.epochs_completed == EPOCHS
+        # ... but the checkpointed one replays at most one interval
+        # while the chain-only one re-runs the whole session.
+        assert bounded.last_recovery.bounded
+        assert bounded.last_recovery.replayed_epochs <= CKPT_EVERY
+        assert chain.last_recovery.replayed_epochs == EPOCHS
+    finally:
+        bounded.close()
+        chain.close()
+
+    speedup = chain_s / bounded_s
+    print()
+    print(
+        f"RECOVERY-BENCH epochs={EPOCHS} ckpt_every={CKPT_EVERY} "
+        f"bounded={bounded_s * 1e3:.1f}ms chain={chain_s * 1e3:.1f}ms "
+        f"speedup={speedup:.1f}x"
+    )
+
+    benchmark.extra_info["bounded_recovery_s"] = bounded_s
+    benchmark.extra_info["chain_replay_s"] = chain_s
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["replayed_epochs"] = bounded.last_recovery.replayed_epochs
+
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"bounded recovery is only {speedup:.1f}x faster than full replay "
+        f"(gate: {REQUIRED_SPEEDUP:.0f}x) — checkpoint restore is replaying "
+        "too much of the log"
+    )

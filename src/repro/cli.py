@@ -387,6 +387,99 @@ def build_parser() -> argparse.ArgumentParser:
             "endpoint on this TCP port (0 = ephemeral)"
         ),
     )
+    serve_cmd.add_argument(
+        "--checkpoint-dir",
+        type=str,
+        default=None,
+        help=(
+            "directory for periodic atomic session checkpoints (requires "
+            "--log); enables bounded-replay crash recovery"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=8,
+        help=(
+            "checkpoint (and rotate the log) every N epochs; 0 disables "
+            "periodic checkpoints (default 8)"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--keep-checkpoints",
+        type=int,
+        default=0,
+        help=(
+            "retain only the newest N checkpoints and compact older log "
+            "segments (0 = keep everything so serve-replay covers the "
+            "full history; default 0)"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--queue-limit",
+        type=int,
+        default=None,
+        help=(
+            "admitted-request queue bound; excess requests get an "
+            "immediate retryable 'busy' error (default 1024)"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--supervise",
+        action="store_true",
+        help=(
+            "run the server as a supervised child: restart on crash with "
+            "bounded exponential backoff, recover the session from "
+            "checkpoint + log on each restart"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--restart-backoff",
+        type=float,
+        default=0.25,
+        help="first restart delay, seconds (doubles per crash; --supervise)",
+    )
+    serve_cmd.add_argument(
+        "--restart-cap",
+        type=float,
+        default=8.0,
+        help="ceiling on the restart delay, seconds (--supervise)",
+    )
+    serve_cmd.add_argument(
+        "--max-restarts",
+        type=int,
+        default=0,
+        help=(
+            "consecutive-crash budget before the supervisor gives up "
+            "(0 = unbounded; --supervise)"
+        ),
+    )
+
+    chaos_cmd = sub.add_parser(
+        "chaos",
+        help=(
+            "SIGKILL a supervised server at random points under load and "
+            "verify recovery: digest parity, zero acked-mutation loss, "
+            "bounded replay"
+        ),
+    )
+    chaos_cmd.add_argument(
+        "scenario", help="chaos scenario JSON (scenarios/chaos_*.json)"
+    )
+    chaos_cmd.add_argument(
+        "--workdir",
+        type=str,
+        default=None,
+        help=(
+            "directory for the run's artifacts — log chain, checkpoints, "
+            "child output (default: a fresh chaos-<name> directory)"
+        ),
+    )
+    chaos_cmd.add_argument(
+        "--sequential",
+        action="store_true",
+        help="run both sides on the sequential reference kernels",
+    )
 
     load_cmd = sub.add_parser(
         "serve-load", help="measure a running server with a traffic-model workload"
@@ -440,6 +533,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "replay on the sequential reference kernels regardless of what "
             "the serving process used (a cross-kernel parity check)"
+        ),
+    )
+    replay_cmd.add_argument(
+        "--checkpoints",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help=(
+            "start from the checkpoint the current segment resumes from "
+            "(bounded-recovery parity) instead of replaying the full "
+            "archived chain"
         ),
     )
 
@@ -738,9 +842,17 @@ def _sweep_worker(args: argparse.Namespace) -> int:
         retry_failed=args.retry_failed,
         wait_timeout=args.timeout,
         on_event=on_event,
+        handle_signals=True,
         **worker_options,
     )
     print(f"# {report.summary()} store={store_dir}")
+    if report.interrupted is not None:
+        print(
+            f"# interrupted by signal {report.interrupted}; live claim "
+            "released — another worker can take the cell immediately",
+            file=sys.stderr,
+        )
+        return 128 + report.interrupted
     if report.failed:
         _print_failures(report.failed)
     for key in report.skipped_failed:
@@ -765,11 +877,29 @@ def _sweep_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _supervised_serve(args: argparse.Namespace) -> int:
+    """``serve --supervise``: keep a child server alive with backoff."""
+    from repro.serve.supervise import Supervisor, serve_command
+
+    supervisor = Supervisor(
+        serve_command(args._argv),
+        backoff_base=args.restart_backoff,
+        backoff_cap=args.restart_cap,
+        max_restarts=args.max_restarts,
+    )
+    supervisor.install_signal_handlers()
+    report = supervisor.run()
+    print(f"# {report.summary()}")
+    return 0 if not report.gave_up else 1
+
+
 def _serve(args: argparse.Namespace) -> int:
-    """The ``serve`` subcommand: warm up, bind, serve until shutdown."""
+    """The ``serve`` subcommand: warm up (or recover), bind, serve."""
     from repro.serve.server import run_server
     from repro.serve.service import OverlayService
 
+    if args.supervise:
+        return _supervised_serve(args)
     if (args.port is None) == (args.socket is None):
         raise ValidationError("pass exactly one of --port or --socket")
     spec = _load_spec(args.spec)
@@ -777,16 +907,33 @@ def _serve(args: argparse.Namespace) -> int:
     # 'metrics' op and --metrics-port have something to report; tracing
     # stays off (serving is open-ended — there is no file to seal).
     telemetry.enable()
-    service = OverlayService(
-        spec, batched=not args.sequential, log_path=args.log
+    crash_safety = dict(
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        keep_checkpoints=args.keep_checkpoints,
     )
-    for _ in range(max(0, args.warmup_epochs)):
-        service.tick()
+    if args.log and os.path.exists(args.log) and os.path.getsize(args.log) > 0:
+        # A populated log means a predecessor served here: recover its
+        # state (checkpoint + bounded suffix replay) instead of starting
+        # over — and skip the warmup, those epochs already happened.
+        service = OverlayService.recover(
+            args.log, batched=not args.sequential, **crash_safety
+        )
+        print(service.last_recovery.summary(), flush=True)
+    else:
+        service = OverlayService(
+            spec, batched=not args.sequential, log_path=args.log, **crash_safety
+        )
+        for _ in range(max(0, args.warmup_epochs)):
+            service.tick()
     print(
         f"# serving {spec.experiment} (n={spec.n}, "
         f"{len(service.session.labels)} deployments, "
-        f"{service.session.epochs_completed} warmup epochs)"
+        f"{service.session.epochs_completed} epochs committed)"
     )
+    server_options = {}
+    if args.queue_limit is not None:
+        server_options["queue_limit"] = args.queue_limit
     run_server(
         service,
         host=args.host,
@@ -798,9 +945,38 @@ def _serve(args: argparse.Namespace) -> int:
         announce_metrics=lambda address: print(
             f"# serve metrics on {address}", flush=True
         ),
+        handle_sigterm=True,
+        **server_options,
     )
     print(f"# serve shut down after {service.counters['epochs']} epochs")
     telemetry.disable()
+    return 0
+
+
+def _chaos(args: argparse.Namespace) -> int:
+    """The ``chaos`` subcommand: run the harness, print the verdict."""
+    from repro.serve.chaos import ChaosScenario, run_chaos
+
+    scenario = ChaosScenario.load(args.scenario)
+    workdir = args.workdir
+    if workdir is None:
+        stem = os.path.splitext(os.path.basename(args.scenario))[0]
+        workdir = f"{stem}-workdir"
+    print(
+        f"# chaos: {scenario.epochs} epochs, {scenario.kills} SIGKILLs, "
+        f"checkpoint every {scenario.checkpoint_every}; artifacts in {workdir}"
+    )
+    report = run_chaos(scenario, workdir, batched=not args.sequential)
+    for line in report.recovery_lines:
+        print(f"# {line}")
+    print(report.summary())
+    if not report.ok:
+        print(
+            "error: the chaos run lost acknowledged state or diverged from "
+            f"the uninterrupted reference (artifacts in {workdir})",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -861,7 +1037,11 @@ def _serve_replay(args: argparse.Namespace) -> int:
     """The ``serve-replay`` subcommand: digest-check a mutation log."""
     from repro.serve.replay import replay_log
 
-    result = replay_log(args.log, batched=False if args.sequential else None)
+    result = replay_log(
+        args.log,
+        batched=False if args.sequential else None,
+        checkpoint_dir=args.checkpoints,
+    )
     print(result.summary())
     if not result.ok:
         for mismatch in result.mismatches:
@@ -878,10 +1058,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    # The supervisor re-execs this invocation minus its own flags.
+    args._argv = list(argv) if argv is not None else sys.argv[1:]
 
     try:
         if args.command == "serve":
             return _serve(args)
+
+        if args.command == "chaos":
+            return _chaos(args)
 
         if args.command == "serve-load":
             return _serve_load(args)

@@ -1,4 +1,4 @@
-"""Replay a serve mutation log through the batch engine.
+"""Replay a serve mutation log (or log chain) through the engines.
 
 The serve scheduler's correctness contract: because it is only a
 scheduler around the existing epoch kernels (one
@@ -7,29 +7,50 @@ committed inside ``begin_epoch``), feeding its mutation log back through
 a fresh batch session must reproduce every served epoch byte-for-byte.
 :func:`replay_log` does exactly that and compares the codec digest of
 each replayed epoch against the digest the live service recorded.
+
+Since the crash-safety work the log is *segmented*: checkpoints (and
+crash recoveries) seal the current segment into ``<path>.NNN`` archives
+and continue in a fresh file whose header names the state it resumes
+from.  Replay handles both shapes:
+
+* ``replay_log(path)`` on a log with archived siblings replays the whole
+  **chain** from segment 0 — the full-history parity check CI runs;
+* ``replay_log(path, checkpoint_dir=...)`` starts from the checkpoint
+  the current segment's header names instead, replaying only the
+  suffix — the bounded-recovery parity check;
+* a torn final line (crash mid-append) is tolerated exactly the way
+  :meth:`OverlayService.recover` tolerates it: reported and skipped via
+  :func:`repro.serve.oplog.read_segment`, never a crash in
+  ``json.loads``.
 """
 
 from __future__ import annotations
 
-import json
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.codec import epoch_record_digest
 from repro.scenario.lifecycle import Mutation, Session
 from repro.scenario.spec import ScenarioSpec
-from repro.serve.service import LOG_SCHEMA_VERSION
+from repro.serve.oplog import LOG_SCHEMA_VERSION, list_segments, read_segment
 from repro.util.validation import ValidationError
 
 
 @dataclass
 class ReplayResult:
-    """The outcome of replaying one mutation log."""
+    """The outcome of replaying one mutation log (or chain)."""
 
     epochs: int = 0
     mutations: int = 0
     mismatches: List[Dict[str, object]] = field(default_factory=list)
     closed_cleanly: bool = False
+    #: Log segments replayed (1 for an unrotated log).
+    segments: int = 1
+    #: Epochs already inside the checkpoint the replay started from.
+    checkpoint_epochs: int = 0
+    #: Bytes of torn final line skipped (0 for a clean log).
+    torn_tail_bytes: int = 0
 
     @property
     def ok(self) -> bool:
@@ -39,84 +60,233 @@ class ReplayResult:
     def summary(self) -> str:
         status = "ok" if self.ok else f"{len(self.mismatches)} mismatched epochs"
         sealed = "sealed" if self.closed_cleanly else "unsealed"
+        extra = ""
+        if self.segments > 1:
+            extra += f" segments={self.segments}"
+        if self.checkpoint_epochs:
+            extra += f" from_checkpoint={self.checkpoint_epochs}"
+        if self.torn_tail_bytes:
+            extra += f" torn_tail={self.torn_tail_bytes}"
         return (
             f"REPLAY epochs={self.epochs} mutations={self.mutations} "
-            f"log={sealed} {status}"
+            f"log={sealed}{extra} {status}"
         )
 
 
 def read_log(path: str) -> List[Dict[str, object]]:
-    """Parse one JSONL mutation log, checking the header."""
-    entries: List[Dict[str, object]] = []
-    try:
-        handle = open(path)
-    except OSError as error:
-        raise ValidationError(f"cannot read mutation log {path!r}: {error}")
-    with handle:
-        for number, line in enumerate(handle, start=1):
-            if not line.strip():
-                continue
-            try:
-                entry = json.loads(line)
-            except json.JSONDecodeError as error:
-                raise ValidationError(f"{path}:{number}: not valid JSON: {error}")
-            if not isinstance(entry, dict) or "kind" not in entry:
-                raise ValidationError(f"{path}:{number}: not a log entry")
-            entries.append(entry)
+    """Parse one JSONL log segment, checking the header.
+
+    Tolerates a torn final line (a crash mid-append) by dropping it —
+    use :func:`repro.serve.oplog.read_segment` directly for the raw
+    tail, or ``repair=True`` there to truncate it away on disk.
+    """
+    entries = read_segment(path).entries
     if not entries or entries[0].get("kind") != "open":
         raise ValidationError(f"{path}: log does not start with an open entry")
     schema = entries[0].get("schema")
-    if schema != LOG_SCHEMA_VERSION:
+    if schema not in (1, LOG_SCHEMA_VERSION):
         raise ValidationError(
             f"{path}: log schema {schema!r} is not the supported {LOG_SCHEMA_VERSION}"
         )
     return entries
 
 
+def _chain_paths(path: str) -> List[str]:
+    """Every segment of the log chain at ``path``, oldest first."""
+    paths = [archived for _index, archived in list_segments(path)]
+    if os.path.exists(path):
+        paths.append(path)
+    if not paths:
+        raise ValidationError(f"cannot read mutation log {path!r}: no such file")
+    return paths
+
+
+def _apply_entries(
+    session: Session,
+    entries: List[Dict[str, object]],
+    result: ReplayResult,
+) -> None:
+    """Feed one segment's entries (header excluded) through a session."""
+    for entry in entries:
+        kind = entry.get("kind")
+        if kind == "mutate":
+            session.mutate(Mutation.from_dict(entry["mutation"]))
+            result.mutations += 1
+        elif kind == "epoch":
+            records = session.step()
+            digest = epoch_record_digest(records)
+            if digest != entry.get("digest"):
+                result.mismatches.append(
+                    {
+                        "epoch": entry.get("epoch"),
+                        "served": entry.get("digest"),
+                        "replayed": digest,
+                    }
+                )
+            result.epochs += 1
+        elif kind == "checkpoint":
+            continue
+        elif kind == "close":
+            result.closed_cleanly = True
+        else:
+            raise ValidationError(f"unknown log entry kind {kind!r}")
+
+
 def replay_log(
-    path: str, *, batched: Optional[bool] = None
+    path: str,
+    *,
+    batched: Optional[bool] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> ReplayResult:
-    """Re-run a mutation log and digest-check every epoch.
+    """Re-run a mutation log (chain) and digest-check every epoch.
 
     Parameters
     ----------
     path:
-        The JSONL log ``repro serve --log`` wrote.
+        The JSONL log ``repro serve --log`` wrote.  Archived segments
+        (``<path>.NNN`` siblings from checkpoints or recoveries) are
+        replayed first, automatically, so the check always covers the
+        full served history.
     batched:
         Kernel path for the replay engines; defaults to the path the
         serving process used (either must match — that equivalence has
         its own tests — so replaying a batched log sequentially is a
         legitimate cross-check).
+    checkpoint_dir:
+        Start from the checkpoint the *current* segment's header names
+        (loaded from this directory) instead of replaying the archived
+        chain — the bounded-recovery parity mode.  Falls back to the
+        full chain with a :class:`ValidationError` when the header names
+        no checkpoint.
     """
-    entries = read_log(path)
-    header = entries[0]
+    if checkpoint_dir is not None:
+        return _replay_from_checkpoint(path, checkpoint_dir, batched)
+    paths = _chain_paths(path)
+    result = ReplayResult(segments=len(paths))
+    header = read_log(paths[0])[0]
     spec = ScenarioSpec.from_dict(header["spec"])
     if batched is None:
         batched = bool(header.get("batched", True))
-    result = ReplayResult()
+    first_resume = header.get("resumed_from")
+    if isinstance(first_resume, dict) and int(
+        first_resume.get("epochs_completed", 0)
+    ):
+        raise ValidationError(
+            f"{paths[0]}: the oldest surviving segment resumes from "
+            f"{first_resume.get('epochs_completed')} epochs — earlier segments "
+            "were compacted away; replay with checkpoint_dir instead"
+        )
     with Session.open(spec, batched=batched) as session:
-        for entry in entries[1:]:
-            kind = entry.get("kind")
-            if kind == "mutate":
-                session.mutate(Mutation.from_dict(entry["mutation"]))
-                result.mutations += 1
-            elif kind == "epoch":
-                records = session.step()
-                digest = epoch_record_digest(records)
-                if digest != entry.get("digest"):
-                    result.mismatches.append(
-                        {
-                            "epoch": entry.get("epoch"),
-                            "served": entry.get("digest"),
-                            "replayed": digest,
-                        }
-                    )
-                result.epochs += 1
-            elif kind == "close":
-                result.closed_cleanly = True
-            else:
-                raise ValidationError(f"unknown log entry kind {kind!r}")
+        for segment_file in paths:
+            entries = read_log(segment_file)
+            read = read_segment(segment_file)
+            if read.torn_tail is not None:
+                result.torn_tail_bytes += len(read.torn_tail)
+            result.closed_cleanly = False
+            # Replayed epochs count monotonically; a recovered segment's
+            # entries start exactly where the previous segment's replay
+            # left the session, so no epoch filtering is needed here.
+            _apply_entries(session, entries[1:], result)
     return result
 
 
-__all__ = ["ReplayResult", "read_log", "replay_log"]
+def _replay_from_checkpoint(
+    path: str, checkpoint_dir: str, batched: Optional[bool]
+) -> ReplayResult:
+    from repro.serve.checkpoint import CheckpointManager
+
+    entries = read_log(path)
+    header = entries[0]
+    read = read_segment(path)
+    if batched is None:
+        batched = bool(header.get("batched", True))
+    resumed = header.get("resumed_from")
+    if not isinstance(resumed, dict) or not resumed.get("checkpoint"):
+        raise ValidationError(
+            f"{path}: segment header names no checkpoint to resume from; "
+            "drop checkpoint_dir to replay the full chain"
+        )
+    state = CheckpointManager(checkpoint_dir).load(str(resumed["checkpoint"]))
+    session: Session = state.session
+    session.batch.batched = bool(batched)
+    result = ReplayResult(
+        segments=1,
+        checkpoint_epochs=state.epochs_completed,
+        torn_tail_bytes=len(read.torn_tail or b""),
+    )
+    try:
+        _apply_entries(session, entries[1:], result)
+    finally:
+        session.close()
+    return result
+
+
+def session_from_segments(
+    path: str, *, through_segment: int, batched: bool
+) -> Session:
+    """Rebuild the session state by replaying archived segments 0..N.
+
+    The recovery fallback for a damaged checkpoint: replays every
+    archived segment up to and including ``through_segment`` and returns
+    the **open** session (caller owns closing it).  Digest mismatches
+    raise — a diverged rebuild is worse than no rebuild.
+    """
+    archives = {index: p for index, p in list_segments(path)}
+    expected = list(range(int(through_segment) + 1))
+    missing = [index for index in expected if index not in archives]
+    if missing:
+        raise ValidationError(
+            f"log chain for {path!r} is incomplete: missing archived "
+            f"segment(s) {missing} — cannot rebuild state by replay"
+        )
+    header = read_log(archives[0])[0]
+    spec = ScenarioSpec.from_dict(header["spec"])
+    session = Session.open(spec, batched=batched)
+    try:
+        for index in expected:
+            result = ReplayResult()
+            _apply_entries(session, read_log(archives[index])[1:], result)
+            if not result.ok:
+                raise ValidationError(
+                    f"segment {index} diverged during chain rebuild: "
+                    f"{result.mismatches[0]}"
+                )
+    except BaseException:
+        session.close()
+        raise
+    return session
+
+
+def collect_windows(
+    path: str, *, through_segment: int
+) -> Tuple[Dict[int, str], Dict[str, int]]:
+    """Epoch-digest and dedupe windows from archived segments 0..N.
+
+    Companion to :func:`session_from_segments`: rebuilds the soft state
+    a checkpoint would have carried (recent epoch digests for idempotent
+    ``step`` replies, idempotency keys for mutation dedupe) so recovery
+    through the chain-replay fallback loses neither.
+    """
+    digests: Dict[int, str] = {}
+    dedupe: Dict[str, int] = {}
+    archives = {index: p for index, p in list_segments(path)}
+    for index in range(int(through_segment) + 1):
+        segment_file = archives.get(index)
+        if segment_file is None:
+            continue
+        for entry in read_segment(segment_file).entries:
+            kind = entry.get("kind")
+            if kind == "epoch":
+                digests[int(entry.get("epoch", 0))] = str(entry.get("digest"))
+            elif kind == "mutate" and isinstance(entry.get("idem"), str):
+                dedupe[entry["idem"]] = int(entry.get("applied_epoch", 0))
+    return digests, dedupe
+
+
+__all__ = [
+    "ReplayResult",
+    "collect_windows",
+    "read_log",
+    "replay_log",
+    "session_from_segments",
+]

@@ -16,15 +16,29 @@ use, so the measured overlay is pinned).
 Subscriptions: a ``subscribe`` request registers the connection for the
 event stream; every tick's payload is queued per subscriber and flushed
 by a writer task, so one slow consumer cannot stall the tick loop.
+
+Admission control: every request passes through one bounded FIFO queue
+drained by a single worker task.  When the queue is full the request is
+*shed* immediately with a ``busy`` error (clients treat it as retryable
+backoff pressure) instead of accumulating unbounded latency — the
+``serve.shed`` counter records every shed.
+
+Graceful drain: :meth:`OverlayServer.drain` (wired to SIGTERM by
+:func:`run_server`) closes the listener, lets every queued and in-flight
+request finish, then closes the service — which seals the mutation log
+with its ``close`` entry, so a drained shutdown needs no recovery replay
+at the next start.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
+import signal
 import threading
 import time
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
@@ -42,16 +56,31 @@ from repro.util.validation import ValidationError
 #: Pending epoch events per subscriber before the oldest is dropped.
 SUBSCRIBER_QUEUE_LIMIT = 256
 
+#: Pending requests admitted before new ones are shed with ``busy``.
+REQUEST_QUEUE_LIMIT = 1024
+
 
 class OverlayServer:
     """Serve one :class:`OverlayService` over a local socket."""
 
-    def __init__(self, service: OverlayService, *, cadence: float = 0.0):
+    def __init__(
+        self,
+        service: OverlayService,
+        *,
+        cadence: float = 0.0,
+        queue_limit: int = REQUEST_QUEUE_LIMIT,
+    ):
         self.service = service
         self.cadence = float(cadence)
+        self.queue_limit = int(queue_limit)
+        if self.queue_limit < 1:
+            raise ValidationError("queue_limit must be at least 1")
         self._server: Optional[asyncio.base_events.Server] = None
         self._metrics_server: Optional[asyncio.base_events.Server] = None
         self._shutdown = asyncio.Event()
+        self._draining = False
+        self._requests: Optional[asyncio.Queue] = None
+        self._worker: Optional[asyncio.Task] = None
         self._subscriber_queues: Dict[int, asyncio.Queue] = {}
         self._next_connection = 0
         #: Drop-oldest backpressure ledger: events dropped in total, per
@@ -61,6 +90,8 @@ class OverlayServer:
         self._dropped_events = 0
         self._drops_by_connection: Dict[int, int] = {}
         self._max_queue_depth = 0
+        #: Deepest request-queue backlog ever observed.
+        self._max_request_depth = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -75,7 +106,18 @@ class OverlayServer:
         """Bind and start accepting; returns the bound address string."""
         if (port is None) == (socket_path is None):
             raise ValidationError("exactly one of port or socket_path is required")
+        self._requests = asyncio.Queue(maxsize=self.queue_limit)
+        self._worker = asyncio.get_running_loop().create_task(
+            self._request_worker()
+        )
         if socket_path is not None:
+            # A SIGKILL-ed predecessor leaves its socket file behind;
+            # binding over it is the supervised-restart path.
+            if os.path.exists(socket_path):
+                try:
+                    os.unlink(socket_path)
+                except OSError:
+                    pass
             self._server = await asyncio.start_unix_server(
                 self._handle_connection, path=socket_path, limit=MAX_LINE_BYTES
             )
@@ -139,6 +181,38 @@ class OverlayServer:
     async def serve_until_shutdown(self) -> None:
         """Block until a ``shutdown`` request (or :meth:`stop`) lands."""
         await self._shutdown.wait()
+        if self._draining:
+            await self.drain()
+        else:
+            await self.stop()
+
+    def request_drain(self) -> None:
+        """Flag a graceful drain and wake :meth:`serve_until_shutdown`.
+
+        Signal-handler safe: only sets flags; the actual drain runs on
+        the event loop.
+        """
+        self._draining = True
+        self._shutdown.set()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight, seal.
+
+        The listener closes first (new connections are refused), queued
+        requests are processed to completion, connection loops exit as
+        their clients disconnect or their next read lands after the
+        shutdown flag, and only then does the service close — writing
+        the mutation log's ``close`` entry so the next start replays
+        nothing.
+        """
+        self._draining = True
+        self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._requests is not None:
+            await self._requests.join()
         await self.stop()
 
     async def stop(self) -> None:
@@ -152,6 +226,9 @@ class OverlayServer:
             self._metrics_server.close()
             await self._metrics_server.wait_closed()
             self._metrics_server = None
+        if self._worker is not None:
+            self._worker.cancel()
+            self._worker = None
         self._subscriber_queues.clear()
         if not self.service.closed:
             self.service.close()
@@ -167,6 +244,46 @@ class OverlayServer:
                 pass
             if not self.service.closed:
                 self.service.tick()
+
+    # ------------------------------------------------------------------ #
+    # Admission control
+    # ------------------------------------------------------------------ #
+    async def _request_worker(self) -> None:
+        """Drain the admitted-request queue, one request at a time."""
+        assert self._requests is not None
+        try:
+            while True:
+                line, connection, future = await self._requests.get()
+                try:
+                    if not future.cancelled():
+                        future.set_result(self._dispatch(line, connection))
+                finally:
+                    self._requests.task_done()
+        except asyncio.CancelledError:
+            pass
+
+    def _admit(
+        self, line: bytes, connection: int
+    ) -> Tuple[Optional["asyncio.Future"], Optional[Dict[str, object]]]:
+        """Queue one request, or shed it with a ``busy`` reply."""
+        assert self._requests is not None
+        future = asyncio.get_running_loop().create_future()
+        try:
+            self._requests.put_nowait((line, connection, future))
+        except asyncio.QueueFull:
+            # The collector surfaces this as ``serve.shed`` at snapshot
+            # time; counting it here too would double-report.
+            self.service.counters["shed"] += 1
+            return None, error_response(
+                _recover_request_id(line),
+                "busy",
+                f"request queue is full ({self.queue_limit} pending); retry "
+                "with backoff",
+            )
+        depth = self._requests.qsize()
+        if depth > self._max_request_depth:
+            self._max_request_depth = depth
+        return future, None
 
     # ------------------------------------------------------------------ #
     # Connections
@@ -193,7 +310,12 @@ class OverlayServer:
                     break
                 if not line.strip():
                     continue
-                message, subscribe, shutdown = self._dispatch(line, connection)
+                future, shed = self._admit(line, connection)
+                if future is None:
+                    writer.write(encode(shed))
+                    await writer.drain()
+                    continue
+                message, subscribe, shutdown = await future
                 if subscribe and connection not in self._subscriber_queues:
                     queue: asyncio.Queue = asyncio.Queue()
                     self._subscriber_queues[connection] = queue
@@ -254,6 +376,15 @@ class OverlayServer:
             "max_depth": self._max_queue_depth,
         }
 
+    def _admission_stats(self) -> Dict[str, object]:
+        """The admission-control block of ``stats`` and ``metrics``."""
+        return {
+            "queue_limit": self.queue_limit,
+            "depth": self._requests.qsize() if self._requests is not None else 0,
+            "max_depth": self._max_request_depth,
+            "shed": self.service.counters.get("shed", 0),
+        }
+
     async def _drain_events(
         self, queue: asyncio.Queue, writer: asyncio.StreamWriter
     ) -> None:
@@ -302,20 +433,20 @@ class OverlayServer:
                 )
                 return op, response(request_id, **result), False, False
             if op == "mutate":
-                result = self.service.mutate(request.get("mutation"))
+                idem = request.get("idem")
+                if idem is not None and not isinstance(idem, str):
+                    raise ProtocolError("idem must be a string when present")
+                result = self.service.mutate(request.get("mutation"), idem=idem)
                 return op, response(request_id, **result), False, False
             if op == "step":
-                payload = self.service.tick()
-                return (
-                    op,
-                    response(
-                        request_id,
-                        epoch=payload["epoch"],
-                        digest=payload["digest"],
-                    ),
-                    False,
-                    False,
-                )
+                payload = self.service.step(request.get("expect"))
+                reply: Dict[str, object] = {
+                    "epoch": payload["epoch"],
+                    "digest": payload["digest"],
+                }
+                if payload.get("duplicate"):
+                    reply["duplicate"] = True
+                return op, response(request_id, **reply), False, False
             if op == "subscribe":
                 return op, response(request_id, subscribed=True), True, False
             if op == "snapshot":
@@ -326,11 +457,13 @@ class OverlayServer:
                 stats = self.service.stats()
                 stats["protocol"] = PROTOCOL_VERSION
                 stats["subscribers"] = self._subscriber_stats()
+                stats["admission"] = self._admission_stats()
                 return op, response(request_id, **stats), False, False
             if op == "metrics":
                 data = self.service.metrics()
                 data["protocol"] = PROTOCOL_VERSION
                 data["subscribers"] = self._subscriber_stats()
+                data["admission"] = self._admission_stats()
                 return op, response(request_id, **data), False, False
             # op == "shutdown" (parse_request already rejected unknown ops)
             return op, response(request_id, shutting_down=True), False, True
@@ -376,19 +509,32 @@ def run_server(
     socket_path: Optional[str] = None,
     cadence: float = 0.0,
     metrics_port: Optional[int] = None,
+    queue_limit: int = REQUEST_QUEUE_LIMIT,
     ready: Optional[threading.Event] = None,
     announce=None,
     announce_metrics=None,
+    handle_sigterm: bool = False,
 ) -> None:
     """Run a server until shutdown (blocking; the CLI entry point).
 
     ``metrics_port`` additionally binds the Prometheus-text endpoint of
     :meth:`OverlayServer.start_metrics` on ``host``;
-    ``announce_metrics`` receives its bound address.
+    ``announce_metrics`` receives its bound address.  With
+    ``handle_sigterm`` (the CLI's foreground mode — requires the main
+    thread) SIGTERM triggers a graceful drain instead of the default
+    hard exit: the listener closes, in-flight requests finish, and the
+    mutation log is sealed.
     """
 
     async def main() -> None:
-        server = OverlayServer(service, cadence=cadence)
+        server = OverlayServer(service, cadence=cadence, queue_limit=queue_limit)
+        if handle_sigterm:
+            try:
+                asyncio.get_running_loop().add_signal_handler(
+                    signal.SIGTERM, server.request_drain
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
         address = await server.start(
             host=host, port=port, socket_path=socket_path
         )
@@ -414,6 +560,7 @@ def start_background_server(
     port: Optional[int] = None,
     socket_path: Optional[str] = None,
     cadence: float = 0.0,
+    queue_limit: int = REQUEST_QUEUE_LIMIT,
 ) -> threading.Thread:
     """Run a server on a daemon thread; returns once it is accepting.
 
@@ -428,6 +575,7 @@ def start_background_server(
             port=port,
             socket_path=socket_path,
             cadence=cadence,
+            queue_limit=queue_limit,
             ready=ready,
         ),
         args=(service,),
@@ -441,6 +589,7 @@ def start_background_server(
 
 __all__ = [
     "OverlayServer",
+    "REQUEST_QUEUE_LIMIT",
     "SUBSCRIBER_QUEUE_LIMIT",
     "run_server",
     "start_background_server",

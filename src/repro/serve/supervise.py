@@ -1,0 +1,254 @@
+"""A supervisor loop for ``repro serve``: restart-on-crash with backoff.
+
+The paper's EGOIST is a long-running deployed service; this module is
+the piece that keeps ours running.  :class:`Supervisor` spawns the serve
+process as a child, watches it, and restarts it when it dies abnormally
+— with bounded exponential backoff so a crash loop (bad scenario file,
+port already bound) cannot busy-spin — while the child's own
+checkpoint/recovery machinery (:meth:`OverlayService.recover`) restores
+the session state each time.  The pairing is the whole design: the
+supervisor only supplies *liveness*; *safety* (no acknowledged mutation
+lost, byte-identical epochs) is the recovery protocol's job, which is
+exactly what lets the chaos harness SIGKILL the child at arbitrary
+points.
+
+Exit taxonomy:
+
+* exit code 0 — clean shutdown (client ``shutdown`` op, drained
+  SIGTERM): the supervisor stops, mission complete;
+* any other exit — crash: restart after the current backoff delay,
+  doubling up to ``backoff_cap``; a child that stayed up for
+  ``stable_after`` seconds resets the backoff to ``backoff_base``;
+* ``max_restarts`` crashes without an intervening stable run stop the
+  loop (a persistent failure needs a human, not a hotter loop).
+
+The supervisor forwards SIGTERM/SIGINT to the child and waits for it to
+drain, so ``kill <supervisor-pid>`` is a graceful stop of the whole
+tree.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.telemetry import runtime as telemetry
+from repro.util.validation import ValidationError
+
+#: First restart delay, seconds.
+DEFAULT_BACKOFF_BASE = 0.25
+
+#: Ceiling on the restart delay, seconds.
+DEFAULT_BACKOFF_CAP = 8.0
+
+#: A child alive this long resets the backoff (seconds).
+DEFAULT_STABLE_AFTER = 5.0
+
+
+@dataclass
+class SupervisorReport:
+    """What one supervision run did, for logs and the chaos harness."""
+
+    starts: int = 0
+    restarts: int = 0
+    last_exit_code: Optional[int] = None
+    stopped_clean: bool = False
+    gave_up: bool = False
+    #: Exit codes observed, in order (negative = killed by that signal).
+    exit_codes: List[int] = field(default_factory=list)
+
+    def summary(self) -> str:
+        reason = (
+            "clean" if self.stopped_clean else ("gave-up" if self.gave_up else "signal")
+        )
+        return (
+            f"SUPERVISE starts={self.starts} restarts={self.restarts} "
+            f"last_exit={self.last_exit_code} stop={reason}"
+        )
+
+
+class Supervisor:
+    """Keep one child command alive, restarting with bounded backoff.
+
+    Parameters
+    ----------
+    command:
+        argv of the child (the CLI passes its own serve invocation minus
+        ``--supervise``).
+    backoff_base, backoff_cap:
+        Exponential-restart-delay envelope, seconds.
+    stable_after:
+        Uptime, seconds, after which a child is deemed healthy and the
+        backoff resets.
+    max_restarts:
+        Consecutive-crash budget before giving up (0 = unbounded).
+    on_spawn:
+        Callback receiving each child :class:`subprocess.Popen` — the
+        chaos harness uses it to learn the pid it will SIGKILL.
+    stdout:
+        Where the child's stdout/stderr go (default: inherit).
+    """
+
+    def __init__(
+        self,
+        command: Sequence[str],
+        *,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
+        stable_after: float = DEFAULT_STABLE_AFTER,
+        max_restarts: int = 0,
+        on_spawn: Optional[Callable[[subprocess.Popen], None]] = None,
+        stdout=None,
+    ):
+        if not command:
+            raise ValidationError("the supervisor needs a non-empty command")
+        if float(backoff_base) <= 0 or float(backoff_cap) < float(backoff_base):
+            raise ValidationError(
+                "need 0 < backoff_base <= backoff_cap for a sane restart envelope"
+            )
+        self.command = list(command)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.stable_after = float(stable_after)
+        self.max_restarts = max(0, int(max_restarts))
+        self.on_spawn = on_spawn
+        self.stdout = stdout
+        self.report = SupervisorReport()
+        self.child: Optional[subprocess.Popen] = None
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------ #
+    # Control
+    # ------------------------------------------------------------------ #
+    def request_stop(self) -> None:
+        """Graceful stop: SIGTERM the child, exit the loop when it does.
+
+        Signal-handler safe.
+        """
+        self._stop_requested = True
+        child = self.child
+        if child is not None and child.poll() is None:
+            try:
+                child.send_signal(signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+
+    def install_signal_handlers(self) -> None:
+        """Forward SIGTERM/SIGINT to the child (main thread only)."""
+        def _forward(signum, _frame):
+            self.request_stop()
+
+        signal.signal(signal.SIGTERM, _forward)
+        signal.signal(signal.SIGINT, _forward)
+
+    # ------------------------------------------------------------------ #
+    # The loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> SupervisorReport:
+        """Supervise until a clean exit, a stop request, or giving up."""
+        delay = self.backoff_base
+        consecutive = 0
+        while not self._stop_requested:
+            started = time.monotonic()
+            self.child = subprocess.Popen(
+                self.command,
+                stdout=self.stdout,
+                stderr=subprocess.STDOUT if self.stdout is not None else None,
+            )
+            self.report.starts += 1
+            if self.on_spawn is not None:
+                self.on_spawn(self.child)
+            code = self._wait_child()
+            uptime = time.monotonic() - started
+            self.report.last_exit_code = code
+            self.report.exit_codes.append(code)
+            if code == 0:
+                self.report.stopped_clean = True
+                break
+            if self._stop_requested:
+                # The stop arrived while the child was draining; a
+                # non-zero exit here is the signal, not a crash.
+                break
+            telemetry.count("serve.supervisor.restarts")
+            self.report.restarts += 1
+            if uptime >= self.stable_after:
+                delay = self.backoff_base
+                consecutive = 1
+            else:
+                consecutive += 1
+            if self.max_restarts and consecutive > self.max_restarts:
+                self.report.gave_up = True
+                break
+            print(
+                f"supervisor: child exited {code} after {uptime:.2f}s; "
+                f"restart #{self.report.restarts} in {delay:.2f}s",
+                file=sys.stderr,
+                flush=True,
+            )
+            if self._sleep_interruptibly(delay):
+                break
+            delay = min(self.backoff_cap, delay * 2.0)
+        self.child = None
+        return self.report
+
+    def _wait_child(self) -> int:
+        """Wait for the child; poll so stop requests stay responsive."""
+        assert self.child is not None
+        while True:
+            try:
+                return self.child.wait(timeout=0.2)
+            except subprocess.TimeoutExpired:
+                if self._stop_requested and self.child.poll() is None:
+                    # request_stop already sent SIGTERM; keep waiting for
+                    # the drain.  A second stop request is not escalated
+                    # to SIGKILL here: losing the log seal costs a replay.
+                    continue
+
+    def _sleep_interruptibly(self, delay: float) -> bool:
+        """Sleep the backoff; True when a stop request interrupted it."""
+        end = time.monotonic() + delay
+        while time.monotonic() < end:
+            if self._stop_requested:
+                return True
+            time.sleep(min(0.05, max(0.0, end - time.monotonic())))
+        return self._stop_requested
+
+
+def serve_command(argv: Sequence[str]) -> List[str]:
+    """The child argv for a ``repro serve --supervise`` invocation.
+
+    Re-execs the running interpreter's ``repro`` entry with the same
+    arguments minus the supervision flags, so the child is a plain
+    foreground server whose crash-recovery flags are untouched.
+    """
+    drop_with_value = {"--restart-backoff", "--restart-cap", "--max-restarts"}
+    out: List[str] = [sys.executable, "-m", "repro.cli"]
+    skip = False
+    for arg in argv:
+        if skip:
+            skip = False
+            continue
+        if arg == "--supervise":
+            continue
+        if arg in drop_with_value:
+            skip = True
+            continue
+        if any(arg.startswith(flag + "=") for flag in drop_with_value):
+            continue
+        out.append(arg)
+    return out
+
+
+__all__ = [
+    "DEFAULT_BACKOFF_BASE",
+    "DEFAULT_BACKOFF_CAP",
+    "DEFAULT_STABLE_AFTER",
+    "Supervisor",
+    "SupervisorReport",
+    "serve_command",
+]

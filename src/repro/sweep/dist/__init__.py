@@ -48,6 +48,7 @@ from repro.sweep.dist.status import (
 )
 from repro.sweep.dist.worker import (
     CellFailure,
+    WorkerInterrupted,
     WorkerReport,
     execute_cell_claimed,
     run_worker,
@@ -66,6 +67,7 @@ __all__ = [
     "SharedFSBackend",
     "StoreBackend",
     "SweepStatus",
+    "WorkerInterrupted",
     "WorkerReport",
     "corpus_status",
     "execute_cell_claimed",

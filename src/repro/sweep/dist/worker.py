@@ -21,6 +21,7 @@ file with identical content.
 from __future__ import annotations
 
 import hashlib
+import signal as signal_module
 import threading
 import time
 import traceback as traceback_module
@@ -39,6 +40,22 @@ from repro.util.validation import ValidationError
 if TYPE_CHECKING:  # imported lazily at run time to avoid a package cycle
     from repro.sweep.store import SweepStore
     from repro.sweep.template import SweepCell
+
+
+class WorkerInterrupted(BaseException):
+    """SIGTERM/SIGINT arrived: unwind the drain loop, releasing claims.
+
+    Deliberately a ``BaseException``: the per-cell ``except Exception``
+    in :func:`execute_cell_claimed` must *not* catch it (an interrupted
+    cell is unfinished, not failed — another worker should claim it),
+    while the ``finally: claims.release(claim)`` still runs, so the
+    interrupted worker's live claim is released immediately instead of
+    squatting until the lease expires.
+    """
+
+    def __init__(self, signum: int):
+        super().__init__(f"interrupted by signal {signum}")
+        self.signum = int(signum)
 
 
 @dataclass(frozen=True)
@@ -198,6 +215,8 @@ class WorkerReport:
     #: Rounds spent waiting on other workers' live leases.
     waited_rounds: int = 0
     timed_out: bool = False
+    #: Signal number that interrupted the drain loop (None = ran to term).
+    interrupted: Optional[int] = None
 
     def failed_total(self) -> int:
         """Corpus-wide failure count: own failures plus observed records."""
@@ -212,6 +231,8 @@ class WorkerReport:
         )
         if self.pending:
             line += f" pending={len(self.pending)}"
+        if self.interrupted is not None:
+            line += f" interrupted=sig{self.interrupted}"
         return f"{line} workers=1 host={self.host} pid={self.pid}"
 
 
@@ -230,6 +251,31 @@ def _rotated(cells: "Sequence[SweepCell]", host: str, pid: int) -> "List[SweepCe
     return list(cells[offset:]) + list(cells[:offset])
 
 
+def install_interrupt_handlers() -> Dict[int, object]:
+    """Make SIGTERM/SIGINT raise :class:`WorkerInterrupted` (main thread).
+
+    Returns the previous handlers so the caller can restore them; a
+    no-op (empty dict) off the main thread, where CPython forbids
+    ``signal.signal``.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return {}
+
+    def _raise(signum, _frame):
+        raise WorkerInterrupted(signum)
+
+    previous: Dict[int, object] = {}
+    for signum in (signal_module.SIGTERM, signal_module.SIGINT):
+        previous[signum] = signal_module.signal(signum, _raise)
+    return previous
+
+
+def restore_interrupt_handlers(previous: Dict[int, object]) -> None:
+    """Undo :func:`install_interrupt_handlers`."""
+    for signum, handler in previous.items():
+        signal_module.signal(signum, handler)
+
+
 def run_worker(
     cells: "Sequence[SweepCell]",
     store: "SweepStore",
@@ -241,6 +287,7 @@ def run_worker(
     retry_failed: bool = False,
     wait_timeout: Optional[float] = None,
     on_event: Optional[Callable[[str, SweepCell, Dict[str, object]], None]] = None,
+    handle_signals: bool = False,
 ) -> WorkerReport:
     """Drain ``cells`` into ``store`` cooperatively until the corpus is done.
 
@@ -260,6 +307,13 @@ def run_worker(
     ``on_event(kind, cell, outcome)`` observes progress; kinds are
     ``done`` / ``failed`` / ``skipped-done`` / ``skipped-failed`` /
     ``waiting``.
+
+    ``handle_signals`` (the CLI's mode; needs the main thread) converts
+    SIGTERM/SIGINT into a clean unwind: the in-flight cell's claim is
+    released immediately — not left to squat until its lease expires —
+    the cell stays unaccounted for another worker, and the report comes
+    back with :attr:`WorkerReport.interrupted` set instead of the
+    process dying mid-claim.
     """
     if poll_seconds <= 0:
         raise ValidationError(f"poll_seconds must be > 0, got {poll_seconds}")
@@ -268,94 +322,136 @@ def run_worker(
     ordered = _rotated(cells, claims.host, claims.pid)
     accounted: set = set()
     deadline = None if wait_timeout is None else time.monotonic() + wait_timeout
+    previous_handlers = install_interrupt_handlers() if handle_signals else {}
 
     def emit(kind: str, cell: SweepCell, outcome: Dict[str, object]) -> None:
         if on_event is not None:
             on_event(kind, cell, outcome)
 
-    with telemetry.span("worker.run", cells=len(cells), host=claims.host):
-        while True:
-            progressed = False
-            for cell in ordered:
-                if cell.key in accounted:
-                    continue
-                if max_cells is not None and len(report.executed) >= max_cells:
-                    break
-                if store.has(cell.key):
-                    accounted.add(cell.key)
-                    report.skipped_done.append(cell.key)
-                    telemetry.count("worker.cells.skipped")
-                    emit("skipped-done", cell, {})
-                    progressed = True
-                    continue
-                if not retry_failed and claims.failed_record(cell.key) is not None:
-                    accounted.add(cell.key)
-                    report.skipped_failed.append(cell.key)
-                    telemetry.count("worker.cells.skipped")
-                    emit("skipped-failed", cell, claims.failed_record(cell.key) or {})
-                    progressed = True
-                    continue
-                outcome = execute_cell_claimed(
-                    cell.key,
-                    cell.spec.to_dict(),
-                    store_spec=store.backend.describe(),
-                    batched=batched,
-                    lease_seconds=lease_seconds,
-                    skip_done=True,
-                    clear_failed=retry_failed,
-                )
-                status = outcome["status"]
-                if status == "done":
-                    accounted.add(cell.key)
-                    report.executed.append(cell.key)
-                    telemetry.count("worker.cells.done")
-                    telemetry.record_span(
-                        "worker.cell",
-                        float(outcome.get("elapsed", 0.0)),
-                        key=cell.key,
-                        reclaimed=bool(outcome.get("reclaimed", False)),
-                    )
-                    if outcome.get("reclaimed"):
-                        report.reclaimed.append(cell.key)
-                        telemetry.count("worker.cells.reclaimed")
-                    emit("done", cell, outcome)
-                    progressed = True
-                elif status == "already-done":
-                    accounted.add(cell.key)
-                    report.skipped_done.append(cell.key)
-                    telemetry.count("worker.cells.skipped")
-                    emit("skipped-done", cell, outcome)
-                    progressed = True
-                elif status == "failed":
-                    accounted.add(cell.key)
-                    report.failed.append(
-                        CellFailure(
-                            key=cell.key,
-                            error=str(outcome.get("error", "")),
-                            traceback=str(outcome.get("traceback", "")),
-                        )
-                    )
-                    telemetry.count("worker.cells.failed")
-                    emit("failed", cell, outcome)
-                    progressed = True
-                else:  # "claimed": leave unaccounted; a later round re-checks.
-                    telemetry.count("worker.cells.deferred")
-
-            pending = [cell.key for cell in cells if cell.key not in accounted]
-            if max_cells is not None and len(report.executed) >= max_cells:
-                report.pending = pending
-                break
-            if not pending:
-                report.pending = []
-                break
-            if not progressed:
-                if deadline is not None and time.monotonic() >= deadline:
-                    report.pending = pending
-                    report.timed_out = True
-                    break
-                report.waited_rounds += 1
-                for cell in cells:
-                    if cell.key in pending[:1]:
-                        emit("waiting", cell, {"pending": len(pending)})
-                time.sleep(poll_seconds)
+    try:
+        with telemetry.span("worker.run", cells=len(cells), host=claims.host):
+            _drain(
+                cells,
+                ordered,
+                store,
+                claims,
+                report,
+                accounted,
+                emit,
+                lease_seconds=lease_seconds,
+                poll_seconds=poll_seconds,
+                batched=batched,
+                max_cells=max_cells,
+                retry_failed=retry_failed,
+                deadline=deadline,
+            )
+    except WorkerInterrupted as interrupt:
+        report.interrupted = interrupt.signum
+        report.pending = [cell.key for cell in cells if cell.key not in accounted]
+        telemetry.count("worker.interrupted")
+    finally:
+        restore_interrupt_handlers(previous_handlers)
     return report
+
+
+def _drain(
+    cells: "Sequence[SweepCell]",
+    ordered: "List[SweepCell]",
+    store: "SweepStore",
+    claims: ClaimStore,
+    report: WorkerReport,
+    accounted: set,
+    emit: Callable[[str, "SweepCell", Dict[str, object]], None],
+    *,
+    lease_seconds: float,
+    poll_seconds: float,
+    batched: bool,
+    max_cells: Optional[int],
+    retry_failed: bool,
+    deadline: Optional[float],
+) -> None:
+    """The scan-claim-execute rounds of :func:`run_worker`."""
+    while True:
+        progressed = False
+        for cell in ordered:
+            if cell.key in accounted:
+                continue
+            if max_cells is not None and len(report.executed) >= max_cells:
+                break
+            if store.has(cell.key):
+                accounted.add(cell.key)
+                report.skipped_done.append(cell.key)
+                telemetry.count("worker.cells.skipped")
+                emit("skipped-done", cell, {})
+                progressed = True
+                continue
+            if not retry_failed and claims.failed_record(cell.key) is not None:
+                accounted.add(cell.key)
+                report.skipped_failed.append(cell.key)
+                telemetry.count("worker.cells.skipped")
+                emit("skipped-failed", cell, claims.failed_record(cell.key) or {})
+                progressed = True
+                continue
+            outcome = execute_cell_claimed(
+                cell.key,
+                cell.spec.to_dict(),
+                store_spec=store.backend.describe(),
+                batched=batched,
+                lease_seconds=lease_seconds,
+                skip_done=True,
+                clear_failed=retry_failed,
+            )
+            status = outcome["status"]
+            if status == "done":
+                accounted.add(cell.key)
+                report.executed.append(cell.key)
+                telemetry.count("worker.cells.done")
+                telemetry.record_span(
+                    "worker.cell",
+                    float(outcome.get("elapsed", 0.0)),
+                    key=cell.key,
+                    reclaimed=bool(outcome.get("reclaimed", False)),
+                )
+                if outcome.get("reclaimed"):
+                    report.reclaimed.append(cell.key)
+                    telemetry.count("worker.cells.reclaimed")
+                emit("done", cell, outcome)
+                progressed = True
+            elif status == "already-done":
+                accounted.add(cell.key)
+                report.skipped_done.append(cell.key)
+                telemetry.count("worker.cells.skipped")
+                emit("skipped-done", cell, outcome)
+                progressed = True
+            elif status == "failed":
+                accounted.add(cell.key)
+                report.failed.append(
+                    CellFailure(
+                        key=cell.key,
+                        error=str(outcome.get("error", "")),
+                        traceback=str(outcome.get("traceback", "")),
+                    )
+                )
+                telemetry.count("worker.cells.failed")
+                emit("failed", cell, outcome)
+                progressed = True
+            else:  # "claimed": leave unaccounted; a later round re-checks.
+                telemetry.count("worker.cells.deferred")
+
+        pending = [cell.key for cell in cells if cell.key not in accounted]
+        if max_cells is not None and len(report.executed) >= max_cells:
+            report.pending = pending
+            break
+        if not pending:
+            report.pending = []
+            break
+        if not progressed:
+            if deadline is not None and time.monotonic() >= deadline:
+                report.pending = pending
+                report.timed_out = True
+                break
+            report.waited_rounds += 1
+            for cell in cells:
+                if cell.key in pending[:1]:
+                    emit("waiting", cell, {"pending": len(pending)})
+            time.sleep(poll_seconds)

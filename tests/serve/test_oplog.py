@@ -1,0 +1,150 @@
+"""Segmented log I/O: durability, torn-tail repair, rotation, compaction."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.serve.oplog import (
+    LogWriter,
+    compact_segments,
+    list_segments,
+    read_segment,
+    segment_path,
+)
+from repro.util.validation import ValidationError
+
+
+def _write(path, entries, *, tail: bytes = b""):
+    with open(path, "wb") as handle:
+        for entry in entries:
+            handle.write(json.dumps(entry).encode() + b"\n")
+        handle.write(tail)
+
+
+class TestReadSegment:
+    def test_round_trips_clean_entries(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        entries = [{"kind": "open"}, {"kind": "epoch", "epoch": 0, "digest": "d"}]
+        _write(path, entries)
+        read = read_segment(path)
+        assert read.entries == entries
+        assert read.torn_tail is None
+        assert not read.repaired
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ValidationError, match="cannot read"):
+            read_segment(str(tmp_path / "absent.jsonl"))
+
+    def test_unterminated_tail_is_torn(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        _write(path, [{"kind": "open"}], tail=b'{"kind":"mut')
+        read = read_segment(path)
+        assert read.entries == [{"kind": "open"}]
+        assert read.torn_tail == b'{"kind":"mut'
+        assert not read.repaired  # repair is opt-in
+
+    def test_unterminated_but_complete_json_is_kept(self, tmp_path):
+        # Crash between the payload write and the newline: the entry is
+        # whole, only its terminator is missing.
+        path = str(tmp_path / "log.jsonl")
+        _write(path, [{"kind": "open"}], tail=b'{"kind": "close"}')
+        read = read_segment(path)
+        assert [e["kind"] for e in read.entries] == ["open", "close"]
+        assert read.torn_tail is None
+
+    def test_terminated_garbage_final_line_is_torn(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        with open(path, "wb") as handle:
+            handle.write(b'{"kind": "open"}\n')
+            handle.write(b"not json at all\n")
+        read = read_segment(path)
+        assert read.entries == [{"kind": "open"}]
+        assert read.torn_tail == b"not json at all"
+
+    def test_interior_corruption_raises(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        with open(path, "wb") as handle:
+            handle.write(b'{"kind": "open"}\n')
+            handle.write(b"garbage\n")
+            handle.write(b'{"kind": "close"}\n')
+        with pytest.raises(ValidationError, match="interior corruption"):
+            read_segment(path)
+
+    def test_repair_truncates_and_writes_sidecar(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        _write(path, [{"kind": "open"}], tail=b'{"kind":"mut')
+        read = read_segment(path, repair=True)
+        assert read.repaired
+        assert read.sidecar == path + ".corrupt"
+        with open(read.sidecar, "rb") as handle:
+            assert handle.read() == b'{"kind":"mut\n'
+        # The file itself is clean now: a naive reader sees whole lines.
+        with open(path, "rb") as handle:
+            assert handle.read() == b'{"kind": "open"}\n'
+        again = read_segment(path)
+        assert again.torn_tail is None
+
+    def test_empty_file_is_empty_not_an_error(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        open(path, "w").close()
+        assert read_segment(path).entries == []
+
+
+class TestLogWriter:
+    def test_append_then_read_round_trips(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        writer = LogWriter(path)
+        writer.append({"kind": "open"})
+        writer.append({"kind": "epoch", "epoch": 0, "digest": "d"})
+        writer.close()
+        assert [e["kind"] for e in read_segment(path).entries] == ["open", "epoch"]
+
+    def test_append_after_close_raises(self, tmp_path):
+        writer = LogWriter(str(tmp_path / "log.jsonl"))
+        writer.close()
+        with pytest.raises(ValidationError, match="closed"):
+            writer.append({"kind": "open"})
+
+    def test_rotate_archives_and_reopens(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        writer = LogWriter(path)
+        writer.append({"kind": "open", "segment": 0})
+        archived = writer.rotate({"kind": "open", "segment": 1})
+        assert archived == segment_path(path, 0)
+        assert writer.segment == 1
+        writer.append({"kind": "close"})
+        writer.close()
+        assert [e["segment"] for e in read_segment(archived).entries] == [0]
+        current = read_segment(path).entries
+        assert current[0]["segment"] == 1
+        assert current[1]["kind"] == "close"
+
+    def test_list_segments_orders_numerically(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        writer = LogWriter(path)
+        writer.append({"kind": "open", "segment": 0})
+        for segment in range(1, 12):
+            writer.rotate({"kind": "open", "segment": segment})
+        writer.close()
+        indices = [index for index, _p in list_segments(path)]
+        assert indices == list(range(11))
+        # Unrelated siblings are not picked up.
+        open(str(tmp_path / "log.jsonl.bak"), "w").close()
+        assert [i for i, _p in list_segments(path)] == list(range(11))
+
+
+class TestCompaction:
+    def test_compact_removes_only_older_segments(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        writer = LogWriter(path)
+        writer.append({"kind": "open", "segment": 0})
+        for segment in range(1, 5):
+            writer.rotate({"kind": "open", "segment": segment})
+        writer.close()
+        removed = compact_segments(path, keep_from=2)
+        assert sorted(removed) == [segment_path(path, 0), segment_path(path, 1)]
+        assert [i for i, _p in list_segments(path)] == [2, 3]
+        assert os.path.exists(path)

@@ -88,6 +88,92 @@ class TestReplayParity:
         assert not result.closed_cleanly
 
 
+def _serve_chain(log_path, ckpt_dir, *, keep=0) -> None:
+    """A checkpointing run: 5 epochs, checkpoints (and rotations) at 2 and 4."""
+    service = OverlayService(
+        _spec(),
+        log_path=str(log_path),
+        checkpoint_dir=str(ckpt_dir),
+        checkpoint_every=2,
+        keep_checkpoints=keep,
+    )
+    service.tick()
+    service.tick()
+    service.mutate({"kind": "drift", "steps": 1})
+    service.tick()
+    service.tick()
+    service.tick()
+    service.close()
+
+
+class TestTornTailRegression:
+    def test_byte_truncated_log_replays(self, tmp_path):
+        """A log sheared mid-final-line (SIGKILL mid-append) still replays."""
+        log = tmp_path / "serve.jsonl"
+        _serve_session(log)
+        lines = open(log, "rb").read().splitlines(keepends=True)
+        assert json.loads(lines[-1])["kind"] == "close"
+        # Drop the close entry, then cut into the final epoch line.
+        with open(log, "wb") as handle:
+            handle.write(b"".join(lines[:-1])[:-9])
+        result = replay_log(str(log))
+        assert result.ok
+        assert result.epochs == 3  # the torn epoch entry is not counted
+        assert not result.closed_cleanly
+        assert result.torn_tail_bytes > 0
+        assert "torn_tail=" in result.summary()
+
+    def test_replay_leaves_the_torn_log_untouched(self, tmp_path):
+        """Replay is read-only: it must not repair (truncate) the file."""
+        log = tmp_path / "serve.jsonl"
+        _serve_session(log)
+        with open(log, "ab") as handle:
+            handle.write(b'{"kind":"mutate","mut')
+        before = open(log, "rb").read()
+        result = replay_log(str(log))
+        assert result.ok
+        assert result.torn_tail_bytes == 21
+        assert open(log, "rb").read() == before
+        assert not os.path.exists(str(log) + ".corrupt")
+
+
+class TestChainReplay:
+    def test_rotated_chain_replays_end_to_end(self, tmp_path):
+        log = tmp_path / "serve.jsonl"
+        _serve_chain(log, tmp_path / "ckpt")
+        result = replay_log(str(log))
+        assert result.ok
+        assert result.epochs == 5
+        assert result.mutations == 1
+        assert result.segments == 3
+        assert result.closed_cleanly
+        assert "segments=3" in result.summary()
+
+    def test_checkpoint_anchored_replay_is_bounded(self, tmp_path):
+        log = tmp_path / "serve.jsonl"
+        ckpt = tmp_path / "ckpt"
+        _serve_chain(log, ckpt)
+        result = replay_log(str(log), checkpoint_dir=str(ckpt))
+        assert result.ok
+        assert result.checkpoint_epochs == 4
+        assert result.epochs == 1  # only the current segment's suffix
+        assert "from_checkpoint=4" in result.summary()
+
+    def test_compacted_chain_demands_a_checkpoint(self, tmp_path):
+        log = tmp_path / "serve.jsonl"
+        ckpt = tmp_path / "ckpt"
+        _serve_chain(log, ckpt, keep=1)
+        with pytest.raises(ValidationError, match="compacted"):
+            replay_log(str(log))
+        assert replay_log(str(log), checkpoint_dir=str(ckpt)).ok
+
+    def test_unrotated_log_has_no_checkpoint_anchor(self, tmp_path):
+        log = tmp_path / "serve.jsonl"
+        _serve_session(log)
+        with pytest.raises(ValidationError, match="names no checkpoint"):
+            replay_log(str(log), checkpoint_dir=str(tmp_path / "ckpt"))
+
+
 class TestLogFormat:
     def test_read_log_checks_the_header(self, tmp_path):
         log = tmp_path / "bogus.jsonl"

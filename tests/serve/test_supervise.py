@@ -1,0 +1,176 @@
+"""The --supervise restart loop: backoff, give-up, graceful stop."""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.serve.supervise import Supervisor, serve_command
+from repro.util.validation import ValidationError
+
+#: A child that exits with the code given in argv[1] (default 0).
+_EXIT = [sys.executable, "-c", "import sys; sys.exit(int(sys.argv[1]))"]
+
+#: A child that sleeps until SIGTERM, then exits with the given code.
+_DRAIN = [
+    sys.executable,
+    "-c",
+    (
+        "import signal, sys, time\n"
+        "code = int(sys.argv[1])\n"
+        "signal.signal(signal.SIGTERM, lambda *a: sys.exit(code))\n"
+        "while True:\n"
+        "    time.sleep(0.05)\n"
+    ),
+]
+
+
+def _supervisor(command, **overrides):
+    options = dict(backoff_base=0.01, backoff_cap=0.04, stable_after=30.0)
+    options.update(overrides)
+    return Supervisor(command, **options)
+
+
+class TestRestartLoop:
+    def test_clean_exit_stops_immediately(self):
+        supervisor = _supervisor(_EXIT + ["0"])
+        report = supervisor.run()
+        assert report.starts == 1
+        assert report.restarts == 0
+        assert report.stopped_clean
+        assert report.last_exit_code == 0
+        assert "stop=clean" in report.summary()
+
+    def test_crashes_restart_until_the_budget_runs_out(self):
+        supervisor = _supervisor(_EXIT + ["3"], max_restarts=2)
+        report = supervisor.run()
+        assert report.gave_up
+        assert report.starts == 3  # the first start + two restarts
+        assert report.restarts == 3
+        assert report.exit_codes == [3, 3, 3]
+        assert "stop=gave-up" in report.summary()
+
+    def test_backoff_doubles_between_fast_crashes(self):
+        supervisor = _supervisor(
+            _EXIT + ["1"], backoff_base=0.05, backoff_cap=1.0, max_restarts=3
+        )
+        started = time.monotonic()
+        supervisor.run()
+        elapsed = time.monotonic() - started
+        # Sleeps of 0.05 + 0.10 + 0.20 separate the four starts.
+        assert elapsed >= 0.35
+
+    def test_on_spawn_sees_every_child(self):
+        pids = []
+        supervisor = _supervisor(
+            _EXIT + ["2"], max_restarts=1, on_spawn=lambda child: pids.append(child.pid)
+        )
+        supervisor.run()
+        assert len(pids) == 2
+        assert pids[0] != pids[1]
+
+    def test_sigkilled_child_is_restarted(self, tmp_path):
+        marker = tmp_path / "alive"
+        touch_then_sleep = [
+            sys.executable,
+            "-c",
+            (
+                "import pathlib, sys, time\n"
+                f"path = pathlib.Path({str(marker)!r})\n"
+                "if path.exists():\n"
+                "    sys.exit(0)\n"  # second life: exit clean
+                "path.touch()\n"
+                "time.sleep(60)\n"
+            ),
+        ]
+        children = []
+        supervisor = _supervisor(touch_then_sleep, on_spawn=children.append)
+
+        def _kill_when_alive():
+            while not marker.exists():
+                time.sleep(0.01)
+            os.kill(children[0].pid, signal.SIGKILL)
+
+        killer = threading.Thread(target=_kill_when_alive)
+        killer.start()
+        report = supervisor.run()
+        killer.join(timeout=10)
+        assert report.exit_codes[0] == -signal.SIGKILL
+        assert report.restarts == 1
+        assert report.stopped_clean
+
+
+class TestGracefulStop:
+    def test_request_stop_terminates_the_child(self):
+        supervisor = _supervisor(_DRAIN + ["0"])
+        stopper = threading.Timer(0.3, supervisor.request_stop)
+        stopper.start()
+        report = supervisor.run()
+        stopper.join()
+        # SIGTERM reached the child, which drained and exited clean.
+        assert report.stopped_clean
+        assert report.restarts == 0
+
+    def test_stop_during_backoff_does_not_respawn(self):
+        supervisor = _supervisor(_EXIT + ["1"], backoff_base=0.5, backoff_cap=0.5)
+        stopper = threading.Timer(0.2, supervisor.request_stop)
+        stopper.start()
+        report = supervisor.run()
+        stopper.join()
+        assert report.starts == 1
+
+    def test_nonzero_exit_after_stop_request_is_not_a_crash(self):
+        supervisor = _supervisor(_DRAIN + ["17"])
+        stopper = threading.Timer(0.3, supervisor.request_stop)
+        stopper.start()
+        report = supervisor.run()
+        stopper.join()
+        assert report.restarts == 0
+        assert not report.gave_up
+        assert report.last_exit_code == 17
+        assert "stop=signal" in report.summary()
+
+
+class TestValidation:
+    def test_empty_command_is_rejected(self):
+        with pytest.raises(ValidationError, match="non-empty command"):
+            Supervisor([])
+
+    def test_backoff_envelope_is_sanity_checked(self):
+        with pytest.raises(ValidationError, match="backoff"):
+            Supervisor(_EXIT + ["0"], backoff_base=1.0, backoff_cap=0.5)
+
+
+class TestServeCommand:
+    def test_strips_supervision_flags_only(self):
+        argv = [
+            "serve",
+            "--spec",
+            "scenario.json",
+            "--supervise",
+            "--restart-backoff",
+            "0.5",
+            "--max-restarts=4",
+            "--log",
+            "serve.jsonl",
+            "--restart-cap",
+            "2.0",
+        ]
+        command = serve_command(argv)
+        assert command[:3] == [sys.executable, "-m", "repro.cli"]
+        assert command[3:] == [
+            "serve",
+            "--spec",
+            "scenario.json",
+            "--log",
+            "serve.jsonl",
+        ]
+
+    def test_plain_argv_passes_through(self):
+        argv = ["serve", "--spec", "s.json", "--checkpoint-every", "3"]
+        assert serve_command(argv)[3:] == argv

@@ -117,6 +117,125 @@ class TestStatsAndMetricsOps:
         assert histograms["serve.request.invalid"]["count"] == 1
 
 
+class TestCrashSafetyTelemetry:
+    """Recovery, dedupe, and shed events land exactly once in the registry.
+
+    The service reports its plain-int counters through the snapshot-time
+    collector, so none of these paths may *also* call
+    ``telemetry.count`` under the same name — that would double every
+    value the moment someone scrapes ``/metrics``.
+    """
+
+    def _crashed_chain(self, tmp_path, *, epochs: int = 5):
+        """A log + checkpoint dir abandoned mid-flight, SIGKILL-style."""
+        log = str(tmp_path / "serve.jsonl")
+        ckpt = str(tmp_path / "checkpoints")
+        service = OverlayService(
+            _spec(), log_path=log, checkpoint_dir=ckpt, checkpoint_every=2
+        )
+        for _ in range(epochs):
+            service.tick()
+        service._log.close()
+        service._log = None
+        service.closed = True
+        return log, ckpt
+
+    def test_recovery_counts_once_across_registry_views(self, tmp_path):
+        log, ckpt = self._crashed_chain(tmp_path)
+        telemetry.enable()
+        service = OverlayService.recover(
+            log, checkpoint_dir=ckpt, checkpoint_every=2
+        )
+        try:
+            counters = telemetry.metrics().snapshot()["counters"]
+            assert counters["serve.recoveries"] == 1.0
+            text = telemetry.metrics().render_prometheus()
+            assert "repro_serve_recoveries 1.0" in text
+        finally:
+            service.close()
+
+    def test_recovery_emits_a_span(self, tmp_path):
+        log, ckpt = self._crashed_chain(tmp_path)
+        sink: list = []
+        telemetry.enable(trace=sink)
+        service = OverlayService.recover(
+            log, checkpoint_dir=ckpt, checkpoint_every=2
+        )
+        service.close()
+        spans = [e["name"] for e in sink if e.get("kind") == "span"]
+        assert "serve.recovery" in spans
+
+    def test_checkpoint_counter_is_single_counted(self, tmp_path):
+        telemetry.enable()
+        service = OverlayService(
+            _spec(),
+            log_path=str(tmp_path / "serve.jsonl"),
+            checkpoint_dir=str(tmp_path / "checkpoints"),
+            checkpoint_every=1,
+        )
+        try:
+            service.tick()
+            service.tick()
+            counters = telemetry.metrics().snapshot()["counters"]
+            assert counters["serve.checkpoints"] == 2.0
+        finally:
+            service.close()
+
+    def test_dedupe_hits_count_retries_and_their_kind(self):
+        telemetry.enable()
+        service = OverlayService(_spec())
+        try:
+            service.tick()
+            service.mutate({"kind": "drift", "steps": 1}, idem="retry-1")
+            service.mutate({"kind": "drift", "steps": 1}, idem="retry-1")
+            service.step(expect=1)
+            service.step(expect=1)  # the retransmitted step
+            counters = telemetry.metrics().snapshot()["counters"]
+            # One mutate replay + one step replay: both fold into the
+            # service's ``retries`` counter, each tagged by kind.
+            assert counters["serve.retries"] == 2.0
+            assert counters["serve.mutate.deduplicated"] == 1
+            assert counters["serve.step.deduplicated"] == 1
+        finally:
+            service.close()
+
+    def test_shed_is_single_counted_and_in_admission_stats(self):
+        telemetry.enable()
+        server = OverlayServer(OverlayService(_spec()))
+
+        async def overfill():
+            server._requests = asyncio.Queue(maxsize=1)
+            first = server._admit(b"{}", 0)
+            second = server._admit(b'{"id": 9}', 0)
+            return first, second
+
+        (future, none), (shed_future, busy) = asyncio.run(overfill())
+        assert future is not None and none is None
+        assert shed_future is None
+        assert busy["ok"] is False and busy["error"] == "busy"
+        assert busy["id"] == 9
+        counters = telemetry.metrics().snapshot()["counters"]
+        assert counters["serve.shed"] == 1.0
+        assert server._admission_stats()["shed"] == 1
+
+    def test_stats_op_reports_recovery_and_retry_counters(self, tmp_path):
+        log, ckpt = self._crashed_chain(tmp_path)
+        service = OverlayService.recover(
+            log, checkpoint_dir=ckpt, checkpoint_every=2
+        )
+        server = OverlayServer(service)
+        try:
+            service.mutate({"kind": "drift", "steps": 1}, idem="r-1")
+            service.mutate({"kind": "drift", "steps": 1}, idem="r-1")
+            reply = _request(server, op="stats")
+            assert reply["counters"]["recoveries"] == 1
+            assert reply["counters"]["retries"] == 1
+            assert reply["recovery"]["bounded"] is True
+            assert reply["recovery"]["replayed_epochs"] <= 2
+        finally:
+            service.close()
+
+
 class TestMetricsPort:
     def test_prometheus_text_over_http(self):
         telemetry.enable()

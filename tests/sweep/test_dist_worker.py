@@ -195,6 +195,111 @@ class TestConcurrentWorkerProcesses:
         assert pids and pids <= {proc.pid for proc in procs}
         assert all(record["host"] == local_host() for record in done.values())
 
+class TestInterruption:
+    def test_sigterm_unwinds_the_loop_and_releases_the_claim(self, cells, tmp_path):
+        """In-process SIGTERM (sent to ourselves at a deterministic point):
+        the drain loop unwinds, the report says interrupted, and no claim
+        is left squatting."""
+        import signal
+
+        store = SweepStore(str(tmp_path))
+
+        def _interrupt_after_first(kind, _cell, _outcome):
+            if kind == "done":
+                os.kill(os.getpid(), signal.SIGTERM)
+
+        report = run_worker(
+            cells,
+            store,
+            lease_seconds=30.0,
+            handle_signals=True,
+            on_event=_interrupt_after_first,
+        )
+        assert report.interrupted == signal.SIGTERM
+        assert len(report.executed) == 1
+        assert len(report.pending) == len(cells) - 1
+        assert "interrupted=sig15" in report.summary()
+        claims = ClaimStore(store.backend)
+        assert claims.claim_records() == {}  # the live claim was released
+        # The previous handler is restored, so the next SIGTERM would not
+        # raise WorkerInterrupted into unrelated code.
+        assert signal.getsignal(signal.SIGTERM) is signal.SIG_DFL
+        # A fresh (uninterrupted) worker finishes the corpus.
+        resumed = run_worker(cells, store, lease_seconds=30.0)
+        assert resumed.interrupted is None
+        assert sorted(resumed.executed) == sorted(report.pending)
+
+    def test_signalled_worker_process_releases_its_claim(self, tmp_path):
+        """Satellite: a real ``sweep-worker`` subprocess SIGTERMed mid-cell
+        exits 128+15 and releases its live claim immediately — the cell is
+        reclaimable without waiting out the lease."""
+        import json
+        import signal
+        import time
+
+        # One deliberately slow cell (~2s) so the signal lands mid-execution.
+        template = {
+            "name": "slow-dist-test",
+            "base": {
+                "experiment": "fig1-delay-ping",
+                "n": 120,
+                "k_grid": [2],
+                "br_rounds": 8,
+                "seed": 3,
+                "metric": "delay-ping",
+            },
+            "axes": {"n": [120]},
+        }
+        template_path = tmp_path / "template.json"
+        template_path.write_text(json.dumps(template))
+        shared = tmp_path / "shared"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath("src")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "sweep-worker",
+                str(template_path),
+                "--store",
+                str(shared),
+                "--lease",
+                "300",
+                "--poll",
+                "0.05",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            claims = ClaimStore(SweepStore(str(shared)).backend)
+            deadline = time.monotonic() + 60
+            while not claims.claim_records():
+                assert proc.poll() is None, proc.communicate()[0]
+                assert time.monotonic() < deadline, "worker never claimed the cell"
+                time.sleep(0.01)
+            proc.send_signal(signal.SIGTERM)
+            output = proc.communicate(timeout=60)[0]
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=30)
+        assert proc.returncode == 128 + signal.SIGTERM, output
+        assert "interrupted=sig15" in output
+        # The 300s lease did NOT strand the cell: the claim is already
+        # gone, nothing completed, and the cell is immediately runnable.
+        assert claims.claim_records() == {}
+        assert claims.done_records() == {}
+        cells = SweepTemplate.from_dict(template).expand()
+        report = run_worker(cells, SweepStore(str(shared)), lease_seconds=30.0)
+        assert report.executed == [cells[0].key]
+        assert report.reclaimed == []  # claimed fresh, not reclaimed
+
+
+class TestConcurrentWorkerProcessesOwnerDeath:
     def test_worker_process_completes_after_owner_dies(self, cells, tmp_path):
         """A worker killed mid-cell leaves an expired claim; a fresh
         worker reclaims it and finishes the corpus."""
